@@ -1,0 +1,198 @@
+// Package core is the facade of the specmine library: a small, stable entry
+// point that ties together trace loading, iterative pattern mining
+// (Section 4 of the paper), recurrent rule mining (Section 5), LTL
+// translation (Section 3.3) and conformance checking. The examples and
+// command-line tools are written against this package; the specialised
+// internal packages remain available for callers that need finer control.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"specmine/internal/iterpattern"
+	"specmine/internal/ltl"
+	"specmine/internal/rank"
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+	"specmine/internal/verify"
+)
+
+// Re-exported basic types so that facade users rarely need to import the
+// lower-level packages directly.
+type (
+	// Database is a sequence database of program traces.
+	Database = seqdb.Database
+	// Dictionary interns event names.
+	Dictionary = seqdb.Dictionary
+	// Pattern is a series of events.
+	Pattern = seqdb.Pattern
+	// Rule is a mined recurrent rule.
+	Rule = rules.Rule
+	// MinedPattern is a mined iterative pattern.
+	MinedPattern = iterpattern.MinedPattern
+)
+
+// LoadTraces reads the textual trace format (one trace per line, events
+// separated by whitespace) from r.
+func LoadTraces(r io.Reader) (*Database, error) { return seqdb.ReadTraces(r) }
+
+// LoadTraceFile reads the textual trace format from a file.
+func LoadTraceFile(path string) (*Database, error) { return seqdb.ReadTraceFile(path) }
+
+// SaveTraceFile writes db to path in the textual trace format.
+func SaveTraceFile(path string, db *Database) error { return seqdb.WriteTraceFile(path, db) }
+
+// NewDatabase returns an empty trace database.
+func NewDatabase() *Database { return seqdb.NewDatabase() }
+
+// ParsePattern interns the space-separated event names in spec.
+func ParsePattern(dict *Dictionary, spec string) Pattern { return seqdb.ParsePattern(dict, spec) }
+
+// PatternOptions configures iterative pattern mining through the facade.
+type PatternOptions struct {
+	// MinSupport is the absolute minimum instance support; ignored when
+	// MinSupportRel is set.
+	MinSupport int
+	// MinSupportRel is the minimum instance support as a fraction of the
+	// number of sequences (the paper's relative thresholds).
+	MinSupportRel float64
+	// Closed selects the closed-pattern miner (the default mines the closed
+	// set; set Full to true for the complete frequent set).
+	Full bool
+	// MaxLength bounds pattern length (0 = unlimited).
+	MaxLength int
+	// KeepInstances retains the instance list of each mined pattern.
+	KeepInstances bool
+}
+
+// PatternResult is the facade view of a pattern mining run.
+type PatternResult struct {
+	// Patterns are the mined patterns, sorted by support.
+	Patterns []MinedPattern
+	// Closed records whether the closed miner produced the result.
+	Closed bool
+	// MinSupport is the absolute threshold that was applied.
+	MinSupport int
+	// Stats carries the miner's internal counters.
+	Stats iterpattern.Stats
+}
+
+// MinePatterns mines iterative patterns from db.
+func MinePatterns(db *Database, opts PatternOptions) (*PatternResult, error) {
+	iopts := iterpattern.Options{
+		MinInstanceSupport: opts.MinSupport,
+		MinSupportRel:      opts.MinSupportRel,
+		MaxPatternLength:   opts.MaxLength,
+		IncludeInstances:   opts.KeepInstances,
+	}
+	res, err := iterpattern.Mine(db, iopts, !opts.Full)
+	if err != nil {
+		return nil, fmt.Errorf("mining iterative patterns: %w", err)
+	}
+	return &PatternResult{
+		Patterns:   res.Patterns,
+		Closed:     !opts.Full,
+		MinSupport: res.MinSupport,
+		Stats:      res.Stats,
+	}, nil
+}
+
+// RuleOptions configures recurrent rule mining through the facade.
+type RuleOptions struct {
+	// MinSeqSupport is the absolute minimum s-support; ignored when
+	// MinSeqSupportRel is set.
+	MinSeqSupport int
+	// MinSeqSupportRel is the minimum s-support as a fraction of the number
+	// of sequences.
+	MinSeqSupportRel float64
+	// MinInstanceSupport is the minimum i-support (default 1).
+	MinInstanceSupport int
+	// MinConfidence is the minimum confidence (default 0.9).
+	MinConfidence float64
+	// Full mines every significant rule instead of the non-redundant set.
+	Full bool
+	// MaxPremiseLength and MaxConsequentLength bound the rule shape.
+	MaxPremiseLength    int
+	MaxConsequentLength int
+}
+
+// RuleResult is the facade view of a rule mining run.
+type RuleResult struct {
+	// Rules are the mined rules, sorted by confidence and support.
+	Rules []Rule
+	// NonRedundant records whether redundancy removal was applied.
+	NonRedundant bool
+	// Stats carries the miner's internal counters.
+	Stats rules.Stats
+}
+
+// MineRules mines recurrent rules from db.
+func MineRules(db *Database, opts RuleOptions) (*RuleResult, error) {
+	if opts.MinInstanceSupport == 0 {
+		opts.MinInstanceSupport = 1
+	}
+	if opts.MinConfidence == 0 {
+		opts.MinConfidence = 0.9
+	}
+	ropts := rules.Options{
+		MinSeqSupport:       opts.MinSeqSupport,
+		MinSeqSupportRel:    opts.MinSeqSupportRel,
+		MinInstanceSupport:  opts.MinInstanceSupport,
+		MinConfidence:       opts.MinConfidence,
+		MaxPremiseLength:    opts.MaxPremiseLength,
+		MaxConsequentLength: opts.MaxConsequentLength,
+	}
+	res, err := rules.Mine(db, ropts, !opts.Full)
+	if err != nil {
+		return nil, fmt.Errorf("mining recurrent rules: %w", err)
+	}
+	return &RuleResult{Rules: res.Rules, NonRedundant: !opts.Full, Stats: res.Stats}, nil
+}
+
+// RuleToLTL translates a rule into its LTL formula (Table 2) rendered with
+// the database's event names.
+func RuleToLTL(dict *Dictionary, rule Rule) (string, error) {
+	f, err := ltl.FromRule(rule.Pre, rule.Post)
+	if err != nil {
+		return "", err
+	}
+	return f.String(dict), nil
+}
+
+// DescribeRule returns the English reading of a rule's LTL formula (Table 1
+// style).
+func DescribeRule(dict *Dictionary, rule Rule) (string, error) {
+	f, err := ltl.FromRule(rule.Pre, rule.Post)
+	if err != nil {
+		return "", err
+	}
+	return ltl.Describe(f, dict), nil
+}
+
+// CheckRules verifies mined rules against (typically fresh) traces and
+// returns a conformance summary with per-rule violation details.
+func CheckRules(db *Database, ruleSet []Rule) (verify.Summary, error) {
+	reports, err := verify.CheckRules(db, ruleSet)
+	if err != nil {
+		return verify.Summary{}, err
+	}
+	return verify.NewSummary(reports), nil
+}
+
+// RankPatterns orders mined patterns by interestingness (the future-work
+// ranking of Section 8), most interesting first.
+func RankPatterns(db *Database, patterns []MinedPattern, topN int) []rank.ScoredPattern {
+	return rank.TopPatterns(db, patterns, rank.Weights{}, topN)
+}
+
+// RankRules orders mined rules by interestingness, most interesting first.
+func RankRules(db *Database, ruleSet []Rule, topN int) []rank.ScoredRule {
+	return rank.TopRules(db, ruleSet, rank.Weights{}, topN)
+}
+
+// EvaluateRule scores an arbitrary (for example hand-written) rule against
+// the database, returning its s-support, i-support and confidence.
+func EvaluateRule(db *Database, pre, post Pattern) Rule {
+	return rules.EvaluateRule(db, pre, post)
+}

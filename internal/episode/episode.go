@@ -1,0 +1,239 @@
+// Package episode implements window-based frequent episode mining in the
+// style of Mannila, Toivonen and Verkamo (the WINEPI algorithm for serial
+// episodes). The paper's Sections 1–2 position iterative pattern mining
+// against episode mining: episodes require their events to occur close
+// together (inside a fixed-width window) and are mined from a single long
+// sequence, whereas iterative patterns have no window restriction and are
+// mined from a database of sequences.
+//
+// The package exists as the comparator baseline: the episodes example and the
+// ablation benchmarks show how window-bounded mining misses rules such as
+// <lock, unlock> whose events are separated by arbitrarily many other events.
+package episode
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"specmine/internal/seqdb"
+)
+
+// Options configures episode mining.
+type Options struct {
+	// WindowWidth is the sliding-window width in events (the paper's
+	// "window size"); it must be at least 1.
+	WindowWidth int
+	// MinFrequency is the minimum window frequency: the fraction of windows
+	// that must contain the episode, in (0, 1].
+	MinFrequency float64
+	// MaxEpisodeLength bounds the episode length; 0 means bounded only by the
+	// window width.
+	MaxEpisodeLength int
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if o.WindowWidth < 1 {
+		return errors.New("episode: WindowWidth must be >= 1")
+	}
+	if o.MinFrequency <= 0 || o.MinFrequency > 1 {
+		return errors.New("episode: MinFrequency must be in (0, 1]")
+	}
+	if o.MaxEpisodeLength < 0 {
+		return errors.New("episode: MaxEpisodeLength must be >= 0")
+	}
+	return nil
+}
+
+// Episode is a serial episode (an ordered series of events) with its window
+// frequency.
+type Episode struct {
+	Pattern seqdb.Pattern
+	// Windows is the number of windows containing the episode.
+	Windows int
+	// Frequency is Windows divided by the total number of windows.
+	Frequency float64
+}
+
+// Result is the outcome of an episode mining run.
+type Result struct {
+	Episodes     []Episode
+	TotalWindows int
+	Duration     time.Duration
+}
+
+// Sort orders episodes by decreasing frequency then content.
+func (r *Result) Sort() {
+	sort.Slice(r.Episodes, func(i, j int) bool {
+		a, b := r.Episodes[i], r.Episodes[j]
+		if a.Windows != b.Windows {
+			return a.Windows > b.Windows
+		}
+		return seqdb.ComparePatterns(a.Pattern, b.Pattern) < 0
+	})
+}
+
+// Find returns the mined entry for pattern p, if present.
+func (r *Result) Find(p seqdb.Pattern) (Episode, bool) {
+	for _, e := range r.Episodes {
+		if e.Pattern.Equal(p) {
+			return e, true
+		}
+	}
+	return Episode{}, false
+}
+
+// Mine discovers frequent serial episodes in the single event sequence s.
+// Following WINEPI, the sequence is observed through a sliding window of
+// WindowWidth events (windows are taken at every start position from
+// -(width-1) to len(s)-1 so that every event appears in exactly width
+// windows); an episode is supported by a window when it is a subsequence of
+// the window's events.
+func Mine(s seqdb.Sequence, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	totalWindows := len(s) + opts.WindowWidth - 1
+	if len(s) == 0 {
+		return &Result{TotalWindows: 0, Duration: time.Since(start)}, nil
+	}
+	minWindows := int(opts.MinFrequency*float64(totalWindows) + 0.999999)
+	if minWindows < 1 {
+		minWindows = 1
+	}
+
+	maxLen := opts.WindowWidth
+	if opts.MaxEpisodeLength > 0 && opts.MaxEpisodeLength < maxLen {
+		maxLen = opts.MaxEpisodeLength
+	}
+
+	m := &miner{s: s, width: opts.WindowWidth, minWindows: minWindows, maxLen: maxLen, total: totalWindows}
+	m.run()
+	res := &Result{Episodes: m.out, TotalWindows: totalWindows, Duration: time.Since(start)}
+	res.Sort()
+	return res, nil
+}
+
+// MineDatabase concatenates nothing: it mines each sequence separately and
+// merges window counts, providing an episode-style view over a sequence
+// database for comparison with the iterative pattern miner.
+func MineDatabase(db *seqdb.Database, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	merged := make(map[string]*Episode)
+	totalWindows := 0
+	for _, s := range db.Sequences {
+		res, err := Mine(s, Options{WindowWidth: opts.WindowWidth, MinFrequency: 1.0 / float64(len(s)+opts.WindowWidth), MaxEpisodeLength: opts.MaxEpisodeLength})
+		if err != nil {
+			return nil, err
+		}
+		totalWindows += res.TotalWindows
+		for _, ep := range res.Episodes {
+			key := ep.Pattern.Key()
+			if cur, ok := merged[key]; ok {
+				cur.Windows += ep.Windows
+			} else {
+				cp := ep
+				merged[key] = &cp
+			}
+		}
+	}
+	out := &Result{TotalWindows: totalWindows}
+	minWindows := int(opts.MinFrequency*float64(totalWindows) + 0.999999)
+	if minWindows < 1 {
+		minWindows = 1
+	}
+	for _, ep := range merged {
+		if ep.Windows >= minWindows {
+			ep.Frequency = float64(ep.Windows) / float64(totalWindows)
+			out.Episodes = append(out.Episodes, *ep)
+		}
+	}
+	out.Duration = time.Since(start)
+	out.Sort()
+	return out, nil
+}
+
+type miner struct {
+	s          seqdb.Sequence
+	width      int
+	minWindows int
+	maxLen     int
+	total      int
+	out        []Episode
+}
+
+func (m *miner) run() {
+	// Level-wise (apriori) search: candidate episodes of length k are built
+	// from frequent episodes of length k-1, then counted against all windows.
+	var frequent []seqdb.Pattern
+	// Length-1 candidates: every distinct event.
+	seen := make(map[seqdb.EventID]struct{})
+	var singles []seqdb.Pattern
+	for _, e := range m.s {
+		if _, ok := seen[e]; ok {
+			continue
+		}
+		seen[e] = struct{}{}
+		singles = append(singles, seqdb.Pattern{e})
+	}
+	sort.Slice(singles, func(i, j int) bool { return singles[i][0] < singles[j][0] })
+	level := m.countAndFilter(singles)
+	frequent = append(frequent, level...)
+
+	for k := 2; k <= m.maxLen && len(level) > 0; k++ {
+		// Candidates: extend each frequent (k-1)-episode with the last event
+		// of every frequent 1-episode.
+		var candidates []seqdb.Pattern
+		for _, p := range level {
+			for _, s := range singles {
+				candidates = append(candidates, p.Append(s[0]))
+			}
+		}
+		level = m.countAndFilter(candidates)
+		frequent = append(frequent, level...)
+	}
+	_ = frequent
+}
+
+// countAndFilter counts window support for each candidate and keeps the
+// frequent ones, recording them in the output.
+func (m *miner) countAndFilter(candidates []seqdb.Pattern) []seqdb.Pattern {
+	var kept []seqdb.Pattern
+	for _, p := range candidates {
+		w := m.countWindows(p)
+		if w >= m.minWindows {
+			kept = append(kept, p)
+			m.out = append(m.out, Episode{Pattern: p, Windows: w, Frequency: float64(w) / float64(m.total)})
+		}
+	}
+	return kept
+}
+
+// countWindows returns the number of sliding windows of width m.width that
+// contain p as a subsequence. Window start positions range from
+// -(width-1) .. len(s)-1; the window covers positions [start, start+width).
+func (m *miner) countWindows(p seqdb.Pattern) int {
+	count := 0
+	for start := -(m.width - 1); start < len(m.s); start++ {
+		lo := start
+		if lo < 0 {
+			lo = 0
+		}
+		hi := start + m.width
+		if hi > len(m.s) {
+			hi = len(m.s)
+		}
+		if hi <= lo {
+			continue
+		}
+		if seqdb.Sequence(m.s[lo:hi]).ContainsSubsequence(p) {
+			count++
+		}
+	}
+	return count
+}

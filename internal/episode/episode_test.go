@@ -1,0 +1,187 @@
+package episode
+
+import (
+	"math/rand"
+	"testing"
+
+	"specmine/internal/seqdb"
+)
+
+func seqOf(d *seqdb.Dictionary, names ...string) seqdb.Sequence {
+	s := make(seqdb.Sequence, 0, len(names))
+	for _, n := range names {
+		s = append(s, d.Intern(n))
+	}
+	return s
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err == nil {
+		t.Errorf("zero options accepted")
+	}
+	if err := (Options{WindowWidth: 3, MinFrequency: 0.1}).Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	if err := (Options{WindowWidth: 3, MinFrequency: 2}).Validate(); err == nil {
+		t.Errorf("frequency > 1 accepted")
+	}
+	if err := (Options{WindowWidth: 3, MinFrequency: 0.5, MaxEpisodeLength: -1}).Validate(); err == nil {
+		t.Errorf("negative MaxEpisodeLength accepted")
+	}
+	if _, err := Mine(nil, Options{}); err == nil {
+		t.Errorf("Mine accepted invalid options")
+	}
+	if _, err := MineDatabase(seqdb.NewDatabase(), Options{}); err == nil {
+		t.Errorf("MineDatabase accepted invalid options")
+	}
+}
+
+func TestMineEmptySequence(t *testing.T) {
+	res, err := Mine(nil, Options{WindowWidth: 3, MinFrequency: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Episodes) != 0 || res.TotalWindows != 0 {
+		t.Errorf("empty sequence should yield nothing: %+v", res)
+	}
+}
+
+func TestWindowCounting(t *testing.T) {
+	d := seqdb.NewDictionary()
+	s := seqOf(d, "a", "b", "a", "b")
+	// Window width 2, total windows = 4 + 1 = 5.
+	res, err := Mine(s, Options{WindowWidth: 2, MinFrequency: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWindows != 5 {
+		t.Fatalf("TotalWindows=%d want 5", res.TotalWindows)
+	}
+	a := seqdb.ParsePattern(d, "a")
+	ab := seqdb.ParsePattern(d, "a b")
+	ba := seqdb.ParsePattern(d, "b a")
+	if e, ok := res.Find(a); !ok || e.Windows != 4 {
+		// Each event is covered by exactly `width` windows; the two a's share
+		// no window at width 2, so 2*2 = 4.
+		t.Errorf("<a> windows=%v ok=%v want 4", e.Windows, ok)
+	}
+	if e, ok := res.Find(ab); !ok || e.Windows != 2 {
+		t.Errorf("<a, b> windows=%v ok=%v want 2", e.Windows, ok)
+	}
+	if e, ok := res.Find(ba); !ok || e.Windows != 1 {
+		t.Errorf("<b, a> windows=%v ok=%v want 1", e.Windows, ok)
+	}
+}
+
+func TestWindowBarrierMissesDistantPairs(t *testing.T) {
+	// The motivating contrast of Sections 1–2: a lock/unlock pair separated by
+	// more events than the window width is invisible to episode mining.
+	d := seqdb.NewDictionary()
+	s := seqOf(d, "lock", "w1", "w2", "w3", "w4", "w5", "unlock")
+	res, err := Mine(s, Options{WindowWidth: 3, MinFrequency: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Find(seqdb.ParsePattern(d, "lock unlock")); ok {
+		t.Errorf("window-bounded mining should not find the distant <lock, unlock> pair")
+	}
+	wide, err := Mine(s, Options{WindowWidth: 7, MinFrequency: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wide.Find(seqdb.ParsePattern(d, "lock unlock")); !ok {
+		t.Errorf("a window as wide as the trace should find <lock, unlock>")
+	}
+}
+
+func TestMinFrequencyFilters(t *testing.T) {
+	d := seqdb.NewDictionary()
+	s := seqOf(d, "a", "a", "a", "b")
+	res, err := Mine(s, Options{WindowWidth: 2, MinFrequency: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Find(seqdb.ParsePattern(d, "a")); !ok {
+		t.Errorf("<a> should pass the 50%% frequency threshold")
+	}
+	if _, ok := res.Find(seqdb.ParsePattern(d, "b")); ok {
+		t.Errorf("<b> should fail the 50%% frequency threshold")
+	}
+	for _, e := range res.Episodes {
+		if e.Frequency < 0.5 {
+			t.Errorf("episode %s below threshold: %v", e.Pattern.String(d), e.Frequency)
+		}
+	}
+}
+
+func TestMaxEpisodeLength(t *testing.T) {
+	d := seqdb.NewDictionary()
+	s := seqOf(d, "a", "b", "c", "a", "b", "c")
+	res, err := Mine(s, Options{WindowWidth: 4, MinFrequency: 0.05, MaxEpisodeLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Episodes {
+		if e.Pattern.Len() > 2 {
+			t.Errorf("episode %s exceeds MaxEpisodeLength", e.Pattern.String(d))
+		}
+	}
+}
+
+// bruteWindows counts supporting windows directly for cross-validation.
+func bruteWindows(s seqdb.Sequence, p seqdb.Pattern, width int) int {
+	count := 0
+	for start := -(width - 1); start < len(s); start++ {
+		lo, hi := start, start+width
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if hi <= lo {
+			continue
+		}
+		if seqdb.Sequence(s[lo:hi]).ContainsSubsequence(p) {
+			count++
+		}
+	}
+	return count
+}
+
+func TestMineAgainstBruteForceQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for iter := 0; iter < 20; iter++ {
+		n := 3 + rng.Intn(10)
+		s := make(seqdb.Sequence, n)
+		for i := range s {
+			s[i] = seqdb.EventID(rng.Intn(3))
+		}
+		width := 2 + rng.Intn(3)
+		res, err := Mine(s, Options{WindowWidth: width, MinFrequency: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range res.Episodes {
+			if want := bruteWindows(s, e.Pattern, width); want != e.Windows {
+				t.Fatalf("iter %d: window count mismatch for %v: %d vs %d", iter, e.Pattern, e.Windows, want)
+			}
+		}
+	}
+}
+
+func TestMineDatabase(t *testing.T) {
+	db := seqdb.NewDatabase()
+	db.AppendNames("a", "b", "a", "b")
+	db.AppendNames("a", "b")
+	res, err := MineDatabase(db, Options{WindowWidth: 2, MinFrequency: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWindows != 5+3 {
+		t.Errorf("TotalWindows=%d want 8", res.TotalWindows)
+	}
+	if _, ok := res.Find(seqdb.ParsePattern(db.Dict, "a b")); !ok {
+		t.Errorf("<a, b> missing from database-level episodes")
+	}
+}

@@ -1,0 +1,129 @@
+// Package generators mines generators of iterative patterns: the minimal
+// members of the support-equivalence classes of frequent patterns. The paper
+// lists this as future work (Section 8): "Generators are minimal members of
+// equivalence classes of frequent patterns. Merging generators with closed
+// patterns potentially form interesting rules with minimal pre-conditions and
+// maximal post-conditions." This package implements both halves: generator
+// extraction, and the composition of generator premises with closed-pattern
+// consequents into suggested rules.
+package generators
+
+import (
+	"sort"
+
+	"specmine/internal/iterpattern"
+	"specmine/internal/qre"
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+)
+
+// Generator is a frequent iterative pattern with no proper sub-pattern of the
+// same support whose instances correspond (the dual of Definition 4.2's
+// closed pattern).
+type Generator struct {
+	Pattern seqdb.Pattern
+	Support int
+}
+
+// Mine returns the generators among the frequent iterative patterns of db at
+// the given minimum instance support. It mines the full frequent set first
+// (generators cannot be derived from the closed set alone) and keeps the
+// patterns for which no single-event deletion preserves both the support and
+// the instance correspondence.
+func Mine(db *seqdb.Database, minSupport int) ([]Generator, error) {
+	full, err := iterpattern.MineFull(db, iterpattern.Options{MinInstanceSupport: minSupport, IncludeInstances: true})
+	if err != nil {
+		return nil, err
+	}
+	var out []Generator
+	for _, cand := range full.Patterns {
+		if isGenerator(db, cand) {
+			out = append(out, Generator{Pattern: cand.Pattern, Support: cand.Support})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return seqdb.ComparePatterns(out[i].Pattern, out[j].Pattern) < 0
+	})
+	return out, nil
+}
+
+// isGenerator checks whether removing any single event from the pattern
+// changes its support or breaks the instance correspondence. Single-event
+// deletions suffice for the minimality check because correspondence between a
+// pattern and a sub-pattern obtained by deleting several events factors
+// through the intermediate single deletions whenever supports stay equal.
+func isGenerator(db *seqdb.Database, cand iterpattern.MinedPattern) bool {
+	if cand.Pattern.Len() <= 1 {
+		return true
+	}
+	for i := 0; i < cand.Pattern.Len(); i++ {
+		sub := cand.Pattern.RemoveAt(i)
+		if len(sub) == 0 {
+			continue
+		}
+		subInsts := qre.FindAllInstances(db, sub)
+		if len(subInsts) != cand.Support {
+			continue
+		}
+		if qre.CorrespondsTo(subInsts, cand.Instances) {
+			return false
+		}
+	}
+	return true
+}
+
+// SuggestedRule is a rule proposal formed by pairing a generator (minimal
+// premise) with the remainder of a closed pattern that extends it (maximal
+// consequent), scored with the recurrent-rule statistics.
+type SuggestedRule struct {
+	Rule rules.Rule
+	// FromGenerator and FromClosed identify the patterns the suggestion was
+	// derived from.
+	FromGenerator seqdb.Pattern
+	FromClosed    seqdb.Pattern
+}
+
+// Compose pairs generators with closed patterns: whenever a generator is a
+// prefix of a closed pattern, the rule generator -> remainder is proposed and
+// scored against the database. Proposals below minConfidence are dropped.
+func Compose(db *seqdb.Database, gens []Generator, closed []iterpattern.MinedPattern, minConfidence float64) []SuggestedRule {
+	var out []SuggestedRule
+	for _, g := range gens {
+		for _, c := range closed {
+			if c.Pattern.Len() <= g.Pattern.Len() {
+				continue
+			}
+			if !isPrefixOf(g.Pattern, c.Pattern) {
+				continue
+			}
+			post := c.Pattern[g.Pattern.Len():].Clone()
+			r := rules.EvaluateRule(db, g.Pattern, post)
+			if r.Confidence < minConfidence {
+				continue
+			}
+			out = append(out, SuggestedRule{Rule: r, FromGenerator: g.Pattern, FromClosed: c.Pattern})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule.Confidence != out[j].Rule.Confidence {
+			return out[i].Rule.Confidence > out[j].Rule.Confidence
+		}
+		return len(out[i].Rule.Post) > len(out[j].Rule.Post)
+	})
+	return out
+}
+
+func isPrefixOf(p, q seqdb.Pattern) bool {
+	if len(p) > len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+package generators
+
+import (
+	"testing"
+
+	"specmine/internal/iterpattern"
+	"specmine/internal/qre"
+	"specmine/internal/seqdb"
+)
+
+func mkdb(traces ...[]string) *seqdb.Database {
+	db := seqdb.NewDatabase()
+	for _, t := range traces {
+		db.AppendNames(t...)
+	}
+	return db
+}
+
+func TestMineGeneratorsSimple(t *testing.T) {
+	// <a> always extends to <a, b, c> with the same instances: <a> is the
+	// generator of that equivalence class, <a, b, c> its closed counterpart.
+	db := mkdb(
+		[]string{"a", "b", "c"},
+		[]string{"a", "b", "c", "x"},
+		[]string{"y", "a", "b", "c"},
+	)
+	gens, err := Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]int)
+	for _, g := range gens {
+		keys[g.Pattern.String(db.Dict)] = g.Support
+	}
+	if keys["<a>"] != 3 || keys["<b>"] != 3 || keys["<c>"] != 3 {
+		t.Errorf("single events should be generators: %v", keys)
+	}
+	if _, ok := keys["<a, b, c>"]; ok {
+		t.Errorf("<a, b, c> is not minimal in its class: %v", keys)
+	}
+	if _, ok := keys["<a, b>"]; ok {
+		t.Errorf("<a, b> has the same instances as <a>: not a generator: %v", keys)
+	}
+}
+
+func TestGeneratorsAreFrequentAndMinimal(t *testing.T) {
+	db := mkdb(
+		[]string{"open", "read", "close", "open", "write", "close"},
+		[]string{"open", "read", "close"},
+		[]string{"open", "close", "idle"},
+	)
+	minSup := 3
+	gens, err := Mine(db, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) == 0 {
+		t.Fatal("no generators found")
+	}
+	for _, g := range gens {
+		if got := qre.CountInstances(db, g.Pattern); got != g.Support || got < minSup {
+			t.Errorf("generator %s support mismatch: %d vs %d", g.Pattern.String(db.Dict), g.Support, got)
+		}
+		// Minimality: every single-event deletion either changes support or
+		// breaks correspondence.
+		if g.Pattern.Len() <= 1 {
+			continue
+		}
+		full := qre.FindAllInstances(db, g.Pattern)
+		for i := 0; i < g.Pattern.Len(); i++ {
+			sub := g.Pattern.RemoveAt(i)
+			if len(sub) == 0 {
+				continue
+			}
+			subInsts := qre.FindAllInstances(db, sub)
+			if len(subInsts) == g.Support && qre.CorrespondsTo(subInsts, full) {
+				t.Errorf("generator %s is not minimal: deleting position %d preserves the class", g.Pattern.String(db.Dict), i)
+			}
+		}
+	}
+}
+
+func TestCompose(t *testing.T) {
+	db := mkdb(
+		[]string{"begin", "work", "commit"},
+		[]string{"begin", "work", "commit"},
+		[]string{"begin", "abort"},
+	)
+	gens, err := Mine(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := iterpattern.MineClosed(db, iterpattern.Options{MinInstanceSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suggestions := Compose(db, gens, closed.Patterns, 0.5)
+	if len(suggestions) == 0 {
+		t.Fatal("no suggested rules")
+	}
+	found := false
+	for _, s := range suggestions {
+		if s.Rule.Pre.String(db.Dict) == "<begin>" && s.Rule.Post.String(db.Dict) == "<work, commit>" {
+			found = true
+			if s.Rule.Confidence < 0.6 || s.Rule.Confidence > 0.7 {
+				t.Errorf("begin -> work commit confidence %v, want 2/3", s.Rule.Confidence)
+			}
+		}
+		if s.Rule.Confidence < 0.5 {
+			t.Errorf("suggestion below confidence floor: %+v", s.Rule)
+		}
+	}
+	if !found {
+		t.Errorf("expected suggestion begin -> <work, commit>; got %d suggestions", len(suggestions))
+	}
+	// A high confidence floor removes the suggestions.
+	none := Compose(db, gens, closed.Patterns, 0.99)
+	for _, s := range none {
+		if s.Rule.Confidence < 0.99 {
+			t.Errorf("confidence floor not applied: %+v", s.Rule)
+		}
+	}
+}
+
+func TestIsPrefixOf(t *testing.T) {
+	d := seqdb.NewDictionary()
+	p := seqdb.ParsePattern(d, "a b")
+	q := seqdb.ParsePattern(d, "a b c")
+	if !isPrefixOf(p, q) || isPrefixOf(q, p) {
+		t.Errorf("isPrefixOf wrong")
+	}
+	if !isPrefixOf(nil, q) {
+		t.Errorf("empty pattern is a prefix of everything")
+	}
+	if isPrefixOf(seqdb.ParsePattern(d, "b"), q) {
+		t.Errorf("<b> is not a prefix of <a, b, c>")
+	}
+}

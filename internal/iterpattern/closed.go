@@ -1,0 +1,241 @@
+package iterpattern
+
+import (
+	"specmine/internal/qre"
+	"specmine/internal/seqdb"
+)
+
+// closednessFilter applies the closedness check of Definition 4.2 to the
+// candidate patterns collected during the search. A pattern P is dropped when
+// some super-sequence Q has the same support and every instance of P
+// corresponds to (is contained in the span of) a distinct instance of Q.
+//
+// Witness super-sequences are searched slot by slot: a witness inserts a
+// series of events either before the pattern (prefix), after it (suffix), or
+// into one of its gaps (infix). For each slot the filter inspects the
+// corresponding region of every instance — the backward window, the forward
+// window, or the gap between the two neighbouring matched positions — and
+// builds candidate insertions from the events common to all regions: each
+// common event on its own (repeated as often as it appears when the
+// multiplicities agree) and the common events taken together when their
+// interleaving is identical in every region. Every candidate is then verified
+// exactly against the database (instance count equality plus correspondence),
+// so a pattern is only ever dropped with a genuine witness in hand.
+func (m *miner) closednessFilter(candidates []MinedPattern) []MinedPattern {
+	kept := candidates[:0]
+	for _, cand := range candidates {
+		if m.isClosed(cand) {
+			kept = append(kept, cand)
+		} else {
+			m.stats.NonClosedSuppressed++
+		}
+	}
+	return kept
+}
+
+func (m *miner) isClosed(cand MinedPattern) bool {
+	p := cand.Pattern
+	insts := cand.Instances
+	if len(insts) == 0 {
+		return true
+	}
+	alphabet := p.Alphabet()
+
+	// regions[slot][k] is the event series of instance k's region for that
+	// insertion slot.
+	regions := make([][]seqdb.Sequence, len(p)+1)
+	for slot := range regions {
+		regions[slot] = make([]seqdb.Sequence, 0, len(insts))
+	}
+	for _, in := range insts {
+		s := m.db.Sequences[in.Seq]
+		matched := matchedPositions(s, p, in.Start)
+		if matched == nil {
+			// Should not happen: the instance was produced by the miner.
+			continue
+		}
+		regions[0] = append(regions[0], sliceRegion(s, backwardWindowStart(s, alphabet, in.Start), in.Start-1))
+		for g := 1; g < len(p); g++ {
+			regions[g] = append(regions[g], sliceRegion(s, matched[g-1]+1, matched[g]-1))
+		}
+		regions[len(p)] = append(regions[len(p)], sliceRegion(s, in.End+1, forwardWindowEnd(s, alphabet, in.End)))
+	}
+
+	for slot := 0; slot <= len(p); slot++ {
+		for _, w := range candidateInsertions(regions[slot]) {
+			if m.witnesses(p, insts, slot, w) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// witnesses verifies exactly whether inserting series w at the given slot of
+// p produces a super-pattern with identical support whose instances contain
+// the instances of p (Definition 4.2).
+func (m *miner) witnesses(p seqdb.Pattern, insts []qre.Instance, slot int, w []seqdb.EventID) bool {
+	q := make(seqdb.Pattern, 0, len(p)+len(w))
+	q = append(q, p[:slot]...)
+	q = append(q, w...)
+	q = append(q, p[slot:]...)
+	qInsts := qre.FindAllInstances(m.db, q)
+	if len(qInsts) != len(insts) {
+		return false
+	}
+	return qre.CorrespondsTo(insts, qInsts)
+}
+
+// candidateInsertions derives the insertion series worth verifying for one
+// slot from the per-instance region contents. An event can only take part in
+// a witness if it occurs in every region; a single-event insertion must use
+// the same multiplicity everywhere (the one-to-one correspondence requirement
+// forces the witness to absorb every occurrence in the gap); and a
+// multi-event insertion is proposed when the regions, restricted to the
+// shared events with agreeing multiplicities, spell out the same series.
+func candidateInsertions(regions []seqdb.Sequence) [][]seqdb.EventID {
+	if len(regions) == 0 {
+		return nil
+	}
+	// Count occurrences per event per region; start from the first region's
+	// events and intersect.
+	common := make(map[seqdb.EventID]int) // event -> multiplicity if consistent, -1 otherwise
+	for _, ev := range regions[0] {
+		common[ev]++
+	}
+	for _, region := range regions[1:] {
+		if len(common) == 0 {
+			return nil
+		}
+		counts := make(map[seqdb.EventID]int, len(region))
+		for _, ev := range region {
+			counts[ev]++
+		}
+		for ev, c := range common {
+			rc, ok := counts[ev]
+			if !ok {
+				delete(common, ev)
+				continue
+			}
+			if c != -1 && rc != c {
+				common[ev] = -1
+			}
+		}
+	}
+	if len(common) == 0 {
+		return nil
+	}
+
+	var out [][]seqdb.EventID
+	// Single-event insertions.
+	agreeing := make(map[seqdb.EventID]struct{})
+	for ev, c := range common {
+		if c == -1 {
+			// The event occurs everywhere but with differing multiplicities;
+			// a single occurrence can still witness a prefix/suffix border, so
+			// propose the length-1 insertion.
+			out = append(out, []seqdb.EventID{ev})
+			continue
+		}
+		agreeing[ev] = struct{}{}
+		w := make([]seqdb.EventID, c)
+		for i := range w {
+			w[i] = ev
+		}
+		out = append(out, w)
+		if c > 1 {
+			out = append(out, []seqdb.EventID{ev})
+		}
+	}
+	// Multi-event insertion: the restriction of every region to the agreeing
+	// events, when identical across regions.
+	if len(agreeing) > 1 {
+		first := restrict(regions[0], agreeing)
+		same := true
+		for _, region := range regions[1:] {
+			if !first.Equal(seqdb.Pattern(restrict(region, agreeing))) {
+				same = false
+				break
+			}
+		}
+		if same && len(first) > 0 {
+			out = append(out, first)
+		}
+	}
+	return out
+}
+
+// restrict returns the subsequence of region consisting of the events in keep.
+func restrict(region seqdb.Sequence, keep map[seqdb.EventID]struct{}) seqdb.Pattern {
+	var out seqdb.Pattern
+	for _, ev := range region {
+		if _, ok := keep[ev]; ok {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// sliceRegion returns s[lo..hi] clamped to valid bounds (empty when hi < lo).
+func sliceRegion(s seqdb.Sequence, lo, hi int) seqdb.Sequence {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(s) {
+		hi = len(s) - 1
+	}
+	if hi < lo {
+		return nil
+	}
+	return s[lo : hi+1]
+}
+
+// matchedPositions returns the positions of every pattern event for the
+// instance of p starting at start, or nil if no instance starts there.
+func matchedPositions(s seqdb.Sequence, p seqdb.Pattern, start int) []int {
+	if start < 0 || start >= len(s) || s[start] != p[0] {
+		return nil
+	}
+	alphabet := p.Alphabet()
+	out := make([]int, 0, len(p))
+	out = append(out, start)
+	pos := start
+	for k := 1; k < len(p); k++ {
+		pos++
+		for pos < len(s) {
+			if _, inAlpha := alphabet[s[pos]]; inAlpha {
+				break
+			}
+			pos++
+		}
+		if pos >= len(s) || s[pos] != p[k] {
+			return nil
+		}
+		out = append(out, pos)
+	}
+	return out
+}
+
+// backwardWindowStart returns the first position of the backward window of an
+// instance starting at start: the window extends from start-1 backwards up to
+// and including the nearest earlier event of the pattern's alphabet.
+func backwardWindowStart(s seqdb.Sequence, alphabet map[seqdb.EventID]struct{}, start int) int {
+	for i := start - 1; i >= 0; i-- {
+		if _, inAlpha := alphabet[s[i]]; inAlpha {
+			return i
+		}
+	}
+	return 0
+}
+
+// forwardWindowEnd returns the last position of the forward window of an
+// instance ending at end: the window extends from end+1 forwards up to and
+// including the nearest later event of the pattern's alphabet.
+func forwardWindowEnd(s seqdb.Sequence, alphabet map[seqdb.EventID]struct{}, end int) int {
+	for i := end + 1; i < len(s); i++ {
+		if _, inAlpha := alphabet[s[i]]; inAlpha {
+			return i
+		}
+	}
+	return len(s) - 1
+}

@@ -1,0 +1,74 @@
+// Package iterpattern implements mining of iterative patterns from a
+// sequence database of program traces (Section 4 of the paper).
+//
+// An iterative pattern is a series of events whose instances — defined by the
+// Quantified Regular Expression of Definition 4.1 and implemented in package
+// qre — are counted repeatedly within and across sequences. Two miners are
+// provided:
+//
+//   - MineFull returns every frequent pattern (the "Full" series of Figure 1);
+//   - MineClosed returns only closed patterns (Definition 4.2), using early
+//     search-space pruning of non-closed pattern subtrees plus an exact
+//     closedness filter (the "Closed" series of Figure 1).
+package iterpattern
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// MinInstanceSupport is the absolute minimum number of instances a
+	// pattern must have to be frequent. It must be at least 1.
+	MinInstanceSupport int
+
+	// MinSupportRel, when positive, overrides MinInstanceSupport with
+	// ceil(rel * number of sequences): the paper reports support thresholds
+	// relative to the number of sequences in the database (Section 6).
+	MinSupportRel float64
+
+	// MaxPatternLength bounds the length of mined patterns; 0 means no bound.
+	MaxPatternLength int
+
+	// IncludeInstances records the instance list of every emitted pattern.
+	// It is off by default because the full miner can emit very large sets.
+	IncludeInstances bool
+
+	// MaxPatterns aborts the search after emitting this many patterns;
+	// 0 means unlimited. It is a safety valve for interactive use and has no
+	// effect on the experiments, which run unbounded.
+	MaxPatterns int
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if o.MinInstanceSupport < 1 && o.MinSupportRel <= 0 {
+		return errors.New("iterpattern: MinInstanceSupport must be >= 1 or MinSupportRel > 0")
+	}
+	if o.MinSupportRel < 0 || o.MinSupportRel > 1 {
+		if o.MinSupportRel != 0 {
+			return fmt.Errorf("iterpattern: MinSupportRel %v outside (0,1]", o.MinSupportRel)
+		}
+	}
+	if o.MaxPatternLength < 0 {
+		return errors.New("iterpattern: MaxPatternLength must be >= 0")
+	}
+	if o.MaxPatterns < 0 {
+		return errors.New("iterpattern: MaxPatterns must be >= 0")
+	}
+	return nil
+}
+
+// absoluteSupport resolves the effective absolute instance-support threshold
+// for a database with numSequences sequences.
+func (o Options) absoluteSupport(numSequences int) int {
+	if o.MinSupportRel > 0 {
+		n := int(o.MinSupportRel*float64(numSequences) + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return o.MinInstanceSupport
+}

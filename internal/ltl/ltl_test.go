@@ -1,0 +1,221 @@
+package ltl
+
+import (
+	"math/rand"
+	"testing"
+
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+)
+
+func dictWith(names ...string) *seqdb.Dictionary {
+	d := seqdb.NewDictionary()
+	for _, n := range names {
+		d.Intern(n)
+	}
+	return d
+}
+
+// TestTable1 reproduces Table 1: the example formulas and their English
+// meanings.
+func TestTable1(t *testing.T) {
+	d := dictWith("lock", "unlock", "main", "end")
+	unlock := Atom{Event: d.Lookup("unlock")}
+
+	cases := []struct {
+		formula     Formula
+		wantString  string
+		wantMeaning string
+	}{
+		{
+			formula:     Finally{Body: unlock},
+			wantString:  "F(unlock)",
+			wantMeaning: "Eventually unlock is called",
+		},
+		{
+			formula:     Next{Body: Finally{Body: unlock}},
+			wantString:  "XF(unlock)",
+			wantMeaning: "From the next event onwards, eventually unlock is called",
+		},
+		{
+			formula:     mustRule(t, d, "lock", "unlock"),
+			wantString:  "G(lock -> XF(unlock))",
+			wantMeaning: "Globally whenever lock is called, then from the next event onwards, eventually unlock is called",
+		},
+		{
+			formula:     mustRule(t, d, "main lock", "unlock end"),
+			wantString:  "G(main -> XG(lock -> XF(unlock /\\ XF(end))))",
+			wantMeaning: "Globally whenever main followed by lock are called, then from the next event onwards, eventually unlock followed by end are called",
+		},
+	}
+	for i, c := range cases {
+		if got := c.formula.String(d); got != c.wantString {
+			t.Errorf("case %d: String=%q want %q", i, got, c.wantString)
+		}
+		if got := Describe(c.formula, d); got != c.wantMeaning {
+			t.Errorf("case %d: Describe=%q want %q", i, got, c.wantMeaning)
+		}
+	}
+}
+
+// TestTable2 reproduces Table 2: rules and their LTL equivalences.
+func TestTable2(t *testing.T) {
+	d := dictWith("a", "b", "c", "d")
+	cases := []struct {
+		pre, post string
+		want      string
+	}{
+		{"a", "b", "G(a -> XF(b))"},
+		{"a b", "c", "G(a -> XG(b -> XF(c)))"},
+		{"a", "b c", "G(a -> XF(b /\\ XF(c)))"},
+		{"a b", "c d", "G(a -> XG(b -> XF(c /\\ XF(d))))"},
+	}
+	for _, c := range cases {
+		f := mustRule(t, d, c.pre, c.post)
+		if got := f.String(d); got != c.want {
+			t.Errorf("%s -> %s: %q want %q", c.pre, c.post, got, c.want)
+		}
+		// Round trip through DecomposeRule.
+		pre, post, ok := DecomposeRule(f)
+		if !ok {
+			t.Errorf("%s -> %s: decompose failed", c.pre, c.post)
+			continue
+		}
+		if !pre.Equal(seqdb.ParsePattern(d, c.pre)) || !post.Equal(seqdb.ParsePattern(d, c.post)) {
+			t.Errorf("%s -> %s: round trip gave %s -> %s", c.pre, c.post, pre.String(d), post.String(d))
+		}
+	}
+}
+
+func mustRule(t *testing.T, d *seqdb.Dictionary, pre, post string) Formula {
+	t.Helper()
+	f, err := FromRule(seqdb.ParsePattern(d, pre), seqdb.ParsePattern(d, post))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFromRuleRejectsEmptySides(t *testing.T) {
+	d := dictWith("a")
+	if _, err := FromRule(nil, seqdb.ParsePattern(d, "a")); err == nil {
+		t.Errorf("empty premise accepted")
+	}
+	if _, err := FromRule(seqdb.ParsePattern(d, "a"), nil); err == nil {
+		t.Errorf("empty consequent accepted")
+	}
+}
+
+func TestHoldsOperators(t *testing.T) {
+	d := dictWith("a", "b", "c")
+	a, b := Atom{Event: d.Lookup("a")}, Atom{Event: d.Lookup("b")}
+	s := seqdb.Sequence{d.Lookup("a"), d.Lookup("c"), d.Lookup("b")}
+
+	if !Holds(a, s) {
+		t.Errorf("atom at position 0 should hold")
+	}
+	if Holds(b, s) {
+		t.Errorf("atom b should not hold at position 0")
+	}
+	if !Holds(Finally{Body: b}, s) {
+		t.Errorf("F(b) should hold")
+	}
+	if Holds(Globally{Body: a}, s) {
+		t.Errorf("G(a) should not hold")
+	}
+	if !Holds(Globally{Body: Implies{Left: b, Right: Atom{Event: d.Lookup("b")}}}, s) {
+		t.Errorf("G(b -> b) should hold vacuously/trivially")
+	}
+	if !Holds(Next{Body: Atom{Event: d.Lookup("c")}}, s) {
+		t.Errorf("X(c) should hold")
+	}
+	if Holds(Next{Body: Next{Body: Next{Body: a}}}, s) {
+		t.Errorf("XXX(a) runs off the trace and must not hold")
+	}
+	if !Holds(And{Left: a, Right: Finally{Body: b}}, s) {
+		t.Errorf("a /\\ F(b) should hold")
+	}
+	if got := (And{Left: a, Right: b}).String(d); got != "a /\\ b" {
+		t.Errorf("And.String=%q", got)
+	}
+	if got := (Implies{Left: a, Right: And{Left: a, Right: b}}).String(d); got != "a -> (a /\\ b)" {
+		t.Errorf("Implies.String=%q", got)
+	}
+	if got := (Next{Body: a}).String(d); got != "X(a)" {
+		t.Errorf("Next.String=%q", got)
+	}
+}
+
+func TestRuleFormulaMatchesTemporalSemantics(t *testing.T) {
+	// G(pre -> ... XF(post)) must hold on a trace exactly when every temporal
+	// point of the premise is followed by the consequent — the semantics the
+	// rule miner uses. Cross-validate on random traces.
+	d := dictWith("a", "b", "c")
+	rng := rand.New(rand.NewSource(97))
+	prePatterns := []string{"a", "b", "a b", "b a"}
+	postPatterns := []string{"c", "a", "b c", "c a"}
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(10)
+		s := make(seqdb.Sequence, n)
+		for i := range s {
+			s[i] = seqdb.EventID(rng.Intn(3))
+		}
+		pre := seqdb.ParsePattern(d, prePatterns[rng.Intn(len(prePatterns))])
+		post := seqdb.ParsePattern(d, postPatterns[rng.Intn(len(postPatterns))])
+		f, err := FromRule(pre, post)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := true
+		for _, tp := range rules.TemporalPoints(s, pre) {
+			if !seqdb.Sequence(s[tp+1:]).ContainsSubsequence(post) {
+				want = false
+				break
+			}
+		}
+		if got := Holds(f, s); got != want {
+			t.Fatalf("iter %d: formula %s on %s: got %v want %v", iter, f.String(d), s.String(d), got, want)
+		}
+	}
+}
+
+func TestHoldsOnDatabase(t *testing.T) {
+	db := seqdb.NewDatabase()
+	db.AppendNames("lock", "use", "unlock")
+	db.AppendNames("lock", "use")
+	db.AppendNames("idle")
+	f, err := FromRule(seqdb.ParsePattern(db.Dict, "lock"), seqdb.ParsePattern(db.Dict, "unlock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, vio := HoldsOnDatabase(f, db)
+	// Trace 1 satisfies, trace 2 violates, trace 3 satisfies vacuously.
+	if sat != 2 || vio != 1 {
+		t.Errorf("sat=%d vio=%d want 2/1", sat, vio)
+	}
+}
+
+func TestDescribeFallback(t *testing.T) {
+	d := dictWith("a", "b")
+	f := And{Left: Atom{Event: d.Lookup("a")}, Right: Atom{Event: d.Lookup("b")}}
+	if got := Describe(f, d); got != f.String(d) {
+		t.Errorf("Describe fallback should render symbolically: %q", got)
+	}
+}
+
+func TestDecomposeRuleRejectsOtherShapes(t *testing.T) {
+	d := dictWith("a", "b")
+	a := Atom{Event: d.Lookup("a")}
+	cases := []Formula{
+		a,
+		Finally{Body: a},
+		Globally{Body: a},
+		Globally{Body: Implies{Left: a, Right: a}},
+		Globally{Body: Implies{Left: Finally{Body: a}, Right: Next{Body: Finally{Body: a}}}},
+	}
+	for i, f := range cases {
+		if _, _, ok := DecomposeRule(f); ok {
+			t.Errorf("case %d: decompose accepted non-rule formula %s", i, f.String(d))
+		}
+	}
+}

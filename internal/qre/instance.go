@@ -1,0 +1,154 @@
+package qre
+
+import (
+	"fmt"
+
+	"specmine/internal/seqdb"
+)
+
+// Instance identifies one occurrence of an iterative pattern: the sequence it
+// occurs in and the (inclusive, 0-based) start and end positions of the
+// matching substring. An instance of P in the paper is the triple
+// (seq_P, start_P, end_P); correspondence between instances (Definition 4.2)
+// is containment of spans within the same sequence.
+type Instance struct {
+	Seq   int
+	Start int
+	End   int
+}
+
+// String renders the instance compactly for diagnostics.
+func (in Instance) String() string {
+	return fmt.Sprintf("(seq=%d,%d..%d)", in.Seq, in.Start, in.End)
+}
+
+// Contains reports whether in's span contains other's span (same sequence,
+// start <= other.Start and end >= other.End). This is exactly the
+// correspondence relation of Definition 4.2 read from the super-pattern side.
+func (in Instance) Contains(other Instance) bool {
+	return in.Seq == other.Seq && in.Start <= other.Start && in.End >= other.End
+}
+
+// MatchAt attempts to match pattern p as an iterative-pattern instance
+// starting exactly at position start of s. It returns the end position and
+// true on success. The match is deterministic: from a given start there is at
+// most one instance, because each gap must be free of the pattern's alphabet,
+// so the next pattern event must be the first alphabet event encountered.
+func MatchAt(s seqdb.Sequence, p seqdb.Pattern, start int) (end int, ok bool) {
+	if len(p) == 0 || start < 0 || start >= len(s) || s[start] != p[0] {
+		return 0, false
+	}
+	alphabet := p.Alphabet()
+	pos := start
+	for k := 1; k < len(p); k++ {
+		pos++
+		for pos < len(s) {
+			if _, inAlpha := alphabet[s[pos]]; inAlpha {
+				break
+			}
+			pos++
+		}
+		if pos >= len(s) || s[pos] != p[k] {
+			return 0, false
+		}
+	}
+	return pos, true
+}
+
+// FindInstances returns every instance of p in sequence s (identified by seq
+// index seqIdx), in increasing start order. Instances may overlap but each
+// start position contributes at most one instance.
+func FindInstances(s seqdb.Sequence, p seqdb.Pattern, seqIdx int) []Instance {
+	if len(p) == 0 {
+		return nil
+	}
+	var out []Instance
+	first := p[0]
+	for i, ev := range s {
+		if ev != first {
+			continue
+		}
+		if end, ok := MatchAt(s, p, i); ok {
+			out = append(out, Instance{Seq: seqIdx, Start: i, End: end})
+		}
+	}
+	return out
+}
+
+// FindAllInstances returns every instance of p across the whole database in
+// (sequence, start) order.
+func FindAllInstances(db *seqdb.Database, p seqdb.Pattern) []Instance {
+	var out []Instance
+	for i, s := range db.Sequences {
+		out = append(out, FindInstances(s, p, i)...)
+	}
+	return out
+}
+
+// CountInstances returns the instance support of p: the total number of
+// instances across the database. It avoids materialising the instance list.
+func CountInstances(db *seqdb.Database, p seqdb.Pattern) int {
+	if len(p) == 0 {
+		return 0
+	}
+	n := 0
+	first := p[0]
+	for _, s := range db.Sequences {
+		for i, ev := range s {
+			if ev != first {
+				continue
+			}
+			if _, ok := MatchAt(s, p, i); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SequenceSupport returns the number of sequences containing at least one
+// instance of p.
+func SequenceSupport(db *seqdb.Database, p seqdb.Pattern) int {
+	if len(p) == 0 {
+		return 0
+	}
+	n := 0
+	for i, s := range db.Sequences {
+		if len(FindInstances(s, p, i)) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CorrespondsTo reports whether every instance in sub corresponds to a unique
+// instance in super, i.e. each sub-instance is contained in the span of a
+// distinct super-instance (Definition 4.2, condition 2). Both slices must be
+// sorted by (Seq, Start), which is how all finders in this package produce
+// them.
+func CorrespondsTo(sub, super []Instance) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	if len(super) < len(sub) {
+		return false
+	}
+	used := make([]bool, len(super))
+	for _, si := range sub {
+		found := false
+		for j, qi := range super {
+			if used[j] {
+				continue
+			}
+			if qi.Contains(si) {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

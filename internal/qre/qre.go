@@ -1,0 +1,112 @@
+// Package qre implements the Quantified Regular Expression semantics that
+// Definition 4.1 of the paper uses to define iterative-pattern instances.
+//
+// A QRE over events uses ';' as concatenation, '[-e1,...,ek]' as an exclusion
+// class ("any event except e1..ek") and '*' as Kleene star. The instance QRE
+// of a pattern P = p1 p2 ... pn is
+//
+//	p1 ; [-p1,...,pn]* ; p2 ; ... ; [-p1,...,pn]* ; pn
+//
+// i.e. an instance is a substring that starts with p1, ends with pn, and
+// whose gaps between consecutive pattern events contain no event of the
+// pattern's own alphabet. This captures the total-ordering and one-to-one
+// correspondence requirements inherited from MSC/LSC (Section 3.2).
+package qre
+
+import (
+	"sort"
+	"strings"
+
+	"specmine/internal/seqdb"
+)
+
+// Element is one component of a QRE: either a literal event or a starred
+// exclusion class.
+type Element struct {
+	// Literal holds the event to match when Exclusion is nil.
+	Literal seqdb.EventID
+	// Exclusion, when non-nil, makes this element a starred class matching
+	// any run (possibly empty) of events not in the set.
+	Exclusion map[seqdb.EventID]struct{}
+}
+
+// IsLiteral reports whether the element matches exactly one event.
+func (e Element) IsLiteral() bool { return e.Exclusion == nil }
+
+// Expression is a full QRE: a concatenation of elements.
+type Expression struct {
+	Elements []Element
+}
+
+// Compile builds the instance QRE of Definition 4.1 for pattern p. The
+// returned expression alternates literals with exclusion-stars over the
+// pattern's alphabet. Compiling an empty pattern yields an empty expression.
+func Compile(p seqdb.Pattern) Expression {
+	if len(p) == 0 {
+		return Expression{}
+	}
+	alphabet := p.Alphabet()
+	elems := make([]Element, 0, 2*len(p)-1)
+	for i, ev := range p {
+		if i > 0 {
+			elems = append(elems, Element{Exclusion: alphabet})
+		}
+		elems = append(elems, Element{Literal: ev})
+	}
+	return Expression{Elements: elems}
+}
+
+// String renders the expression in the paper's notation using dict for event
+// names, e.g. "lock;[-lock,unlock]*;unlock".
+func (x Expression) String(dict *seqdb.Dictionary) string {
+	var b strings.Builder
+	for i, el := range x.Elements {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		if el.IsLiteral() {
+			b.WriteString(dict.Name(el.Literal))
+			continue
+		}
+		b.WriteString("[-")
+		names := make([]string, 0, len(el.Exclusion))
+		for ev := range el.Exclusion {
+			names = append(names, dict.Name(ev))
+		}
+		sort.Strings(names)
+		b.WriteString(strings.Join(names, ","))
+		b.WriteString("]*")
+	}
+	return b.String()
+}
+
+// MatchesSubstring reports whether the substring s[start:end+1] matches the
+// expression exactly (anchored at both ends).
+func (x Expression) MatchesSubstring(s seqdb.Sequence, start, end int) bool {
+	if start < 0 || end >= len(s) || start > end {
+		return false
+	}
+	pos := start
+	for i := 0; i < len(x.Elements); i++ {
+		el := x.Elements[i]
+		if el.IsLiteral() {
+			if pos > end || s[pos] != el.Literal {
+				return false
+			}
+			pos++
+			continue
+		}
+		// Exclusion star: consume a maximal run of excluded-set-free events,
+		// but stop before the next literal's position. Because the next
+		// element is always a literal from the excluded alphabet, the star is
+		// unambiguous: it must stop at the first event that belongs to the
+		// exclusion set.
+		for pos <= end {
+			if _, excluded := el.Exclusion[s[pos]]; excluded {
+				break
+			}
+			pos++
+		}
+	}
+	return pos == end+1
+}

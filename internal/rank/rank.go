@@ -1,0 +1,150 @@
+// Package rank scores and orders mined specifications. The paper lists
+// ranking of mined patterns and rules as future work (Section 8: "It will
+// also be interesting to develop a method to rank mined patterns and rules");
+// this package provides the straightforward instantiation of that idea:
+// interestingness scores combining support, confidence, length and an
+// expectation-based surprise factor, so that users reviewing mined
+// specifications see the most informative ones first.
+package rank
+
+import (
+	"math"
+	"sort"
+
+	"specmine/internal/iterpattern"
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+)
+
+// Weights configures how the individual signals combine into one score. The
+// zero value is replaced by DefaultWeights.
+type Weights struct {
+	// Support weights the (log-scaled) instance or sequence support.
+	Support float64
+	// Confidence weights a rule's confidence (ignored for patterns).
+	Confidence float64
+	// Length weights the specification length: longer patterns and rules
+	// describe more behaviour and are usually more useful to an engineer.
+	Length float64
+	// Surprise weights the lift-style factor: how much more often the
+	// specification holds than expected if its events were independent.
+	Surprise float64
+}
+
+// DefaultWeights balances the four signals; they were chosen so that the
+// JBoss case-study specifications rank at the top of their runs.
+func DefaultWeights() Weights {
+	return Weights{Support: 1, Confidence: 2, Length: 0.5, Surprise: 1}
+}
+
+func (w Weights) orDefault() Weights {
+	if w == (Weights{}) {
+		return DefaultWeights()
+	}
+	return w
+}
+
+// ScoredPattern pairs a mined pattern with its interestingness score.
+type ScoredPattern struct {
+	Pattern iterpattern.MinedPattern
+	Score   float64
+}
+
+// ScoredRule pairs a mined rule with its interestingness score.
+type ScoredRule struct {
+	Rule  rules.Rule
+	Score float64
+}
+
+// Patterns scores and sorts mined patterns, most interesting first.
+func Patterns(db *seqdb.Database, patterns []iterpattern.MinedPattern, w Weights) []ScoredPattern {
+	w = w.orDefault()
+	freq := eventFrequencies(db)
+	total := float64(db.NumEvents())
+	out := make([]ScoredPattern, 0, len(patterns))
+	for _, p := range patterns {
+		out = append(out, ScoredPattern{Pattern: p, Score: patternScore(p, freq, total, w)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// Rules scores and sorts mined rules, most interesting first.
+func Rules(db *seqdb.Database, ruleSet []rules.Rule, w Weights) []ScoredRule {
+	w = w.orDefault()
+	freq := eventFrequencies(db)
+	total := float64(db.NumEvents())
+	out := make([]ScoredRule, 0, len(ruleSet))
+	for _, r := range ruleSet {
+		out = append(out, ScoredRule{Rule: r, Score: ruleScore(r, freq, total, w)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+func patternScore(p iterpattern.MinedPattern, freq map[seqdb.EventID]int, total float64, w Weights) float64 {
+	score := w.Support * math.Log1p(float64(p.Support))
+	score += w.Length * float64(p.Pattern.Len())
+	score += w.Surprise * surprise(p.Pattern, float64(p.Support), freq, total)
+	return score
+}
+
+func ruleScore(r rules.Rule, freq map[seqdb.EventID]int, total float64, w Weights) float64 {
+	score := w.Support * math.Log1p(float64(r.InstanceSupport))
+	score += w.Confidence * r.Confidence
+	score += w.Length * float64(r.Pre.Len()+r.Post.Len())
+	score += w.Surprise * surprise(r.Concat(), float64(r.InstanceSupport), freq, total)
+	return score
+}
+
+// surprise is a lift-style signal: the log-ratio between the observed support
+// of the specification and the support expected if its (rarest) constituent
+// events co-occurred by chance. Specifications built from individually rare
+// events that nevertheless recur together score high.
+func surprise(p seqdb.Pattern, observed float64, freq map[seqdb.EventID]int, total float64) float64 {
+	if observed <= 0 || total <= 0 || len(p) == 0 {
+		return 0
+	}
+	// Expected support approximated by the frequency of the rarest event
+	// scaled by the probability of the remaining events appearing after it.
+	rarest := math.MaxFloat64
+	prob := 1.0
+	for _, e := range p {
+		f := float64(freq[e])
+		if f < rarest {
+			rarest = f
+		}
+		prob *= f / total
+	}
+	expected := rarest * prob
+	if expected <= 0 {
+		expected = 1e-9
+	}
+	v := math.Log(observed / expected)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func eventFrequencies(db *seqdb.Database) map[seqdb.EventID]int {
+	return db.EventInstanceCount()
+}
+
+// TopPatterns is a convenience returning the n highest-scoring patterns.
+func TopPatterns(db *seqdb.Database, patterns []iterpattern.MinedPattern, w Weights, n int) []ScoredPattern {
+	scored := Patterns(db, patterns, w)
+	if n > 0 && n < len(scored) {
+		scored = scored[:n]
+	}
+	return scored
+}
+
+// TopRules is a convenience returning the n highest-scoring rules.
+func TopRules(db *seqdb.Database, ruleSet []rules.Rule, w Weights, n int) []ScoredRule {
+	scored := Rules(db, ruleSet, w)
+	if n > 0 && n < len(scored) {
+		scored = scored[:n]
+	}
+	return scored
+}

@@ -1,0 +1,102 @@
+package rank
+
+import (
+	"testing"
+
+	"specmine/internal/iterpattern"
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+)
+
+func mkdb(traces ...[]string) *seqdb.Database {
+	db := seqdb.NewDatabase()
+	for _, t := range traces {
+		db.AppendNames(t...)
+	}
+	return db
+}
+
+func TestDefaultWeights(t *testing.T) {
+	w := Weights{}.orDefault()
+	if w != DefaultWeights() {
+		t.Errorf("zero weights should become defaults")
+	}
+	custom := Weights{Support: 3}
+	if custom.orDefault() != custom {
+		t.Errorf("non-zero weights must be preserved")
+	}
+}
+
+func TestRankPatternsPrefersLongRecurringBehaviour(t *testing.T) {
+	db := mkdb(
+		[]string{"init", "configure", "start", "noise1"},
+		[]string{"init", "configure", "start", "noise2"},
+		[]string{"init", "configure", "start"},
+		[]string{"noise1", "noise2"},
+	)
+	short := iterpattern.MinedPattern{Pattern: seqdb.ParsePattern(db.Dict, "init"), Support: 3, SeqSupport: 3}
+	long := iterpattern.MinedPattern{Pattern: seqdb.ParsePattern(db.Dict, "init configure start"), Support: 3, SeqSupport: 3}
+	scored := Patterns(db, []iterpattern.MinedPattern{short, long}, Weights{})
+	if len(scored) != 2 {
+		t.Fatalf("scored=%d", len(scored))
+	}
+	if !scored[0].Pattern.Pattern.Equal(long.Pattern) {
+		t.Errorf("long recurring pattern should rank first, got %s", scored[0].Pattern.Pattern.String(db.Dict))
+	}
+	if scored[0].Score <= scored[1].Score {
+		t.Errorf("scores not ordered: %v <= %v", scored[0].Score, scored[1].Score)
+	}
+}
+
+func TestRankRulesPrefersHighConfidence(t *testing.T) {
+	db := mkdb(
+		[]string{"lock", "use", "unlock"},
+		[]string{"lock", "use", "unlock"},
+		[]string{"lock", "use"},
+		[]string{"open", "close"},
+	)
+	strong := rules.EvaluateRule(db, seqdb.ParsePattern(db.Dict, "open"), seqdb.ParsePattern(db.Dict, "close"))
+	weak := rules.EvaluateRule(db, seqdb.ParsePattern(db.Dict, "lock"), seqdb.ParsePattern(db.Dict, "unlock"))
+	if weak.Confidence >= strong.Confidence {
+		t.Fatalf("test setup wrong: weak %v strong %v", weak.Confidence, strong.Confidence)
+	}
+	scored := Rules(db, []rules.Rule{weak, strong}, Weights{Confidence: 5, Support: 0.1, Length: 0, Surprise: 0})
+	if scored[0].Rule.Confidence < scored[1].Rule.Confidence {
+		t.Errorf("high-confidence rule should rank first")
+	}
+}
+
+func TestTopNHelpers(t *testing.T) {
+	db := mkdb([]string{"a", "b"}, []string{"a", "b"})
+	pats := []iterpattern.MinedPattern{
+		{Pattern: seqdb.ParsePattern(db.Dict, "a"), Support: 2},
+		{Pattern: seqdb.ParsePattern(db.Dict, "a b"), Support: 2},
+		{Pattern: seqdb.ParsePattern(db.Dict, "b"), Support: 2},
+	}
+	if got := TopPatterns(db, pats, Weights{}, 2); len(got) != 2 {
+		t.Errorf("TopPatterns=%d want 2", len(got))
+	}
+	if got := TopPatterns(db, pats, Weights{}, 0); len(got) != 3 {
+		t.Errorf("TopPatterns(0)=%d want 3", len(got))
+	}
+	rs := []rules.Rule{
+		rules.EvaluateRule(db, seqdb.ParsePattern(db.Dict, "a"), seqdb.ParsePattern(db.Dict, "b")),
+	}
+	if got := TopRules(db, rs, Weights{}, 5); len(got) != 1 {
+		t.Errorf("TopRules=%d want 1", len(got))
+	}
+}
+
+func TestSurpriseEdgeCases(t *testing.T) {
+	db := mkdb([]string{"a", "b"})
+	freq := db.EventInstanceCount()
+	if got := surprise(nil, 3, freq, 2); got != 0 {
+		t.Errorf("empty pattern surprise %v", got)
+	}
+	if got := surprise(seqdb.ParsePattern(db.Dict, "a"), 0, freq, 2); got != 0 {
+		t.Errorf("zero support surprise %v", got)
+	}
+	if got := surprise(seqdb.ParsePattern(db.Dict, "a b"), 1, freq, 2); got < 0 {
+		t.Errorf("surprise must not be negative: %v", got)
+	}
+}

@@ -1,0 +1,375 @@
+package rules
+
+import (
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"specmine/internal/seqdb"
+)
+
+// MineFull mines every significant rule: all rules satisfying the s-support,
+// i-support and confidence thresholds, with no redundancy removal (the "Full"
+// series of Figures 2 and 3).
+func MineFull(db *seqdb.Database, opts Options) (*Result, error) {
+	return mineRules(db, opts, false)
+}
+
+// MineNonRedundant mines the non-redundant set of significant rules
+// (Definition 5.2): premise subtrees whose temporal points coincide with a
+// shorter premise are pruned early, consequents that can be extended without
+// changing any statistic are not reported on their own, and a final filter
+// removes any remaining redundancy (the "NR" series of Figures 2 and 3).
+func MineNonRedundant(db *seqdb.Database, opts Options) (*Result, error) {
+	return mineRules(db, opts, true)
+}
+
+// Mine dispatches on nonRedundant. It is a convenience for the facade and
+// CLIs.
+func Mine(db *seqdb.Database, opts Options, nonRedundant bool) (*Result, error) {
+	return mineRules(db, opts, nonRedundant)
+}
+
+func mineRules(db *seqdb.Database, opts Options, nonRedundant bool) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := &ruleMiner{
+		db:        db,
+		pos:       db.Index(),
+		opts:      opts,
+		minSeqSup: opts.absoluteSeqSupport(db.NumSequences()),
+		nr:        nonRedundant,
+	}
+	if nonRedundant {
+		m.premiseLandmarks = make(map[uint64][]premiseLandmark)
+	}
+	m.run()
+	res := &Result{
+		Rules:      m.rules,
+		Stats:      m.stats,
+		MinSeqSup:  m.minSeqSup,
+		MinInstSup: opts.MinInstanceSupport,
+		MinConf:    opts.MinConfidence,
+	}
+	if nonRedundant {
+		res.Rules = m.removeRedundant(res.Rules)
+	}
+	res.Stats.RulesEmitted = len(res.Rules)
+	res.Stats.Duration = time.Since(start)
+	res.Sort()
+	return res, nil
+}
+
+// premiseProj records, for one sequence containing the current premise, the
+// position of the premise's earliest completion (its first temporal point).
+type premiseProj struct {
+	seq      int32
+	firstEnd int32
+}
+
+// tpRecord tracks one temporal point of the premise during consequent growth:
+// cur is the position right after the earliest embedding of the current
+// consequent within the suffix that follows the temporal point.
+type tpRecord struct {
+	seq int32
+	tp  int32
+	cur int32
+}
+
+// premiseLandmark remembers a premise and its temporal-point identity for the
+// non-redundant miner's equivalence pruning.
+type premiseLandmark struct {
+	premise seqdb.Pattern
+	last    seqdb.EventID
+	proj    []premiseProj
+}
+
+type ruleMiner struct {
+	db        *seqdb.Database
+	pos       []map[seqdb.EventID][]int
+	opts      Options
+	minSeqSup int
+	nr        bool
+
+	rules            []Rule
+	stats            Stats
+	premiseLandmarks map[uint64][]premiseLandmark
+	stop             bool
+}
+
+func (m *ruleMiner) run() {
+	// Frequent single-event premises (Theorem 2 base case).
+	sup := m.db.EventSupport()
+	events := make([]seqdb.EventID, 0, len(sup))
+	for e, c := range sup {
+		if c >= m.minSeqSup {
+			events = append(events, e)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+	for _, e := range events {
+		if m.stop {
+			return
+		}
+		var proj []premiseProj
+		for si := range m.db.Sequences {
+			if ps := m.pos[si][e]; len(ps) > 0 {
+				proj = append(proj, premiseProj{seq: int32(si), firstEnd: int32(ps[0])})
+			}
+		}
+		m.growPremise(seqdb.Pattern{e}, proj)
+	}
+}
+
+// growPremise explores the premise search tree (step 1 of Section 5).
+func (m *ruleMiner) growPremise(pre seqdb.Pattern, proj []premiseProj) {
+	if m.stop {
+		return
+	}
+	m.stats.PremisesExplored++
+
+	if m.nr && m.premiseIsRedundant(pre, proj) {
+		m.stats.PremisesPrunedRedundant++
+		return
+	}
+
+	// Steps 2–4: find temporal points and mine consequents for this premise.
+	m.mineConsequents(pre, proj)
+
+	if m.opts.MaxPremiseLength > 0 && len(pre) >= m.opts.MaxPremiseLength {
+		return
+	}
+
+	// Candidate premise extensions: events occurring after the first temporal
+	// point in at least minSeqSup sequences (Theorem 2, apriori on s-support).
+	type ext struct{ proj []premiseProj }
+	counts := make(map[seqdb.EventID]*ext)
+	for _, pr := range proj {
+		s := m.db.Sequences[pr.seq]
+		seen := make(map[seqdb.EventID]bool)
+		for j := int(pr.firstEnd) + 1; j < len(s); j++ {
+			ev := s[j]
+			if seen[ev] {
+				continue
+			}
+			seen[ev] = true
+			o := counts[ev]
+			if o == nil {
+				o = &ext{}
+				counts[ev] = o
+			}
+			o.proj = append(o.proj, premiseProj{seq: pr.seq, firstEnd: int32(j)})
+		}
+	}
+	events := make([]seqdb.EventID, 0, len(counts))
+	for ev, o := range counts {
+		if len(o.proj) >= m.minSeqSup {
+			events = append(events, ev)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+	for _, ev := range events {
+		if m.stop {
+			return
+		}
+		m.growPremise(pre.Append(ev), counts[ev].proj)
+	}
+}
+
+// premiseIsRedundant consults and updates the landmark table of the
+// non-redundant miner. Two premises with the same last event and the same
+// first temporal point in every sequence have identical temporal-point sets,
+// so for any consequent the two resulting rules carry identical statistics.
+// Definition 5.2 keeps the rule with the longer (super-sequence)
+// concatenation, so when an already-explored premise is a super-sequence of
+// the current one, every rule the current premise (or any of its extensions)
+// could produce is redundant with respect to a rule grown from that longer
+// premise's subtree: the current subtree is skipped. When the current premise
+// is instead the longer one, it becomes the new landmark and the shorter
+// premise's already-emitted rules are cleaned up by the final redundancy
+// filter.
+func (m *ruleMiner) premiseIsRedundant(pre seqdb.Pattern, proj []premiseProj) bool {
+	last := pre.Last()
+	sig := premiseSignature(last, proj)
+	entries := m.premiseLandmarks[sig]
+	for i, lm := range entries {
+		if lm.last != last || !sameProj(lm.proj, proj) {
+			continue
+		}
+		if pre.IsSubsequenceOf(lm.premise) && len(pre) < len(lm.premise) {
+			return true
+		}
+		if lm.premise.IsSubsequenceOf(pre) {
+			entries[i] = premiseLandmark{premise: pre.Clone(), last: last, proj: lm.proj}
+			m.premiseLandmarks[sig] = entries
+			return false
+		}
+	}
+	m.premiseLandmarks[sig] = append(entries, premiseLandmark{
+		premise: pre.Clone(), last: last, proj: append([]premiseProj(nil), proj...),
+	})
+	return false
+}
+
+func premiseSignature(last seqdb.EventID, proj []premiseProj) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	buf[0] = byte(last)
+	buf[1] = byte(last >> 8)
+	h.Write(buf[:2])
+	for _, pr := range proj {
+		buf[0] = byte(pr.seq)
+		buf[1] = byte(pr.seq >> 8)
+		buf[2] = byte(pr.seq >> 16)
+		buf[3] = byte(pr.seq >> 24)
+		buf[4] = byte(pr.firstEnd)
+		buf[5] = byte(pr.firstEnd >> 8)
+		buf[6] = byte(pr.firstEnd >> 16)
+		buf[7] = byte(pr.firstEnd >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func sameProj(a, b []premiseProj) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mineConsequents performs steps 2–4 for one premise: it projects the
+// database at the premise's temporal points and grows consequents with
+// confidence-based pruning (Theorem 3).
+func (m *ruleMiner) mineConsequents(pre seqdb.Pattern, proj []premiseProj) {
+	seqSup := len(proj)
+	last := pre.Last()
+	var records []tpRecord
+	for _, pr := range proj {
+		for _, t := range m.pos[pr.seq][last] {
+			if int32(t) < pr.firstEnd {
+				continue
+			}
+			records = append(records, tpRecord{seq: pr.seq, tp: int32(t), cur: int32(t) + 1})
+		}
+	}
+	totalTP := len(records)
+	if totalTP == 0 {
+		return
+	}
+	m.growConsequent(pre, seqSup, totalTP, nil, records)
+}
+
+// growConsequent explores the consequent search tree for a fixed premise.
+// records holds the temporal points at which the current consequent is still
+// satisfied, together with the position reached by its earliest embedding.
+func (m *ruleMiner) growConsequent(pre seqdb.Pattern, seqSup, totalTP int, post seqdb.Pattern, records []tpRecord) {
+	if m.stop {
+		return
+	}
+	m.stats.ConsequentNodesExplored++
+
+	// Candidate consequent extensions with their surviving records.
+	counts := make(map[seqdb.EventID][]tpRecord)
+	for _, r := range records {
+		s := m.db.Sequences[r.seq]
+		seen := make(map[seqdb.EventID]bool)
+		for j := int(r.cur); j < len(s); j++ {
+			ev := s[j]
+			if seen[ev] {
+				continue
+			}
+			seen[ev] = true
+			counts[ev] = append(counts[ev], tpRecord{seq: r.seq, tp: r.tp, cur: int32(j) + 1})
+		}
+	}
+
+	minSatisfied := int(m.opts.MinConfidence*float64(totalTP) - 1e-9)
+	if float64(minSatisfied) < m.opts.MinConfidence*float64(totalTP)-1e-9 {
+		minSatisfied++
+	}
+	if minSatisfied < 1 {
+		minSatisfied = 1
+	}
+
+	if len(post) > 0 {
+		conf := float64(len(records)) / float64(totalTP)
+		iSup := m.instanceSupport(post, records)
+		emit := iSup >= m.opts.MinInstanceSupport && conf+1e-12 >= m.opts.MinConfidence
+		if emit && m.nr && (m.opts.MaxConsequentLength == 0 || len(post) < m.opts.MaxConsequentLength) {
+			// A consequent extension that keeps every statistic identical
+			// makes this rule redundant (Definition 5.2 keeps the longer
+			// consequent), so it is not reported on its own.
+			for ev, extRecords := range counts {
+				if len(extRecords) == len(records) && m.instanceSupportFor(ev, extRecords) == iSup {
+					emit = false
+					m.stats.RulesSuppressedRedundant++
+					break
+				}
+			}
+		}
+		if emit {
+			m.rules = append(m.rules, Rule{
+				Pre:             pre.Clone(),
+				Post:            post.Clone(),
+				SeqSupport:      seqSup,
+				InstanceSupport: iSup,
+				Confidence:      conf,
+			})
+			if m.opts.MaxRules > 0 && len(m.rules) >= m.opts.MaxRules {
+				m.stop = true
+				return
+			}
+		}
+	}
+
+	if m.opts.MaxConsequentLength > 0 && len(post) >= m.opts.MaxConsequentLength {
+		return
+	}
+
+	events := make([]seqdb.EventID, 0, len(counts))
+	for ev, extRecords := range counts {
+		// Theorem 3: extending the consequent can only lose satisfied temporal
+		// points, so subtrees below the confidence threshold are pruned.
+		if len(extRecords) >= minSatisfied {
+			events = append(events, ev)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+	for _, ev := range events {
+		if m.stop {
+			return
+		}
+		m.growConsequent(pre, seqSup, totalTP, post.Append(ev), counts[ev])
+	}
+}
+
+// instanceSupport computes the i-support of pre -> post from the surviving
+// temporal-point records: the number of occurrences of last(post) at or after
+// the earliest completion of pre ++ post in each sequence.
+func (m *ruleMiner) instanceSupport(post seqdb.Pattern, records []tpRecord) int {
+	return m.instanceSupportFor(post.Last(), records)
+}
+
+// instanceSupportFor is instanceSupport with the last consequent event given
+// explicitly, so it can also score candidate extensions cheaply.
+func (m *ruleMiner) instanceSupportFor(last seqdb.EventID, records []tpRecord) int {
+	iSup := 0
+	seenSeq := int32(-1)
+	for _, r := range records {
+		if r.seq == seenSeq {
+			continue // only the earliest temporal point per sequence matters
+		}
+		seenSeq = r.seq
+		completion := int(r.cur) - 1
+		iSup += seqdb.CountInRange(m.pos[r.seq][last], completion, len(m.db.Sequences[r.seq]))
+	}
+	return iSup
+}

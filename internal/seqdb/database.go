@@ -1,0 +1,171 @@
+package seqdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Database is the sequence database SeqDB of the paper: an ordered collection
+// of sequences (traces) plus the dictionary that interns their event names.
+type Database struct {
+	Dict      *Dictionary
+	Sequences []Sequence
+
+	// positions[i] caches, for sequence i, the sorted occurrence positions of
+	// every event in that sequence. It is built lazily by Index and used by
+	// the miners for O(log n) next-occurrence queries.
+	positions []map[EventID][]int
+}
+
+// NewDatabase returns an empty database with a fresh dictionary.
+func NewDatabase() *Database {
+	return &Database{Dict: NewDictionary()}
+}
+
+// NewDatabaseWithDict returns an empty database that interns names through
+// the supplied dictionary. Useful when several databases (for example a
+// training set and a verification set) must share event ids.
+func NewDatabaseWithDict(dict *Dictionary) *Database {
+	if dict == nil {
+		dict = NewDictionary()
+	}
+	return &Database{Dict: dict}
+}
+
+// Append adds a sequence of already-interned event ids to the database.
+func (db *Database) Append(s Sequence) {
+	db.Sequences = append(db.Sequences, s)
+	db.positions = nil
+}
+
+// AppendNames interns each name and appends the resulting sequence. It is
+// the main entry point for building databases from textual traces.
+func (db *Database) AppendNames(names ...string) {
+	s := make(Sequence, 0, len(names))
+	for _, n := range names {
+		s = append(s, db.Dict.Intern(n))
+	}
+	db.Append(s)
+}
+
+// NumSequences returns the number of traces in the database.
+func (db *Database) NumSequences() int { return len(db.Sequences) }
+
+// NumEvents returns the total number of events summed over all traces.
+func (db *Database) NumEvents() int {
+	n := 0
+	for _, s := range db.Sequences {
+		n += len(s)
+	}
+	return n
+}
+
+// Index builds (or rebuilds) the per-sequence occurrence-position cache and
+// returns it. Miners call Index once up front; repeated calls are cheap when
+// the database has not changed.
+func (db *Database) Index() []map[EventID][]int {
+	if db.positions != nil && len(db.positions) == len(db.Sequences) {
+		return db.positions
+	}
+	db.positions = make([]map[EventID][]int, len(db.Sequences))
+	for i, s := range db.Sequences {
+		db.positions[i] = s.EventPositions()
+	}
+	return db.positions
+}
+
+// Positions returns the cached occurrence positions for sequence i, building
+// the cache if necessary.
+func (db *Database) Positions(i int) map[EventID][]int {
+	return db.Index()[i]
+}
+
+// EventSupport returns, for every event, the number of sequences in which it
+// occurs at least once. This drives frequent-1 candidate generation.
+func (db *Database) EventSupport() map[EventID]int {
+	sup := make(map[EventID]int)
+	for _, s := range db.Sequences {
+		for e := range s.DistinctEvents() {
+			sup[e]++
+		}
+	}
+	return sup
+}
+
+// EventInstanceCount returns, for every event, its total number of
+// occurrences across all sequences (the instance support of the
+// single-event pattern <e>).
+func (db *Database) EventInstanceCount() map[EventID]int {
+	cnt := make(map[EventID]int)
+	for _, s := range db.Sequences {
+		for _, e := range s {
+			cnt[e]++
+		}
+	}
+	return cnt
+}
+
+// FrequentEvents returns the events whose sequence support is at least
+// minSeqSup, sorted by id for determinism.
+func (db *Database) FrequentEvents(minSeqSup int) []EventID {
+	sup := db.EventSupport()
+	out := make([]EventID, 0, len(sup))
+	for e, c := range sup {
+		if c >= minSeqSup {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FrequentEventsByInstances returns the events with at least minInstances
+// total occurrences, sorted by id.
+func (db *Database) FrequentEventsByInstances(minInstances int) []EventID {
+	cnt := db.EventInstanceCount()
+	out := make([]EventID, 0, len(cnt))
+	for e, c := range cnt {
+		if c >= minInstances {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the database (dictionary and sequences).
+func (db *Database) Clone() *Database {
+	c := &Database{Dict: db.Dict.Clone()}
+	c.Sequences = make([]Sequence, len(db.Sequences))
+	for i, s := range db.Sequences {
+		c.Sequences[i] = s.Clone()
+	}
+	return c
+}
+
+// Validate checks internal consistency: every event id referenced by a
+// sequence must be known to the dictionary. It returns a descriptive error
+// for the first inconsistency found.
+func (db *Database) Validate() error {
+	n := EventID(db.Dict.Size())
+	for i, s := range db.Sequences {
+		for j, e := range s {
+			if e < 0 || e >= n {
+				return fmt.Errorf("sequence %d position %d: event id %d outside dictionary (size %d)", i, j, e, n)
+			}
+		}
+	}
+	return nil
+}
+
+// AbsoluteSupport converts a relative support threshold (a fraction of the
+// number of sequences, as used on the x-axes of the paper's figures, e.g.
+// 0.0025 for 0.25%) into an absolute sequence count, never returning less
+// than 1.
+func (db *Database) AbsoluteSupport(rel float64) int {
+	n := int(rel*float64(db.NumSequences()) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+// Package seqdb provides the sequence-database substrate used by every miner
+// in this repository. A program execution trace is modelled as a Sequence of
+// Events; a set of traces (for example, one trace per test case of a test
+// suite) forms a Database.
+//
+// Events are interned: the textual name of a method invocation (for example
+// "TxManager.begin") is mapped to a small integer EventID by a Dictionary.
+// All mining algorithms operate on EventIDs; names are only materialised when
+// results are rendered for humans.
+package seqdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventID is the interned identifier of a distinct event (a method
+// invocation, system call, screen id, alarm code, ...). IDs are dense and
+// start at 0, which lets hot paths index slices by EventID.
+type EventID int32
+
+// NoEvent is returned by lookups that fail to resolve a name.
+const NoEvent EventID = -1
+
+// Dictionary interns event names to EventIDs and back. The zero value is not
+// ready to use; call NewDictionary.
+type Dictionary struct {
+	byName map[string]EventID
+	names  []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byName: make(map[string]EventID)}
+}
+
+// Intern returns the EventID for name, assigning a fresh one if the name has
+// not been seen before.
+func (d *Dictionary) Intern(name string) EventID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := EventID(len(d.names))
+	d.byName[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the EventID previously assigned to name, or NoEvent if the
+// name was never interned.
+func (d *Dictionary) Lookup(name string) EventID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	return NoEvent
+}
+
+// Name returns the textual name of id. Unknown ids render as "ev<id>" so that
+// results remain printable even when a dictionary is absent or incomplete.
+func (d *Dictionary) Name(id EventID) string {
+	if d == nil || id < 0 || int(id) >= len(d.names) {
+		return fmt.Sprintf("ev%d", int(id))
+	}
+	return d.names[id]
+}
+
+// Size returns the number of distinct interned events.
+func (d *Dictionary) Size() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.names)
+}
+
+// Names returns a copy of all interned names, indexed by EventID.
+func (d *Dictionary) Names() []string {
+	out := make([]string, len(d.names))
+	copy(out, d.names)
+	return out
+}
+
+// Clone returns an independent copy of the dictionary.
+func (d *Dictionary) Clone() *Dictionary {
+	c := NewDictionary()
+	c.names = append(c.names, d.names...)
+	for i, n := range c.names {
+		c.byName[n] = EventID(i)
+	}
+	return c
+}
+
+// SortedNames returns all interned names in lexicographic order. It is used
+// by deterministic renderers and tests.
+func (d *Dictionary) SortedNames() []string {
+	out := d.Names()
+	sort.Strings(out)
+	return out
+}

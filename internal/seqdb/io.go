@@ -1,0 +1,98 @@
+package seqdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The textual trace format is deliberately simple so that instrumented
+// programs, test harnesses and shell pipelines can produce it:
+//
+//   - one trace per line,
+//   - events separated by whitespace,
+//   - blank lines and lines starting with '#' are ignored.
+//
+// The format mirrors what an instrumentation agent (such as the JBoss-AOP
+// interceptor used in the paper's case study) would emit after flattening
+// each test-case run into a single line of method names.
+
+// ReadTraces parses the textual trace format from r into a new database.
+func ReadTraces(r io.Reader) (*Database, error) {
+	db := NewDatabase()
+	if err := ReadTracesInto(db, r); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// ReadTracesInto parses the textual trace format from r, appending to db and
+// interning through db's dictionary.
+func ReadTracesInto(db *Database, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		db.AppendNames(strings.Fields(line)...)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading traces (line %d): %w", lineNo, err)
+	}
+	return nil
+}
+
+// ReadTraceFile reads the textual trace format from the file at path.
+func ReadTraceFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := ReadTraces(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return db, nil
+}
+
+// WriteTraces writes db in the textual trace format to w.
+func WriteTraces(w io.Writer, db *Database) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range db.Sequences {
+		for i, e := range s {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(db.Dict.Name(e)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile writes db in the textual trace format to the file at path,
+// creating or truncating it.
+func WriteTraceFile(path string, db *Database) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTraces(f, db); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,441 @@
+package seqdb
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionaryInternLookup(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern("lock")
+	b := d.Intern("unlock")
+	if a == b {
+		t.Fatalf("distinct names interned to the same id %d", a)
+	}
+	if got := d.Intern("lock"); got != a {
+		t.Errorf("re-interning lock: got %d want %d", got, a)
+	}
+	if got := d.Lookup("unlock"); got != b {
+		t.Errorf("Lookup(unlock)=%d want %d", got, b)
+	}
+	if got := d.Lookup("missing"); got != NoEvent {
+		t.Errorf("Lookup(missing)=%d want NoEvent", got)
+	}
+	if got := d.Name(a); got != "lock" {
+		t.Errorf("Name(%d)=%q want lock", a, got)
+	}
+	if got := d.Name(EventID(99)); got != "ev99" {
+		t.Errorf("Name(99)=%q want ev99", got)
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size=%d want 2", d.Size())
+	}
+}
+
+func TestDictionaryClone(t *testing.T) {
+	d := NewDictionary()
+	d.Intern("a")
+	d.Intern("b")
+	c := d.Clone()
+	c.Intern("c")
+	if d.Size() != 2 || c.Size() != 3 {
+		t.Errorf("clone not independent: d=%d c=%d", d.Size(), c.Size())
+	}
+	if c.Lookup("a") != d.Lookup("a") {
+		t.Errorf("clone changed ids")
+	}
+	names := c.SortedNames()
+	if !reflect.DeepEqual(names, []string{"a", "b", "c"}) {
+		t.Errorf("SortedNames=%v", names)
+	}
+}
+
+func TestSequenceContainsSubsequence(t *testing.T) {
+	d := NewDictionary()
+	s := Sequence{d.Intern("a"), d.Intern("b"), d.Intern("c"), d.Intern("b")}
+	cases := []struct {
+		pat  string
+		want bool
+	}{
+		{"a", true},
+		{"a b", true},
+		{"a c b", true},
+		{"b b", true},
+		{"c a", false},
+		{"a b c b", true},
+		{"a b b c", false},
+		{"", true},
+	}
+	for _, c := range cases {
+		p := ParsePattern(d, c.pat)
+		if got := s.ContainsSubsequence(p); got != c.want {
+			t.Errorf("ContainsSubsequence(%q)=%v want %v", c.pat, got, c.want)
+		}
+	}
+}
+
+func TestSubsequenceEndPositions(t *testing.T) {
+	d := NewDictionary()
+	a, b := d.Intern("a"), d.Intern("b")
+	cases := []struct {
+		seq  Sequence
+		pat  Pattern
+		want []int
+	}{
+		{Sequence{a, b, a, b}, Pattern{a, b}, []int{1, 3}},
+		{Sequence{b, a, b}, Pattern{a, b}, []int{2}},
+		{Sequence{b, b}, Pattern{b, b}, []int{1}},
+		{Sequence{a, a, a}, Pattern{a}, []int{0, 1, 2}},
+		{Sequence{a, a, a}, Pattern{a, a}, []int{1, 2}},
+		{Sequence{b, b, b}, Pattern{a, b}, nil},
+		{Sequence{a, b}, Pattern{}, nil},
+	}
+	for i, c := range cases {
+		got := c.seq.SubsequenceEndPositions(c.pat)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+// bruteEndPositions recomputes temporal points by definition: every j with
+// S[j]==last(p) and p a subsequence of S[0..j].
+func bruteEndPositions(s Sequence, p Pattern) []int {
+	if len(p) == 0 {
+		return nil
+	}
+	var out []int
+	for j := range s {
+		if s[j] != p[len(p)-1] {
+			continue
+		}
+		prefix := s[:j+1]
+		// p must embed with its last event exactly at j.
+		if len(p) == 1 {
+			out = append(out, j)
+			continue
+		}
+		if Sequence(prefix[:j]).ContainsSubsequence(p[:len(p)-1]) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func TestSubsequenceEndPositionsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		n := 1 + rng.Intn(30)
+		s := make(Sequence, n)
+		for i := range s {
+			s[i] = EventID(rng.Intn(4))
+		}
+		m := 1 + rng.Intn(3)
+		p := make(Pattern, m)
+		for i := range p {
+			p[i] = EventID(rng.Intn(4))
+		}
+		got := s.SubsequenceEndPositions(p)
+		want := bruteEndPositions(s, p)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextOccurrenceAndCountInRange(t *testing.T) {
+	pos := []int{2, 5, 9, 14}
+	if got := NextOccurrence(pos, 0); got != 2 {
+		t.Errorf("NextOccurrence(...,0)=%d want 2", got)
+	}
+	if got := NextOccurrence(pos, 5); got != 5 {
+		t.Errorf("NextOccurrence(...,5)=%d want 5", got)
+	}
+	if got := NextOccurrence(pos, 6); got != 9 {
+		t.Errorf("NextOccurrence(...,6)=%d want 9", got)
+	}
+	if got := NextOccurrence(pos, 15); got != -1 {
+		t.Errorf("NextOccurrence(...,15)=%d want -1", got)
+	}
+	if got := CountInRange(pos, 3, 10); got != 2 {
+		t.Errorf("CountInRange(3,10)=%d want 2", got)
+	}
+	if got := CountInRange(pos, 0, 100); got != 4 {
+		t.Errorf("CountInRange(0,100)=%d want 4", got)
+	}
+	if got := CountInRange(pos, 10, 3); got != 0 {
+		t.Errorf("CountInRange(10,3)=%d want 0", got)
+	}
+}
+
+func TestPatternOperations(t *testing.T) {
+	d := NewDictionary()
+	p := ParsePattern(d, "a b c")
+	if p.Len() != 3 || d.Name(p.First()) != "a" || d.Name(p.Last()) != "c" {
+		t.Fatalf("ParsePattern basic properties broken: %v", p.String(d))
+	}
+	q := p.Append(d.Intern("d"))
+	if q.String(d) != "<a, b, c, d>" {
+		t.Errorf("Append: %s", q.String(d))
+	}
+	if p.Len() != 3 {
+		t.Errorf("Append mutated receiver")
+	}
+	r := p.Prepend(d.Intern("x"))
+	if r.String(d) != "<x, a, b, c>" {
+		t.Errorf("Prepend: %s", r.String(d))
+	}
+	ins := p.InsertAt(1, d.Intern("y"))
+	if ins.String(d) != "<a, y, b, c>" {
+		t.Errorf("InsertAt: %s", ins.String(d))
+	}
+	rem := ins.RemoveAt(1)
+	if !rem.Equal(p) {
+		t.Errorf("RemoveAt: %s", rem.String(d))
+	}
+	cc := p.Concat(q)
+	if cc.Len() != 7 {
+		t.Errorf("Concat length %d", cc.Len())
+	}
+	if !p.IsSubsequenceOf(q) || q.IsSubsequenceOf(p) {
+		t.Errorf("IsSubsequenceOf wrong")
+	}
+	if !p.IsSubsequenceOf(p) {
+		t.Errorf("pattern must be subsequence of itself")
+	}
+	if !p.Contains(d.Lookup("b")) || p.Contains(d.Intern("zzz")) {
+		t.Errorf("Contains wrong")
+	}
+	if len(p.Alphabet()) != 3 {
+		t.Errorf("Alphabet size %d", len(p.Alphabet()))
+	}
+	if p.Key() == q.Key() {
+		t.Errorf("distinct patterns share Key")
+	}
+	if ComparePatterns(p, q) >= 0 || ComparePatterns(q, p) <= 0 || ComparePatterns(p, p.Clone()) != 0 {
+		t.Errorf("ComparePatterns ordering wrong")
+	}
+}
+
+func TestPatternSubsequenceQuick(t *testing.T) {
+	// IsSubsequenceOf must agree with an independent recursive definition.
+	var recur func(p, q Pattern) bool
+	recur = func(p, q Pattern) bool {
+		if len(p) == 0 {
+			return true
+		}
+		if len(q) == 0 {
+			return false
+		}
+		if p[0] == q[0] && recur(p[1:], q[1:]) {
+			return true
+		}
+		return recur(p, q[1:])
+	}
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		p := make(Pattern, rng.Intn(5))
+		q := make(Pattern, rng.Intn(8))
+		for i := range p {
+			p[i] = EventID(rng.Intn(3))
+		}
+		for i := range q {
+			q[i] = EventID(rng.Intn(3))
+		}
+		return p.IsSubsequenceOf(q) == recur(p, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase()
+	db.AppendNames("lock", "use", "unlock")
+	db.AppendNames("lock", "unlock", "lock", "unlock")
+	db.AppendNames("open", "read", "close")
+	if db.NumSequences() != 3 {
+		t.Fatalf("NumSequences=%d", db.NumSequences())
+	}
+	if db.NumEvents() != 10 {
+		t.Fatalf("NumEvents=%d", db.NumEvents())
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	sup := db.EventSupport()
+	if sup[db.Dict.Lookup("lock")] != 2 {
+		t.Errorf("sequence support of lock = %d want 2", sup[db.Dict.Lookup("lock")])
+	}
+	cnt := db.EventInstanceCount()
+	if cnt[db.Dict.Lookup("lock")] != 3 {
+		t.Errorf("instance count of lock = %d want 3", cnt[db.Dict.Lookup("lock")])
+	}
+	freq := db.FrequentEvents(2)
+	if len(freq) != 2 { // lock and unlock appear in 2 sequences
+		t.Errorf("FrequentEvents(2)=%v", freq)
+	}
+	freqI := db.FrequentEventsByInstances(3)
+	if len(freqI) != 2 {
+		t.Errorf("FrequentEventsByInstances(3)=%v", freqI)
+	}
+	if got := db.AbsoluteSupport(0.5); got != 2 {
+		t.Errorf("AbsoluteSupport(0.5)=%d want 2", got)
+	}
+	if got := db.AbsoluteSupport(0.0001); got != 1 {
+		t.Errorf("AbsoluteSupport(tiny)=%d want 1", got)
+	}
+}
+
+func TestDatabaseValidateFailure(t *testing.T) {
+	db := NewDatabase()
+	db.Append(Sequence{EventID(5)})
+	if err := db.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range event id")
+	}
+}
+
+func TestDatabaseIndexAndClone(t *testing.T) {
+	db := NewDatabase()
+	db.AppendNames("a", "b", "a")
+	idx := db.Index()
+	a := db.Dict.Lookup("a")
+	if !reflect.DeepEqual(idx[0][a], []int{0, 2}) {
+		t.Errorf("index positions for a: %v", idx[0][a])
+	}
+	c := db.Clone()
+	c.AppendNames("c")
+	if db.NumSequences() != 1 || c.NumSequences() != 2 {
+		t.Errorf("clone not independent")
+	}
+	// Appending invalidates and rebuilds the cache.
+	db.AppendNames("a")
+	idx2 := db.Index()
+	if len(idx2) != 2 {
+		t.Errorf("index not rebuilt after append: %d", len(idx2))
+	}
+}
+
+func TestReadWriteTraces(t *testing.T) {
+	input := "# comment line\nlock use unlock\n\nopen read  close\n"
+	db, err := ReadTraces(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumSequences() != 2 {
+		t.Fatalf("NumSequences=%d want 2", db.NumSequences())
+	}
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	want := "lock use unlock\nopen read close\n"
+	if buf.String() != want {
+		t.Errorf("round trip: got %q want %q", buf.String(), want)
+	}
+	// Re-reading the written form yields an identical database.
+	db2, err := ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.NumSequences() != db.NumSequences() || db2.NumEvents() != db.NumEvents() {
+		t.Errorf("re-read mismatch")
+	}
+}
+
+func TestReadWriteTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/traces.txt"
+	db := NewDatabase()
+	db.AppendNames("x", "y")
+	db.AppendNames("z")
+	if err := WriteTraceFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSequences() != 2 || got.NumEvents() != 3 {
+		t.Errorf("file round trip mismatch: %d sequences %d events", got.NumSequences(), got.NumEvents())
+	}
+	if _, err := ReadTraceFile(dir + "/missing.txt"); err == nil {
+		t.Errorf("expected error for missing file")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	db := NewDatabase()
+	db.AppendNames("a", "b")
+	db.AppendNames("a", "b", "c", "d")
+	db.AppendNames("a")
+	st := ComputeStats(db)
+	if st.NumSequences != 3 || st.NumEvents != 7 || st.DistinctEvents != 4 {
+		t.Errorf("stats counts wrong: %+v", st)
+	}
+	if st.MinLength != 1 || st.MaxLength != 4 {
+		t.Errorf("stats lengths wrong: %+v", st)
+	}
+	if st.MedianLength != 2 {
+		t.Errorf("median %v want 2", st.MedianLength)
+	}
+	if st.String() == "" {
+		t.Errorf("empty String()")
+	}
+	empty := ComputeStats(NewDatabase())
+	if empty.NumSequences != 0 || empty.NumEvents != 0 {
+		t.Errorf("empty stats wrong: %+v", empty)
+	}
+}
+
+func TestLengthHistogramAndTopEvents(t *testing.T) {
+	db := NewDatabase()
+	db.AppendNames("a", "a", "b")
+	db.AppendNames("a", "c")
+	h := LengthHistogram(db, 2)
+	if h[2] != 2 {
+		t.Errorf("histogram %v", h)
+	}
+	h1 := LengthHistogram(db, 0) // bucket width coerced to 1
+	if h1[3] != 1 || h1[2] != 1 {
+		t.Errorf("histogram width-1 %v", h1)
+	}
+	top := TopEvents(db, 1)
+	if len(top) != 1 || db.Dict.Name(top[0].Event) != "a" || top[0].Count != 3 {
+		t.Errorf("TopEvents=%v", top)
+	}
+	all := TopEvents(db, -1)
+	if len(all) != 3 {
+		t.Errorf("TopEvents(-1) length %d", len(all))
+	}
+}
+
+func TestSequenceStringAndClone(t *testing.T) {
+	d := NewDictionary()
+	s := Sequence{d.Intern("a"), d.Intern("b")}
+	if s.String(d) != "<a, b>" {
+		t.Errorf("String=%q", s.String(d))
+	}
+	c := s.Clone()
+	c[0] = d.Intern("z")
+	if s[0] == c[0] {
+		t.Errorf("Clone not independent")
+	}
+}
+
+func TestParsePatternEmpty(t *testing.T) {
+	d := NewDictionary()
+	p := ParsePattern(d, "   ")
+	if p.Len() != 0 {
+		t.Errorf("empty spec should give empty pattern, got %v", p)
+	}
+	p2 := PatternOf(EventID(1), EventID(2))
+	if p2.Len() != 2 {
+		t.Errorf("PatternOf length %d", p2.Len())
+	}
+}

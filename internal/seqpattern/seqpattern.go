@@ -1,0 +1,205 @@
+// Package seqpattern implements classic sequential pattern mining over a
+// sequence database: patterns supported by the number of sequences that
+// contain them as subsequences (Agrawal & Srikant; mined here with
+// PrefixSpan-style prefix-projected pattern growth).
+//
+// The repository uses it in two roles: as the comparator that Section 2 of
+// the paper contrasts iterative patterns against, and as the premise
+// generator of the recurrent rule miner (a rule premise is "frequent" when
+// enough sequences contain it as a subsequence — Theorem 2).
+package seqpattern
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"specmine/internal/seqdb"
+)
+
+// Options configures sequential pattern mining.
+type Options struct {
+	// MinSeqSupport is the absolute minimum number of sequences that must
+	// contain a pattern.
+	MinSeqSupport int
+	// MinSupportRel, when positive, overrides MinSeqSupport with
+	// ceil(rel * number of sequences).
+	MinSupportRel float64
+	// MaxPatternLength bounds pattern length; 0 means unlimited.
+	MaxPatternLength int
+	// ClosedOnly keeps only closed sequential patterns: patterns with no
+	// super-sequence of equal sequence support.
+	ClosedOnly bool
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if o.MinSeqSupport < 1 && o.MinSupportRel <= 0 {
+		return errors.New("seqpattern: MinSeqSupport must be >= 1 or MinSupportRel > 0")
+	}
+	if o.MaxPatternLength < 0 {
+		return errors.New("seqpattern: MaxPatternLength must be >= 0")
+	}
+	return nil
+}
+
+func (o Options) absoluteSupport(numSequences int) int {
+	if o.MinSupportRel > 0 {
+		n := int(o.MinSupportRel*float64(numSequences) + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return o.MinSeqSupport
+}
+
+// MinedPattern is a sequential pattern with its sequence support.
+type MinedPattern struct {
+	Pattern    seqdb.Pattern
+	SeqSupport int
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Patterns   []MinedPattern
+	MinSupport int
+	Duration   time.Duration
+}
+
+// Sort orders patterns by decreasing support then content for deterministic
+// output.
+func (r *Result) Sort() {
+	sort.Slice(r.Patterns, func(i, j int) bool {
+		a, b := r.Patterns[i], r.Patterns[j]
+		if a.SeqSupport != b.SeqSupport {
+			return a.SeqSupport > b.SeqSupport
+		}
+		return seqdb.ComparePatterns(a.Pattern, b.Pattern) < 0
+	})
+}
+
+// Mine returns the frequent sequential patterns of db under opts.
+func Mine(db *seqdb.Database, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := &miner{
+		db:     db,
+		opts:   opts,
+		minSup: opts.absoluteSupport(db.NumSequences()),
+	}
+	m.run()
+	res := &Result{Patterns: m.out, MinSupport: m.minSup}
+	if opts.ClosedOnly {
+		res.Patterns = filterClosed(res.Patterns)
+	}
+	res.Duration = time.Since(start)
+	res.Sort()
+	return res, nil
+}
+
+// projection records, per sequence that still matches the current prefix, the
+// position right after the last matched event (the classic PrefixSpan
+// pseudo-projection).
+type projection struct {
+	seq  int
+	next int
+}
+
+type miner struct {
+	db     *seqdb.Database
+	opts   Options
+	minSup int
+	out    []MinedPattern
+}
+
+func (m *miner) run() {
+	// Initial projection: every sequence from position 0.
+	initial := make([]projection, 0, m.db.NumSequences())
+	for i := range m.db.Sequences {
+		initial = append(initial, projection{seq: i, next: 0})
+	}
+	m.grow(nil, initial)
+}
+
+// grow extends the current prefix pattern using the projected database proj.
+func (m *miner) grow(prefix seqdb.Pattern, proj []projection) {
+	if m.opts.MaxPatternLength > 0 && len(prefix) >= m.opts.MaxPatternLength {
+		return
+	}
+	// Count, for every event, the sequences whose projected suffix contains
+	// it, remembering the first occurrence to build the next projection.
+	type occ struct {
+		proj []projection
+	}
+	counts := make(map[seqdb.EventID]*occ)
+	for _, pr := range proj {
+		s := m.db.Sequences[pr.seq]
+		seen := make(map[seqdb.EventID]bool)
+		for j := pr.next; j < len(s); j++ {
+			ev := s[j]
+			if seen[ev] {
+				continue
+			}
+			seen[ev] = true
+			o := counts[ev]
+			if o == nil {
+				o = &occ{}
+				counts[ev] = o
+			}
+			o.proj = append(o.proj, projection{seq: pr.seq, next: j + 1})
+		}
+	}
+	events := make([]seqdb.EventID, 0, len(counts))
+	for ev, o := range counts {
+		if len(o.proj) >= m.minSup {
+			events = append(events, ev)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+	for _, ev := range events {
+		o := counts[ev]
+		p := prefix.Append(ev)
+		m.out = append(m.out, MinedPattern{Pattern: p, SeqSupport: len(o.proj)})
+		m.grow(p, o.proj)
+	}
+}
+
+// filterClosed removes patterns that have a super-sequence with equal
+// sequence support among the mined set.
+func filterClosed(patterns []MinedPattern) []MinedPattern {
+	// Group by support so only equal-support patterns are compared.
+	bySupport := make(map[int][]MinedPattern)
+	for _, p := range patterns {
+		bySupport[p.SeqSupport] = append(bySupport[p.SeqSupport], p)
+	}
+	keep := patterns[:0]
+	for _, p := range patterns {
+		closed := true
+		for _, q := range bySupport[p.SeqSupport] {
+			if len(q.Pattern) > len(p.Pattern) && p.Pattern.IsSubsequenceOf(q.Pattern) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			keep = append(keep, p)
+		}
+	}
+	return keep
+}
+
+// SeqSupport recounts the sequence support of p directly, independent of the
+// miner. It is used by tests and by callers that need to evaluate arbitrary
+// patterns.
+func SeqSupport(db *seqdb.Database, p seqdb.Pattern) int {
+	n := 0
+	for _, s := range db.Sequences {
+		if s.ContainsSubsequence(p) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+package seqpattern
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"specmine/internal/seqdb"
+)
+
+func mkdb(traces ...[]string) *seqdb.Database {
+	db := seqdb.NewDatabase()
+	for _, t := range traces {
+		db.AppendNames(t...)
+	}
+	return db
+}
+
+func supports(res *Result, dict *seqdb.Dictionary) map[string]int {
+	out := make(map[string]int)
+	for _, p := range res.Patterns {
+		out[p.Pattern.String(dict)] = p.SeqSupport
+	}
+	return out
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err == nil {
+		t.Errorf("zero options accepted")
+	}
+	if err := (Options{MinSeqSupport: 1}).Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	if err := (Options{MinSeqSupport: 1, MaxPatternLength: -2}).Validate(); err == nil {
+		t.Errorf("negative MaxPatternLength accepted")
+	}
+	if _, err := Mine(seqdb.NewDatabase(), Options{}); err == nil {
+		t.Errorf("Mine must reject invalid options")
+	}
+	if got := (Options{MinSupportRel: 0.25}).absoluteSupport(8); got != 2 {
+		t.Errorf("absoluteSupport=%d want 2", got)
+	}
+}
+
+func TestMineClassicExample(t *testing.T) {
+	db := mkdb(
+		[]string{"a", "b", "c"},
+		[]string{"a", "c"},
+		[]string{"b", "c"},
+		[]string{"a", "b"},
+	)
+	res, err := Mine(db, Options{MinSeqSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := supports(res, db.Dict)
+	want := map[string]int{
+		"<a>":    3,
+		"<b>":    3,
+		"<c>":    3,
+		"<a, b>": 2,
+		"<a, c>": 2,
+		"<b, c>": 2,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s: support %d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestMineCountsSequencesNotOccurrences(t *testing.T) {
+	// A pattern repeated many times inside a single trace counts once:
+	// sequence support differs from the instance support of iterative mining.
+	db := mkdb(
+		[]string{"lock", "unlock", "lock", "unlock", "lock", "unlock"},
+		[]string{"idle"},
+	)
+	res, err := Mine(db, Options{MinSeqSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := supports(res, db.Dict)
+	if got["<lock, unlock>"] != 1 {
+		t.Errorf("<lock, unlock> seq support = %d want 1", got["<lock, unlock>"])
+	}
+	if got["<lock, unlock, lock, unlock, lock, unlock>"] != 1 {
+		t.Errorf("long repetition should still be found with support 1: %v", got)
+	}
+}
+
+func TestMaxPatternLength(t *testing.T) {
+	db := mkdb([]string{"a", "b", "c", "d"}, []string{"a", "b", "c", "d"})
+	res, err := Mine(db, Options{MinSeqSupport: 2, MaxPatternLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		if p.Pattern.Len() > 2 {
+			t.Errorf("pattern %s exceeds length bound", p.Pattern.String(db.Dict))
+		}
+	}
+}
+
+func TestClosedOnly(t *testing.T) {
+	db := mkdb(
+		[]string{"a", "b", "c"},
+		[]string{"a", "b", "c"},
+		[]string{"a", "b"},
+	)
+	res, err := Mine(db, Options{MinSeqSupport: 2, ClosedOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := supports(res, db.Dict)
+	// <a,b> support 3 is closed; <a,b,c> support 2 is closed; <a> (3), <b>
+	// (3) are absorbed by <a,b>; <c>, <a,c>, <b,c> (2) are absorbed by <a,b,c>.
+	want := map[string]int{"<a, b>": 3, "<a, b, c>": 2}
+	if len(got) != len(want) {
+		t.Fatalf("closed set %v want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s support %d want %d", k, got[k], v)
+		}
+	}
+}
+
+// bruteMine enumerates frequent sequential patterns by recursive candidate
+// generation with direct support counting.
+func bruteMine(db *seqdb.Database, minSup, maxLen int) map[string]int {
+	events := db.FrequentEvents(minSup)
+	out := make(map[string]int)
+	var grow func(p seqdb.Pattern)
+	grow = func(p seqdb.Pattern) {
+		sup := SeqSupport(db, p)
+		if sup < minSup {
+			return
+		}
+		out[p.Key()] = sup
+		if maxLen > 0 && len(p) >= maxLen {
+			return
+		}
+		for _, e := range events {
+			grow(p.Append(e))
+		}
+	}
+	for _, e := range events {
+		grow(seqdb.Pattern{e})
+	}
+	return out
+}
+
+func TestMineAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 25; iter++ {
+		db := seqdb.NewDatabase()
+		for i := 0; i < 4; i++ {
+			n := 1 + rng.Intn(7)
+			names := make([]string, n)
+			for j := range names {
+				names[j] = string(rune('a' + rng.Intn(3)))
+			}
+			db.AppendNames(names...)
+		}
+		minSup := 2
+		res, err := Mine(db, Options{MinSeqSupport: minSup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteMine(db, minSup, 0)
+		if len(res.Patterns) != len(want) {
+			t.Fatalf("iter %d: miner %d patterns, brute force %d", iter, len(res.Patterns), len(want))
+		}
+		for _, p := range res.Patterns {
+			if want[p.Pattern.Key()] != p.SeqSupport {
+				t.Fatalf("iter %d: support mismatch for %s: %d vs %d", iter, p.Pattern.String(db.Dict), p.SeqSupport, want[p.Pattern.Key()])
+			}
+		}
+	}
+}
+
+func TestClosedOnlyProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for iter := 0; iter < 15; iter++ {
+		db := seqdb.NewDatabase()
+		for i := 0; i < 5; i++ {
+			n := 1 + rng.Intn(6)
+			names := make([]string, n)
+			for j := range names {
+				names[j] = string(rune('a' + rng.Intn(3)))
+			}
+			db.AppendNames(names...)
+		}
+		full, err := Mine(db, Options{MinSeqSupport: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed, err := Mine(db, Options{MinSeqSupport: 2, ClosedOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(closed.Patterns) > len(full.Patterns) {
+			t.Fatalf("closed larger than full")
+		}
+		// Every full pattern must have a closed super-pattern (or itself) with
+		// the same support.
+		for _, fp := range full.Patterns {
+			found := false
+			for _, cp := range closed.Patterns {
+				if cp.SeqSupport == fp.SeqSupport && fp.Pattern.IsSubsequenceOf(cp.Pattern) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("iter %d: pattern %s (sup %d) not covered by closed set", iter, fp.Pattern.String(db.Dict), fp.SeqSupport)
+			}
+		}
+	}
+}
+
+func TestResultSortDeterministic(t *testing.T) {
+	db := mkdb([]string{"b", "a"}, []string{"a", "b"})
+	res, err := Mine(db, Options{MinSeqSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(res.Patterns, func(i, j int) bool {
+		a, b := res.Patterns[i], res.Patterns[j]
+		if a.SeqSupport != b.SeqSupport {
+			return a.SeqSupport > b.SeqSupport
+		}
+		return seqdb.ComparePatterns(a.Pattern, b.Pattern) < 0
+	}) {
+		t.Errorf("result not sorted")
+	}
+}

@@ -1,0 +1,268 @@
+// Package synth generates synthetic sequence databases in the style of the
+// IBM Quest data generator that the paper's performance study uses
+// ("Synthetic data generator provided by IBM was used with modification to
+// ensure generation of sequences of events", Section 6).
+//
+// The generator is parameterised the same way as the paper's dataset names:
+// D (number of sequences, in thousands), C (average number of events per
+// sequence), N (number of distinct events, in thousands) and S (average
+// number of events in the maximal seed sequences). The paper's experiments
+// run on D5C20N10S20.
+//
+// Generation follows the Quest recipe: a pool of weighted "maximal" seed
+// patterns is drawn first; each database sequence is then assembled by
+// embedding corrupted copies of seed patterns (events dropped with a small
+// probability) interleaved with uniform noise events, until the target length
+// is reached. The result is a database in which long patterns recur both
+// across and within sequences — exactly the regime in which the closed /
+// non-redundant miners pay off.
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"regexp"
+	"strconv"
+
+	"specmine/internal/seqdb"
+)
+
+// Config parameterises the generator.
+type Config struct {
+	// NumSequences is the number of sequences to generate (the paper's D
+	// parameter times 1000).
+	NumSequences int
+	// AvgSequenceLength is the average number of events per sequence (C).
+	AvgSequenceLength int
+	// NumEvents is the number of distinct events (N times 1000).
+	NumEvents int
+	// AvgPatternLength is the average length of the maximal seed patterns (S).
+	AvgPatternLength int
+	// NumSeedPatterns is the size of the seed-pattern pool. The Quest
+	// generator calls these "maximal sequences"; the default is 100.
+	NumSeedPatterns int
+	// CorruptionLevel is the probability that an event of a seed pattern is
+	// dropped when the pattern is embedded into a sequence. Default 0.25.
+	CorruptionLevel float64
+	// NoiseRate is the probability, per emitted event, of inserting a uniform
+	// random event instead of continuing the current seed pattern.
+	// Default 0.1.
+	NoiseRate float64
+	// Seed drives the deterministic pseudo-random stream.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumSequences < 1 {
+		return errors.New("synth: NumSequences must be >= 1")
+	}
+	if c.AvgSequenceLength < 1 {
+		return errors.New("synth: AvgSequenceLength must be >= 1")
+	}
+	if c.NumEvents < 1 {
+		return errors.New("synth: NumEvents must be >= 1")
+	}
+	if c.AvgPatternLength < 1 {
+		return errors.New("synth: AvgPatternLength must be >= 1")
+	}
+	if c.CorruptionLevel < 0 || c.CorruptionLevel >= 1 {
+		return errors.New("synth: CorruptionLevel must be in [0, 1)")
+	}
+	if c.NoiseRate < 0 || c.NoiseRate >= 1 {
+		return errors.New("synth: NoiseRate must be in [0, 1)")
+	}
+	if c.NumSeedPatterns < 0 {
+		return errors.New("synth: NumSeedPatterns must be >= 0")
+	}
+	return nil
+}
+
+// withDefaults fills in the optional knobs.
+func (c Config) withDefaults() Config {
+	if c.NumSeedPatterns == 0 {
+		c.NumSeedPatterns = 100
+	}
+	if c.CorruptionLevel == 0 {
+		c.CorruptionLevel = 0.25
+	}
+	if c.NoiseRate == 0 {
+		c.NoiseRate = 0.1
+	}
+	return c
+}
+
+// Name renders the configuration in the paper's DxCxNxSx naming convention
+// (D and N in thousands).
+func (c Config) Name() string {
+	return fmt.Sprintf("D%gC%dN%gS%d",
+		float64(c.NumSequences)/1000, c.AvgSequenceLength,
+		float64(c.NumEvents)/1000, c.AvgPatternLength)
+}
+
+var specRe = regexp.MustCompile(`^D([0-9.]+)C([0-9]+)N([0-9.]+)S([0-9]+)$`)
+
+// ParseSpec parses the paper's dataset naming convention, e.g.
+// "D5C20N10S20" -> 5000 sequences, average length 20, 10000 events, seed
+// pattern length 20.
+func ParseSpec(spec string) (Config, error) {
+	m := specRe.FindStringSubmatch(spec)
+	if m == nil {
+		return Config{}, fmt.Errorf("synth: cannot parse dataset spec %q (want DxCxNxSx)", spec)
+	}
+	d, err1 := strconv.ParseFloat(m[1], 64)
+	cAvg, err2 := strconv.Atoi(m[2])
+	n, err3 := strconv.ParseFloat(m[3], 64)
+	s, err4 := strconv.Atoi(m[4])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return Config{}, fmt.Errorf("synth: cannot parse dataset spec %q", spec)
+	}
+	cfg := Config{
+		NumSequences:      int(d * 1000),
+		AvgSequenceLength: cAvg,
+		NumEvents:         int(n * 1000),
+		AvgPatternLength:  s,
+	}
+	return cfg, cfg.Validate()
+}
+
+// Generate produces the database described by the configuration. The same
+// configuration and seed always produce the same database.
+func Generate(cfg Config) (*seqdb.Database, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	db := seqdb.NewDatabase()
+	for i := 0; i < cfg.NumEvents; i++ {
+		db.Dict.Intern(fmt.Sprintf("e%d", i))
+	}
+
+	seeds := makeSeedPatterns(cfg, rng)
+	weights := makeWeights(len(seeds), rng)
+
+	for i := 0; i < cfg.NumSequences; i++ {
+		target := poisson(rng, float64(cfg.AvgSequenceLength))
+		if target < 1 {
+			target = 1
+		}
+		seq := make(seqdb.Sequence, 0, target)
+		for len(seq) < target {
+			if len(seeds) == 0 || rng.Float64() < cfg.NoiseRate {
+				seq = append(seq, seqdb.EventID(rng.Intn(cfg.NumEvents)))
+				continue
+			}
+			seed := seeds[pickWeighted(rng, weights)]
+			for _, ev := range seed {
+				if rng.Float64() < cfg.CorruptionLevel {
+					continue // corrupted: event dropped from this embedding
+				}
+				if rng.Float64() < cfg.NoiseRate {
+					seq = append(seq, seqdb.EventID(rng.Intn(cfg.NumEvents)))
+				}
+				seq = append(seq, ev)
+				if len(seq) >= target {
+					break
+				}
+			}
+		}
+		db.Append(seq)
+	}
+	return db, nil
+}
+
+// MustGenerate is Generate for callers with static configurations (examples,
+// benchmarks); it panics on configuration errors.
+func MustGenerate(cfg Config) *seqdb.Database {
+	db, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// makeSeedPatterns draws the pool of maximal seed patterns. Pattern lengths
+// follow a Poisson distribution around S (minimum 2); events are drawn from a
+// skewed (quadratic) distribution so that a subset of the alphabet is hot,
+// mirroring the locality of real method-call traces.
+func makeSeedPatterns(cfg Config, rng *rand.Rand) []seqdb.Pattern {
+	seeds := make([]seqdb.Pattern, 0, cfg.NumSeedPatterns)
+	for i := 0; i < cfg.NumSeedPatterns; i++ {
+		length := poisson(rng, float64(cfg.AvgPatternLength))
+		if length < 2 {
+			length = 2
+		}
+		p := make(seqdb.Pattern, length)
+		for j := range p {
+			p[j] = skewedEvent(rng, cfg.NumEvents)
+		}
+		seeds = append(seeds, p)
+	}
+	return seeds
+}
+
+// skewedEvent picks an event id with a quadratically decaying distribution:
+// low ids are much more likely than high ids.
+func skewedEvent(rng *rand.Rand, n int) seqdb.EventID {
+	f := rng.Float64()
+	return seqdb.EventID(int(f * f * float64(n)))
+}
+
+// makeWeights draws exponential weights normalised to sum to 1, mirroring the
+// Quest generator's pattern-frequency distribution.
+func makeWeights(n int, rng *rand.Rand) []float64 {
+	if n == 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = rng.ExpFloat64()
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+func pickWeighted(rng *rand.Rand, weights []float64) int {
+	f := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if f <= acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// poisson draws from a Poisson distribution with the given mean using Knuth's
+// method for small means and a normal approximation for large ones.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := int(rng.NormFloat64()*math.Sqrt(mean) + mean + 0.5)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		k++
+		p *= rng.Float64()
+		if p <= l {
+			return k - 1
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package tracesim
+
+// This file defines the predefined workloads that stand in for the paper's
+// JBoss Application Server case studies (Section 7): the transaction
+// component whose longest mined iterative pattern is Figure 4, the security
+// component whose flagship mined recurrent rule is Figure 5, and a small
+// resource-locking component used by the quickstart and verification
+// examples.
+
+// transactionScenario is the complete transaction lifecycle of Figure 4,
+// read top to bottom, left to right: connection set-up, transaction manager
+// set-up, transaction set-up, transaction commit and transaction dispose.
+var transactionScenario = []string{
+	// Connection Set Up
+	"TransactionManagerLocator.getInstance",
+	"TransactionManagerLocator.locate",
+	"TransactionManagerLocator.tryJNDI",
+	"TransactionManagerLocator.usePrivateAPI",
+	// Tx Manager Set Up
+	"TxManager.begin",
+	"XidFactory.newXid",
+	"XidFactory.getNextId",
+	"XidImpl.getTrulyGlobalId",
+	// Transaction Set Up
+	"TransactionImpl.associateCurrentThread",
+	"TransactionImpl.getLocalId",
+	"XidImpl.getLocalId",
+	"LocalId.hashCode",
+	"TransactionImpl.equals",
+	"TransactionImpl.getLocalIdValue",
+	"XidImpl.getLocalIdValue",
+	"TransactionImpl.getLocalIdValue",
+	"XidImpl.getLocalIdValue",
+	// Transaction Commit
+	"TxManager.commit",
+	"TransactionImpl.commit",
+	"TransactionImpl.beforePrepare",
+	"TransactionImpl.checkIntegrity",
+	"TransactionImpl.checkBeforeStatus",
+	"TransactionImpl.endResources",
+	"TransactionImpl.completeTransaction",
+	"TransactionImpl.cancelTimeout",
+	"TransactionImpl.doAfterCompletion",
+	"TransactionImpl.instanceDone",
+	// Transaction Dispose
+	"TxManager.releaseTransactionImpl",
+	"TransactionImpl.getLocalId",
+	"XidImpl.getLocalId",
+	"LocalId.hashCode",
+	"LocalId.equals",
+}
+
+// transactionRollbackScenario is an alternative lifecycle in which the
+// transaction is rolled back instead of committed (the JTA protocol of
+// Section 1: <TxManager.begin, TxManager.rollback>).
+var transactionRollbackScenario = []string{
+	"TransactionManagerLocator.getInstance",
+	"TransactionManagerLocator.locate",
+	"TransactionManagerLocator.tryJNDI",
+	"TransactionManagerLocator.usePrivateAPI",
+	"TxManager.begin",
+	"XidFactory.newXid",
+	"XidFactory.getNextId",
+	"XidImpl.getTrulyGlobalId",
+	"TransactionImpl.associateCurrentThread",
+	"TxManager.rollback",
+	"TransactionImpl.rollbackResources",
+	"TransactionImpl.completeTransaction",
+	"TransactionImpl.cancelTimeout",
+	"TransactionImpl.instanceDone",
+	"TxManager.releaseTransactionImpl",
+}
+
+// transactionNoise are invocations from other parts of the transaction
+// component that interleave with the lifecycle scenarios.
+var transactionNoise = []string{
+	"TxUtils.isActive",
+	"TxUtils.getStatusAsString",
+	"TransactionPropagationContextUtil.getTPCFactory",
+	"TransactionLocal.get",
+	"TransactionLocal.set",
+	"TxManager.getInstance",
+	"TxManager.getTransaction",
+	"CachedConnectionManager.checkTransactionActive",
+}
+
+// TransactionComponent returns the workload that stands in for the JBoss
+// transaction component traces of Figure 4.
+func TransactionComponent() Workload {
+	return Workload{
+		Name: "jboss-transaction",
+		Scenarios: []Scenario{
+			{Name: "commit-lifecycle", Events: transactionScenario, Weight: 4},
+			{Name: "rollback-lifecycle", Events: transactionRollbackScenario, Weight: 1},
+		},
+		NoiseEvents:          transactionNoise,
+		NoiseRate:            0.15,
+		MinScenariosPerTrace: 1,
+		MaxScenariosPerTrace: 4,
+		ViolationRate:        0,
+	}
+}
+
+// TransactionPattern returns the Figure 4 pattern: the longest iterative
+// pattern the paper mines from the transaction component.
+func TransactionPattern() []string {
+	out := make([]string, len(transactionScenario))
+	copy(out, transactionScenario)
+	return out
+}
+
+// securityPremise and securityConsequent spell out the Figure 5 rule: JAAS
+// authentication for EJB within JBoss AS. When the authentication scenario
+// starts, configuration information is checked (the premise); this is
+// followed by the actual authentication events, the binding of principal
+// information to the subject, and the use of the subject's principal and
+// credential information (the consequent).
+var securityPremise = []string{
+	"XmlLoginConfigImpl.getConfigEntry",
+	"AuthenticationInfo.getName",
+}
+
+var securityConsequent = []string{
+	"ClientLoginModule.initialize",
+	"ClientLoginModule.login",
+	"ClientLoginModule.commit",
+	"SecurityAssociationActions.setPrincipalInfo",
+	"SetPrincipalInfoAction.run",
+	"SecurityAssociationActions.pushSubjectContext",
+	"SubjectThreadLocalStack.push",
+	"SimplePrincipal.toString",
+	"SecurityAssociation.getPrincipal",
+	"SecurityAssociation.getCredential",
+	"SecurityAssociation.getPrincipal",
+	"SecurityAssociation.getCredential",
+}
+
+// securityNoise are invocations from other parts of the security component.
+var securityNoise = []string{
+	"SecurityDomainContext.getAuthenticationManager",
+	"JaasSecurityManager.isValid",
+	"JaasSecurityManagerService.getSecurityManagement",
+	"SubjectActions.getSubjectInfo",
+	"SecurityRolesAssociation.getSecurityRoles",
+	"AnybodyPrincipal.compareTo",
+	"NobodyPrincipal.compareTo",
+}
+
+// configProbeScenario checks login configuration without performing an
+// authentication. Its presence keeps the premise of Figure 5 at two events:
+// seeing the configuration entry alone does not predict the authentication
+// consequent, whereas seeing it together with AuthenticationInfo.getName
+// does.
+var configProbeScenario = []string{
+	"XmlLoginConfigImpl.getConfigEntry",
+	"XmlLoginConfigImpl.getAppConfigurationEntry",
+	"SecurityConfiguration.getApplicationPolicy",
+}
+
+// logoutScenario closes an authenticated session.
+var logoutScenario = []string{
+	"ClientLoginModule.logout",
+	"SecurityAssociationActions.popSubjectContext",
+	"SubjectThreadLocalStack.pop",
+	"SecurityAssociationActions.clear",
+}
+
+// SecurityComponent returns the workload that stands in for the JBoss
+// security component traces of Figure 5.
+func SecurityComponent() Workload {
+	auth := append(append([]string{}, securityPremise...), securityConsequent...)
+	return Workload{
+		Name: "jboss-security",
+		Scenarios: []Scenario{
+			{Name: "jaas-authentication", Events: auth, Weight: 3},
+			{Name: "config-probe", Events: configProbeScenario, Weight: 2},
+			{Name: "logout", Events: logoutScenario, Weight: 1},
+		},
+		NoiseEvents:          securityNoise,
+		NoiseRate:            0.2,
+		MinScenariosPerTrace: 1,
+		MaxScenariosPerTrace: 5,
+		ViolationRate:        0,
+	}
+}
+
+// SecurityRulePremise returns the premise of the Figure 5 rule.
+func SecurityRulePremise() []string {
+	out := make([]string, len(securityPremise))
+	copy(out, securityPremise)
+	return out
+}
+
+// SecurityRuleConsequent returns the consequent of the Figure 5 rule.
+func SecurityRuleConsequent() []string {
+	out := make([]string, len(securityConsequent))
+	copy(out, securityConsequent)
+	return out
+}
+
+// LockingComponent returns a small resource-locking workload used by the
+// quickstart and verification examples: the classic "whenever a lock is
+// acquired, eventually it is released" behaviour (Section 1), with a
+// configurable fraction of violating executions.
+func LockingComponent() Workload {
+	return Workload{
+		Name: "resource-locking",
+		Scenarios: []Scenario{
+			{Name: "guarded-read", Events: []string{"Mutex.lock", "Resource.read", "Mutex.unlock"}, Weight: 3},
+			{Name: "guarded-write", Events: []string{"Mutex.lock", "Resource.write", "Resource.flush", "Mutex.unlock"}, Weight: 2},
+			{Name: "idle-poll", Events: []string{"Monitor.poll", "Monitor.report"}, Weight: 1},
+		},
+		NoiseEvents:          []string{"Logger.debug", "Metrics.tick", "Cache.touch"},
+		NoiseRate:            0.25,
+		MinScenariosPerTrace: 2,
+		MaxScenariosPerTrace: 6,
+		ViolationRate:        0.05,
+	}
+}

@@ -1,0 +1,219 @@
+// Package verify checks traces against mined (or hand-written)
+// specifications. It serves the paper's second motivation for specification
+// mining: "aid program verification (also runtime monitoring) in automating
+// the process of formulating specifications" (Section 1). Mined rules become
+// LTL properties; this package evaluates them over fresh traces and reports
+// where they are violated, so regressions show up as conformance failures.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specmine/internal/ltl"
+	"specmine/internal/qre"
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+)
+
+// RuleViolation describes one temporal point at which a rule's premise held
+// but its consequent never followed.
+type RuleViolation struct {
+	// Rule is the violated rule.
+	Rule rules.Rule
+	// Seq is the index of the violating trace.
+	Seq int
+	// TemporalPoint is the position (0-based) at which the premise completed
+	// without the consequent following.
+	TemporalPoint int
+}
+
+// String renders the violation.
+func (v RuleViolation) String(dict *seqdb.Dictionary) string {
+	return fmt.Sprintf("trace %d, position %d: %s -> %s not followed",
+		v.Seq, v.TemporalPoint, v.Rule.Pre.String(dict), v.Rule.Post.String(dict))
+}
+
+// RuleReport summarises checking one rule against a database.
+type RuleReport struct {
+	Rule rules.Rule
+	// Formula is the rule's LTL form (Table 2 translation).
+	Formula ltl.Formula
+	// SatisfiedTraces and ViolatedTraces count traces on which the LTL
+	// formula holds / fails.
+	SatisfiedTraces int
+	ViolatedTraces  int
+	// TotalTemporalPoints and SatisfiedTemporalPoints give the finer-grained
+	// view used for confidence-style reporting.
+	TotalTemporalPoints     int
+	SatisfiedTemporalPoints int
+	// Violations lists each violating temporal point.
+	Violations []RuleViolation
+}
+
+// HoldRate is the fraction of temporal points at which the rule held; 1.0 for
+// rules whose premise never fires.
+func (r RuleReport) HoldRate() float64 {
+	if r.TotalTemporalPoints == 0 {
+		return 1.0
+	}
+	return float64(r.SatisfiedTemporalPoints) / float64(r.TotalTemporalPoints)
+}
+
+// CheckRule evaluates one rule against every trace of db.
+func CheckRule(db *seqdb.Database, rule rules.Rule) (RuleReport, error) {
+	formula, err := ltl.FromRule(rule.Pre, rule.Post)
+	if err != nil {
+		return RuleReport{}, err
+	}
+	report := RuleReport{Rule: rule, Formula: formula}
+	for si, s := range db.Sequences {
+		violatedTrace := false
+		tps := rules.TemporalPoints(s, rule.Pre)
+		report.TotalTemporalPoints += len(tps)
+		for _, tp := range tps {
+			if seqdb.Sequence(s[tp+1:]).ContainsSubsequence(rule.Post) {
+				report.SatisfiedTemporalPoints++
+				continue
+			}
+			violatedTrace = true
+			report.Violations = append(report.Violations, RuleViolation{Rule: rule, Seq: si, TemporalPoint: tp})
+		}
+		if violatedTrace {
+			report.ViolatedTraces++
+		} else {
+			report.SatisfiedTraces++
+		}
+	}
+	return report, nil
+}
+
+// CheckRules evaluates a set of rules and returns one report per rule, in the
+// given order.
+func CheckRules(db *seqdb.Database, ruleSet []rules.Rule) ([]RuleReport, error) {
+	out := make([]RuleReport, 0, len(ruleSet))
+	for _, r := range ruleSet {
+		rep, err := CheckRule(db, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// PatternReport summarises checking one iterative pattern against a database.
+type PatternReport struct {
+	Pattern seqdb.Pattern
+	// Instances is the number of pattern instances found.
+	Instances int
+	// Sequences is the number of traces containing at least one instance.
+	Sequences int
+	// PartialMatches counts positions at which a strict prefix of the pattern
+	// (at least half of it) matched but the full pattern did not: candidate
+	// anomalies for inspection.
+	PartialMatches int
+}
+
+// CheckPattern locates instances of an iterative pattern and counts partial
+// matches that stop short of completing the behaviour.
+func CheckPattern(db *seqdb.Database, pattern seqdb.Pattern) PatternReport {
+	report := PatternReport{Pattern: pattern.Clone()}
+	if len(pattern) == 0 {
+		return report
+	}
+	half := (len(pattern) + 1) / 2
+	for si, s := range db.Sequences {
+		insts := qre.FindInstances(s, pattern, si)
+		report.Instances += len(insts)
+		if len(insts) > 0 {
+			report.Sequences++
+		}
+		starts := make(map[int]bool, len(insts))
+		for _, in := range insts {
+			starts[in.Start] = true
+		}
+		for i, ev := range s {
+			if ev != pattern[0] || starts[i] {
+				continue
+			}
+			if matched := prefixMatchLength(s, pattern, i); matched >= half {
+				report.PartialMatches++
+			}
+		}
+	}
+	return report
+}
+
+// prefixMatchLength returns how many leading pattern events match when
+// attempting an instance at position start.
+func prefixMatchLength(s seqdb.Sequence, p seqdb.Pattern, start int) int {
+	alphabet := p.Alphabet()
+	if s[start] != p[0] {
+		return 0
+	}
+	matched := 1
+	pos := start
+	for k := 1; k < len(p); k++ {
+		pos++
+		for pos < len(s) {
+			if _, in := alphabet[s[pos]]; in {
+				break
+			}
+			pos++
+		}
+		if pos >= len(s) || s[pos] != p[k] {
+			return matched
+		}
+		matched++
+	}
+	return matched
+}
+
+// Summary aggregates rule reports into a ranked conformance summary: the
+// rules most often violated come first.
+type Summary struct {
+	Reports []RuleReport
+}
+
+// NewSummary sorts the reports by the number of violations (descending).
+func NewSummary(reports []RuleReport) Summary {
+	sorted := make([]RuleReport, len(reports))
+	copy(sorted, reports)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return len(sorted[i].Violations) > len(sorted[j].Violations)
+	})
+	return Summary{Reports: sorted}
+}
+
+// TotalViolations returns the violation count across all rules.
+func (s Summary) TotalViolations() int {
+	n := 0
+	for _, r := range s.Reports {
+		n += len(r.Violations)
+	}
+	return n
+}
+
+// Render writes a human-readable conformance report showing up to
+// maxViolations violations per rule.
+func (s Summary) Render(dict *seqdb.Dictionary, maxViolations int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conformance summary: %d rules checked, %d violations\n", len(s.Reports), s.TotalViolations())
+	for _, rep := range s.Reports {
+		fmt.Fprintf(&b, "  %s -> %s: hold rate %.1f%%, %d violating traces\n",
+			rep.Rule.Pre.String(dict), rep.Rule.Post.String(dict), rep.HoldRate()*100, rep.ViolatedTraces)
+		limit := len(rep.Violations)
+		if maxViolations > 0 && maxViolations < limit {
+			limit = maxViolations
+		}
+		for _, v := range rep.Violations[:limit] {
+			fmt.Fprintf(&b, "    %s\n", v.String(dict))
+		}
+		if limit < len(rep.Violations) {
+			fmt.Fprintf(&b, "    ... %d more\n", len(rep.Violations)-limit)
+		}
+	}
+	return b.String()
+}
