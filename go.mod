@@ -1,0 +1,3 @@
+module specmine
+
+go 1.24

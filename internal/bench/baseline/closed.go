@@ -1,7 +1,6 @@
-package iterpattern
+package baseline
 
 import (
-	"specmine/internal/par"
 	"specmine/internal/qre"
 	"specmine/internal/seqdb"
 )
@@ -23,15 +22,9 @@ import (
 // exactly against the database (instance count equality plus correspondence),
 // so a pattern is only ever dropped with a genuine witness in hand.
 func (m *miner) closednessFilter(candidates []MinedPattern) []MinedPattern {
-	// The check is independent per candidate and only reads the database, so
-	// it parallelises trivially; the keep mask preserves order.
-	keep := make([]bool, len(candidates))
-	par.For(len(candidates), m.opts.effectiveWorkers(), func(i int) {
-		keep[i] = m.isClosed(candidates[i])
-	})
 	kept := candidates[:0]
-	for i, cand := range candidates {
-		if keep[i] {
+	for _, cand := range candidates {
+		if m.isClosed(cand) {
 			kept = append(kept, cand)
 		} else {
 			m.stats.NonClosedSuppressed++
@@ -54,10 +47,9 @@ func (m *miner) isClosed(cand MinedPattern) bool {
 	for slot := range regions {
 		regions[slot] = make([]seqdb.Sequence, 0, len(insts))
 	}
-	matchedBuf := make([]int, 0, len(p))
 	for _, in := range insts {
 		s := m.db.Sequences[in.Seq]
-		matched := matchedPositions(matchedBuf, s, p, in.Start)
+		matched := matchedPositions(s, p, in.Start)
 		if matched == nil {
 			// Should not happen: the instance was produced by the miner.
 			continue
@@ -199,18 +191,21 @@ func sliceRegion(s seqdb.Sequence, lo, hi int) seqdb.Sequence {
 }
 
 // matchedPositions returns the positions of every pattern event for the
-// instance of p starting at start, or nil if no instance starts there. The
-// result is appended into buf[:0], so callers looping over instances reuse
-// one buffer.
-func matchedPositions(buf []int, s seqdb.Sequence, p seqdb.Pattern, start int) []int {
+// instance of p starting at start, or nil if no instance starts there.
+func matchedPositions(s seqdb.Sequence, p seqdb.Pattern, start int) []int {
 	if start < 0 || start >= len(s) || s[start] != p[0] {
 		return nil
 	}
-	out := append(buf[:0], start)
+	alphabet := p.Alphabet()
+	out := make([]int, 0, len(p))
+	out = append(out, start)
 	pos := start
 	for k := 1; k < len(p); k++ {
 		pos++
-		for pos < len(s) && !p.Contains(s[pos]) {
+		for pos < len(s) {
+			if _, inAlpha := alphabet[s[pos]]; inAlpha {
+				break
+			}
 			pos++
 		}
 		if pos >= len(s) || s[pos] != p[k] {

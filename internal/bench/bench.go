@@ -1,0 +1,108 @@
+// Package bench defines the mining-core benchmark matrix: closed-pattern and
+// rule mining over tracesim and synth workloads that vary the number of
+// sequences, the alphabet size and the event density. The matrix backs three
+// artifacts:
+//
+//   - go test -bench benchmarks comparing the flat-index miner against the
+//     seed's map-based implementation (package bench/baseline);
+//   - equivalence regression tests asserting that the rewritten and the
+//     parallel miners produce results identical to the seed algorithm;
+//   - the BENCH_mining.json trajectory file checked in at the repository
+//     root (regenerate with SPECMINE_WRITE_BENCH=1, see bench_test.go).
+//
+// Thresholds are chosen so every case finishes in milliseconds-to-seconds:
+// iterative-pattern mining is exponential below a workload-dependent support
+// cliff (the paper's Figure 1 regime), and the benchmark matrix deliberately
+// stays on the tractable side of it while still exercising millions of
+// search-node operations.
+package bench
+
+import (
+	"specmine/internal/iterpattern"
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+	"specmine/internal/synth"
+	"specmine/internal/tracesim"
+)
+
+// ClosedCase is one closed-pattern mining benchmark configuration.
+type ClosedCase struct {
+	Name string
+	// Sequences and Alphabet describe the workload for reporting.
+	Sequences int
+	Alphabet  int
+	Density   string
+	Gen       func() *seqdb.Database
+	Opts      iterpattern.Options
+}
+
+// ClosedCases returns the closed-pattern benchmark matrix. The first case is
+// the acceptance headline: >= 50 sequences over an alphabet of >= 100 events.
+func ClosedCases() []ClosedCase {
+	synthCase := func(name string, cfg synth.Config, minSup int, density string) ClosedCase {
+		return ClosedCase{
+			Name:      name,
+			Sequences: cfg.NumSequences,
+			Alphabet:  cfg.NumEvents,
+			Density:   density,
+			Gen:       func() *seqdb.Database { return synth.MustGenerate(cfg) },
+			Opts:      iterpattern.Options{MinInstanceSupport: minSup},
+		}
+	}
+	traceCase := func(name, workload string, traces int, opts iterpattern.Options, density string) ClosedCase {
+		w := tracesim.Workloads()[workload]
+		return ClosedCase{
+			Name:      name,
+			Sequences: traces,
+			Alphabet:  len(w.NoiseEvents) + 16,
+			Density:   density,
+			Gen:       func() *seqdb.Database { return w.MustGenerate(traces, 7) },
+			Opts:      opts,
+		}
+	}
+	return []ClosedCase{
+		synthCase("synth-D0.05C30N0.1S8-sup20",
+			synth.Config{NumSequences: 50, AvgSequenceLength: 30, NumEvents: 100, AvgPatternLength: 8, Seed: 1}, 20, "quest-default"),
+		synthCase("synth-D0.1C40N0.2S10-sup35",
+			synth.Config{NumSequences: 100, AvgSequenceLength: 40, NumEvents: 200, AvgPatternLength: 10, Seed: 2}, 35, "quest-default"),
+		synthCase("synth-D0.2C50N1S10-sup60",
+			synth.Config{NumSequences: 200, AvgSequenceLength: 50, NumEvents: 1000, AvgPatternLength: 10, Seed: 3}, 60, "quest-sparse-alphabet"),
+		traceCase("tracesim-transaction-x50-len4", "transaction", 50,
+			iterpattern.Options{MinSupportRel: 0.9, MaxPatternLength: 4}, "dense-looping"),
+		traceCase("tracesim-security-x50-len4", "security", 50,
+			iterpattern.Options{MinSupportRel: 0.9, MaxPatternLength: 4}, "medium"),
+		traceCase("tracesim-locking-x50-len4", "locking", 50,
+			iterpattern.Options{MinSupportRel: 0.9, MaxPatternLength: 4}, "light"),
+	}
+}
+
+// RuleCase is one rule-mining benchmark configuration (flat miner only: the
+// rules baseline was not preserved, the acceptance target compares closed
+// mining).
+type RuleCase struct {
+	Name string
+	Gen  func() *seqdb.Database
+	Opts rules.Options
+}
+
+// RuleCases returns the rule-mining benchmark matrix.
+func RuleCases() []RuleCase {
+	traceCase := func(name, workload string, traces int, opts rules.Options) RuleCase {
+		w := tracesim.Workloads()[workload]
+		return RuleCase{
+			Name: name,
+			Gen:  func() *seqdb.Database { return w.MustGenerate(traces, 7) },
+			Opts: opts,
+		}
+	}
+	return []RuleCase{
+		traceCase("nr-security-x30-pre2-post2", "security", 30, rules.Options{
+			MinSeqSupportRel: 0.9, MinInstanceSupport: 1, MinConfidence: 0.9,
+			MaxPremiseLength: 2, MaxConsequentLength: 2,
+		}),
+		traceCase("nr-locking-x50-pre3-post3", "locking", 50, rules.Options{
+			MinSeqSupportRel: 0.9, MinInstanceSupport: 1, MinConfidence: 0.9,
+			MaxPremiseLength: 3, MaxConsequentLength: 3,
+		}),
+	}
+}

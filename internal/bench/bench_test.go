@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"specmine/internal/bench/baseline"
+	"specmine/internal/iterpattern"
+	"specmine/internal/rules"
+)
+
+func BenchmarkMineClosed(b *testing.B) {
+	for _, c := range ClosedCases() {
+		db := c.Gen()
+		db.FlatIndex()
+		db.Index()
+		b.Run(c.Name+"/flat", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := iterpattern.MineClosed(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.Name+"/baseline", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.MineClosed(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMineClosedWorkers(b *testing.B) {
+	c := ClosedCases()[1]
+	db := c.Gen()
+	db.FlatIndex()
+	for _, workers := range []int{1, 2, 4} {
+		opts := c.Opts
+		opts.Workers = workers
+		b.Run(c.Name+"/workers="+string(rune('0'+workers)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := iterpattern.MineClosed(db, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMineRules(b *testing.B) {
+	for _, c := range RuleCases() {
+		db := c.Gen()
+		db.FlatIndex()
+		b.Run(c.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rules.MineNonRedundant(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	c := ClosedCases()[2]
+	db := c.Gen()
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = seqdbBuildFlat(db)
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = seqdbBuildMap(db)
+		}
+	})
+}
+
+// --- BENCH_mining.json trajectory ----------------------------------------
+
+// trajectoryCase is one row of the checked-in benchmark trajectory.
+type trajectoryCase struct {
+	Name              string  `json:"name"`
+	Sequences         int     `json:"sequences"`
+	Alphabet          int     `json:"alphabet"`
+	Density           string  `json:"density"`
+	Patterns          int     `json:"patterns"`
+	FlatNsPerOp       int64   `json:"flat_ns_per_op"`
+	FlatAllocsPerOp   int64   `json:"flat_allocs_per_op"`
+	FlatBytesPerOp    int64   `json:"flat_bytes_per_op"`
+	BaseNsPerOp       int64   `json:"baseline_ns_per_op"`
+	BaseAllocsPerOp   int64   `json:"baseline_allocs_per_op"`
+	BaseBytesPerOp    int64   `json:"baseline_bytes_per_op"`
+	Speedup           float64 `json:"speedup"`
+	AllocReduction    float64 `json:"alloc_reduction"`
+	BytesReduction    float64 `json:"bytes_reduction"`
+	ParallelW4NsPerOp int64   `json:"parallel_w4_ns_per_op,omitempty"`
+}
+
+type trajectory struct {
+	Schema     string           `json:"schema"`
+	Generator  string           `json:"generator"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Cases      []trajectoryCase `json:"cases"`
+}
+
+// TestWriteBenchTrajectory regenerates BENCH_mining.json at the repository
+// root. It is the authoritative producer of the checked-in file; run it with
+//
+//	SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory -v
+//
+// Without the environment variable the test is skipped, so routine test runs
+// never rewrite the artifact (or pay the benchmarking cost).
+func TestWriteBenchTrajectory(t *testing.T) {
+	if os.Getenv("SPECMINE_WRITE_BENCH") == "" {
+		t.Skip("set SPECMINE_WRITE_BENCH=1 to regenerate BENCH_mining.json")
+	}
+	out := trajectory{
+		Schema:     "specmine/bench-mining/v1",
+		Generator:  "SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for i, c := range ClosedCases() {
+		db := c.Gen()
+		db.FlatIndex()
+		db.Index()
+		res, err := iterpattern.MineClosed(db, c.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := iterpattern.MineClosed(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		base := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.MineClosed(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		tc := trajectoryCase{
+			Name:            c.Name,
+			Sequences:       c.Sequences,
+			Alphabet:        c.Alphabet,
+			Density:         c.Density,
+			Patterns:        len(res.Patterns),
+			FlatNsPerOp:     flat.NsPerOp(),
+			FlatAllocsPerOp: flat.AllocsPerOp(),
+			FlatBytesPerOp:  flat.AllocedBytesPerOp(),
+			BaseNsPerOp:     base.NsPerOp(),
+			BaseAllocsPerOp: base.AllocsPerOp(),
+			BaseBytesPerOp:  base.AllocedBytesPerOp(),
+			Speedup:         round2(float64(base.NsPerOp()) / float64(flat.NsPerOp())),
+			AllocReduction:  round2(float64(base.AllocsPerOp()) / float64(flat.AllocsPerOp())),
+			BytesReduction:  round2(float64(base.AllocedBytesPerOp()) / float64(flat.AllocedBytesPerOp())),
+		}
+		if i == 0 {
+			opts := c.Opts
+			opts.Workers = 4
+			par := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := iterpattern.MineClosed(db, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			tc.ParallelW4NsPerOp = par.NsPerOp()
+		}
+		out.Cases = append(out.Cases, tc)
+		t.Logf("%s: speedup %.2fx, alloc reduction %.1fx", c.Name, tc.Speedup, tc.AllocReduction)
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "BENCH_mining.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"specmine/internal/bench/baseline"
+	"specmine/internal/iterpattern"
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+	"specmine/internal/tracesim"
+)
+
+func seqdbBuildFlat(db *seqdb.Database) *seqdb.PositionIndex {
+	return seqdb.BuildPositionIndex(db.Sequences, db.Dict.Size())
+}
+
+func seqdbBuildMap(db *seqdb.Database) []map[seqdb.EventID][]int {
+	out := make([]map[seqdb.EventID][]int, len(db.Sequences))
+	for i, s := range db.Sequences {
+		out[i] = s.EventPositions()
+	}
+	return out
+}
+
+func randomDB(rng *rand.Rand, numSeqs, maxLen, alphabet int) *seqdb.Database {
+	db := seqdb.NewDatabase()
+	for i := 0; i < alphabet; i++ {
+		db.Dict.Intern(string(rune('a' + i)))
+	}
+	for i := 0; i < numSeqs; i++ {
+		n := 1 + rng.Intn(maxLen)
+		s := make(seqdb.Sequence, n)
+		for j := range s {
+			s[j] = seqdb.EventID(rng.Intn(alphabet))
+		}
+		db.Append(s)
+	}
+	return db
+}
+
+func assertPatternResultsEqual(t *testing.T, label string, got, want *iterpattern.Result) {
+	t.Helper()
+	if len(got.Patterns) != len(want.Patterns) {
+		t.Fatalf("%s: %d patterns, want %d", label, len(got.Patterns), len(want.Patterns))
+	}
+	for i := range want.Patterns {
+		g, w := got.Patterns[i], want.Patterns[i]
+		if !g.Pattern.Equal(w.Pattern) || g.Support != w.Support || g.SeqSupport != w.SeqSupport {
+			t.Fatalf("%s: pattern %d differs: got %v sup=%d/%d want %v sup=%d/%d",
+				label, i, g.Pattern, g.Support, g.SeqSupport, w.Pattern, w.Support, w.SeqSupport)
+		}
+		if len(g.Instances) != len(w.Instances) {
+			t.Fatalf("%s: pattern %d instance count %d want %d", label, i, len(g.Instances), len(w.Instances))
+		}
+		for k := range w.Instances {
+			if g.Instances[k] != w.Instances[k] {
+				t.Fatalf("%s: pattern %d instance %d %v want %v", label, i, k, g.Instances[k], w.Instances[k])
+			}
+		}
+	}
+	if got.MinSupport != want.MinSupport {
+		t.Fatalf("%s: MinSupport %d want %d", label, got.MinSupport, want.MinSupport)
+	}
+	gs, ws := got.Stats, want.Stats
+	if gs.NodesExplored != ws.NodesExplored ||
+		gs.NodesPrunedInfrequent != ws.NodesPrunedInfrequent ||
+		gs.SubtreesPrunedEquivalent != ws.SubtreesPrunedEquivalent ||
+		gs.NonClosedSuppressed != ws.NonClosedSuppressed ||
+		gs.PatternsEmitted != ws.PatternsEmitted {
+		t.Fatalf("%s: stats differ: got %+v want %+v", label, gs, ws)
+	}
+}
+
+// TestFlatMinerMatchesBaseline pins the rewritten miner to the seed
+// algorithm: identical patterns, supports, instances and search counters on
+// workloads from the benchmark matrix and on random databases. This is also
+// the regression test for the landmark-memory deduplication (shared instance
+// slices instead of per-landmark clones): any behavioural drift in the
+// equivalence pruning would change the counters or the emitted set.
+func TestFlatMinerMatchesBaseline(t *testing.T) {
+	cases := ClosedCases()
+	light := []ClosedCase{cases[0], cases[4], cases[5]}
+	for _, c := range light {
+		db := c.Gen()
+		opts := c.Opts
+		opts.IncludeInstances = true
+		flat, err := iterpattern.MineClosed(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := baseline.MineClosed(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPatternResultsEqual(t, c.Name+"/closed", flat, base)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 25; iter++ {
+		db := randomDB(rng, 3+rng.Intn(4), 12, 3+rng.Intn(3))
+		opts := iterpattern.Options{MinInstanceSupport: 2 + rng.Intn(2), IncludeInstances: true}
+		for _, closed := range []bool{false, true} {
+			flat, err := iterpattern.Mine(db, opts, closed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := baseline.Mine(db, opts, closed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPatternResultsEqual(t, "random/closed="+boolName(closed), flat, base)
+		}
+	}
+}
+
+func boolName(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// TestParallelPatternsMatchSequential is the parallel-vs-sequential
+// equivalence property for the iterative-pattern miners: any worker count
+// must produce results identical to workers=1, including search statistics.
+// Run under -race this also exercises the worker pool for data races.
+func TestParallelPatternsMatchSequential(t *testing.T) {
+	check := func(label string, db *seqdb.Database, opts iterpattern.Options, closed bool) {
+		t.Helper()
+		opts.Workers = 1
+		seq, err := iterpattern.Mine(db, opts, closed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, -1} {
+			opts.Workers = workers
+			par, err := iterpattern.Mine(db, opts, closed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPatternResultsEqual(t, label, par, seq)
+		}
+	}
+	c := ClosedCases()[0]
+	opts := c.Opts
+	opts.IncludeInstances = true
+	check(c.Name, c.Gen(), opts, true)
+	w := tracesim.Workloads()["security"]
+	check("security-x30", w.MustGenerate(30, 7), iterpattern.Options{MinSupportRel: 0.9, MaxPatternLength: 3, IncludeInstances: true}, true)
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 20; iter++ {
+		db := randomDB(rng, 3+rng.Intn(5), 12, 3+rng.Intn(4))
+		o := iterpattern.Options{MinInstanceSupport: 2 + rng.Intn(2), IncludeInstances: true}
+		check("random/full", db, o, false)
+		check("random/closed", db, o, true)
+	}
+}
+
+func assertRuleResultsEqual(t *testing.T, label string, got, want *rules.Result) {
+	t.Helper()
+	if len(got.Rules) != len(want.Rules) {
+		t.Fatalf("%s: %d rules, want %d", label, len(got.Rules), len(want.Rules))
+	}
+	for i := range want.Rules {
+		g, w := got.Rules[i], want.Rules[i]
+		if !g.Pre.Equal(w.Pre) || !g.Post.Equal(w.Post) ||
+			g.SeqSupport != w.SeqSupport || g.InstanceSupport != w.InstanceSupport ||
+			g.Confidence != w.Confidence {
+			t.Fatalf("%s: rule %d differs: got %+v want %+v", label, i, g, w)
+		}
+	}
+	gs, ws := got.Stats, want.Stats
+	if gs.PremisesExplored != ws.PremisesExplored ||
+		gs.PremisesPrunedRedundant != ws.PremisesPrunedRedundant ||
+		gs.ConsequentNodesExplored != ws.ConsequentNodesExplored ||
+		gs.RulesSuppressedRedundant != ws.RulesSuppressedRedundant ||
+		gs.RulesEmitted != ws.RulesEmitted {
+		t.Fatalf("%s: stats differ: got %+v want %+v", label, gs, ws)
+	}
+}
+
+// TestParallelRulesMatchSequential is the parallel-vs-sequential equivalence
+// property for the rule miners: consequent jobs fanned out over any worker
+// count must produce rule sets identical to the sequential run.
+func TestParallelRulesMatchSequential(t *testing.T) {
+	check := func(label string, db *seqdb.Database, opts rules.Options, nr bool) {
+		t.Helper()
+		opts.Workers = 1
+		seq, err := rules.Mine(db, opts, nr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, -1} {
+			opts.Workers = workers
+			par, err := rules.Mine(db, opts, nr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertRuleResultsEqual(t, label, par, seq)
+		}
+	}
+	w := tracesim.Workloads()["locking"]
+	check("locking-x30", w.MustGenerate(30, 7), rules.Options{
+		MinSeqSupportRel: 0.9, MinInstanceSupport: 1, MinConfidence: 0.9,
+		MaxPremiseLength: 3, MaxConsequentLength: 3,
+	}, true)
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 15; iter++ {
+		db := randomDB(rng, 3+rng.Intn(4), 10, 3+rng.Intn(3))
+		o := rules.Options{
+			MinSeqSupport: 2, MinInstanceSupport: 1, MinConfidence: 0.5,
+			MaxPremiseLength: 3, MaxConsequentLength: 3,
+		}
+		check("random/full", db, o, false)
+		check("random/nr", db, o, true)
+	}
+}

@@ -64,6 +64,9 @@ type PatternOptions struct {
 	MaxLength int
 	// KeepInstances retains the instance list of each mined pattern.
 	KeepInstances bool
+	// Workers bounds the parallel worker pool (0/1 sequential, negative =
+	// GOMAXPROCS). Results are identical for any value.
+	Workers int
 }
 
 // PatternResult is the facade view of a pattern mining run.
@@ -85,6 +88,7 @@ func MinePatterns(db *Database, opts PatternOptions) (*PatternResult, error) {
 		MinSupportRel:      opts.MinSupportRel,
 		MaxPatternLength:   opts.MaxLength,
 		IncludeInstances:   opts.KeepInstances,
+		Workers:            opts.Workers,
 	}
 	res, err := iterpattern.Mine(db, iopts, !opts.Full)
 	if err != nil {
@@ -115,6 +119,9 @@ type RuleOptions struct {
 	// MaxPremiseLength and MaxConsequentLength bound the rule shape.
 	MaxPremiseLength    int
 	MaxConsequentLength int
+	// Workers bounds the parallel worker pool (0/1 sequential, negative =
+	// GOMAXPROCS). Results are identical for any value.
+	Workers int
 }
 
 // RuleResult is the facade view of a rule mining run.
@@ -142,6 +149,7 @@ func MineRules(db *Database, opts RuleOptions) (*RuleResult, error) {
 		MinConfidence:       opts.MinConfidence,
 		MaxPremiseLength:    opts.MaxPremiseLength,
 		MaxConsequentLength: opts.MaxConsequentLength,
+		Workers:             opts.Workers,
 	}
 	res, err := rules.Mine(db, ropts, !opts.Full)
 	if err != nil {

@@ -1,10 +1,10 @@
 package iterpattern
 
 import (
-	"hash/fnv"
-	"sort"
+	"slices"
 	"time"
 
+	"specmine/internal/par"
 	"specmine/internal/qre"
 	"specmine/internal/seqdb"
 )
@@ -38,49 +38,63 @@ func mine(db *seqdb.Database, opts Options, closed bool) (*Result, error) {
 	start := time.Now()
 	m := &miner{
 		db:     db,
-		pos:    db.Index(),
+		idx:    db.FlatIndex(),
 		opts:   opts,
 		minSup: opts.absoluteSupport(db.NumSequences()),
 		closed: closed,
 	}
+	m.initScratch()
 	if closed {
 		m.landmarks = make(map[uint64][]landmark)
 	}
 	m.run()
-	res := &Result{Patterns: m.emitted, Stats: m.stats, MinSupport: m.minSup}
+	patterns := m.emitted
 	if closed {
-		res.Patterns = m.closednessFilter(res.Patterns)
+		patterns = m.closednessFilter(patterns)
 		if !opts.IncludeInstances {
-			for i := range res.Patterns {
-				res.Patterns[i].Instances = nil
+			for i := range patterns {
+				patterns[i].Instances = nil
 			}
 		}
 	}
+	// Stats are copied only now: the closedness filter still increments
+	// NonClosedSuppressed.
+	res := &Result{Patterns: patterns, Stats: m.stats, MinSupport: m.minSup}
 	res.Stats.PatternsEmitted = len(res.Patterns)
 	res.Stats.Duration = time.Since(start)
 	res.Sort()
 	return res, nil
 }
 
-// instance is the internal, allocation-friendly form of qre.Instance.
-type instance struct {
-	seq, start, end int32
-}
+// span is the internal, allocation-friendly form of qre.Instance: instance
+// lists are grown inside per-node arenas of packed spans.
+type span = qre.Span
 
-func (in instance) export() qre.Instance {
-	return qre.Instance{Seq: int(in.seq), Start: int(in.start), End: int(in.end)}
+// extension is one candidate suffix extension of a search node: the extending
+// event, its instance count, and — only when the count clears the support
+// threshold — the instance list of p ++ <event>, carved out of the node's
+// arena. Infrequent extensions stay unmaterialised (insts == nil): they are
+// never recursed into and the closedness checks need only the count, so
+// leaving them out keeps node arenas (which landmark entries pin for the rest
+// of the run) down to exactly the lists the search can still use.
+type extension struct {
+	event seqdb.EventID
+	count int32
+	insts []span
 }
 
 // landmark records an already-explored search node for the closed miner's
-// equivalence pruning.
+// equivalence pruning. The instance slice is shared with the search node that
+// produced it — instance lists are immutable once their arena is filled — so
+// registering a landmark costs one pattern clone and no instance copying.
 type landmark struct {
 	pattern   seqdb.Pattern
-	instances []instance
+	instances []span
 }
 
 type miner struct {
 	db     *seqdb.Database
-	pos    []map[seqdb.EventID][]int
+	idx    *seqdb.PositionIndex
 	opts   Options
 	minSup int
 	closed bool
@@ -89,46 +103,103 @@ type miner struct {
 	stats     Stats
 	landmarks map[uint64][]landmark
 	stop      bool
+
+	scratch minerScratch
+}
+
+// minerScratch holds the reusable per-worker buffers that make extensions()
+// allocation-free apart from each node's result arena. All per-event arrays
+// are epoch-stamped (see seqdb.BumpEpoch): bumping the epoch invalidates
+// every entry at once, so no clearing pass is ever needed between nodes.
+type minerScratch struct {
+	slots seqdb.EventSlots // extension-event slots and counts per node
+
+	inAlpha    []uint32 // event -> alphaEpoch when in the current pattern's alphabet
+	alphaEpoch uint32
+
+	winStamp []uint32 // event -> winEpoch when seen in some forward window
+	winEpoch uint32
+
+	seenStamp []uint32 // event -> seenEpoch when seen in the current window
+	seenEpoch uint32
+}
+
+func (m *miner) initScratch() {
+	n := m.idx.NumEvents()
+	m.scratch = minerScratch{
+		slots:     seqdb.NewEventSlots(n),
+		inAlpha:   make([]uint32, n),
+		winStamp:  make([]uint32, n),
+		seenStamp: make([]uint32, n),
+	}
 }
 
 func (m *miner) run() {
 	// Frequent single events by instance count (apriori base case).
-	counts := m.db.EventInstanceCount()
-	events := make([]seqdb.EventID, 0, len(counts))
-	for e, c := range counts {
-		if c >= m.minSup {
-			events = append(events, e)
-		}
+	events := m.idx.FrequentEventsByInstanceCount(m.minSup)
+	workers := m.opts.effectiveWorkers()
+	if workers > len(events) {
+		workers = len(events)
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
-
-	for _, e := range events {
-		if m.stop {
-			return
+	if workers <= 1 {
+		for _, e := range events {
+			if m.stop {
+				return
+			}
+			m.grow(seqdb.Pattern{e}, m.singleEventInstances(e))
 		}
-		insts := m.singleEventInstances(e)
-		m.grow(seqdb.Pattern{e}, insts)
+		return
+	}
+
+	// Parallel top-level search: each frequent seed event roots an independent
+	// subtree. Landmark entries can only ever match nodes sharing the seed
+	// event (equal instance lists force equal start events), so per-worker
+	// landmark tables reproduce the sequential pruning decisions exactly, and
+	// merging per-seed outputs in seed order makes the result byte-identical
+	// to the sequential run.
+	type seedOut struct {
+		emitted []MinedPattern
+		stats   Stats
+	}
+	outs := make([]seedOut, len(events))
+	par.ForWorker(len(events), workers, func() *miner {
+		sub := &miner{db: m.db, idx: m.idx, opts: m.opts, minSup: m.minSup, closed: m.closed}
+		sub.initScratch()
+		if m.closed {
+			sub.landmarks = make(map[uint64][]landmark)
+		}
+		return sub
+	}, func(sub *miner, i int) {
+		sub.emitted = nil
+		sub.stats = Stats{}
+		e := events[i]
+		sub.grow(seqdb.Pattern{e}, sub.singleEventInstances(e))
+		outs[i] = seedOut{emitted: sub.emitted, stats: sub.stats}
+	})
+	for i := range outs {
+		m.emitted = append(m.emitted, outs[i].emitted...)
+		m.stats.merge(outs[i].stats)
 	}
 }
 
-func (m *miner) singleEventInstances(e seqdb.EventID) []instance {
-	var out []instance
-	for si := range m.db.Sequences {
-		for _, p := range m.pos[si][e] {
-			out = append(out, instance{seq: int32(si), start: int32(p), end: int32(p)})
+func (m *miner) singleEventInstances(e seqdb.EventID) []span {
+	out := make([]span, 0, m.idx.EventInstanceCount(e))
+	for _, si := range m.idx.SeqsContaining(e) {
+		for _, p := range m.idx.Positions(int(si), e) {
+			out = append(out, span{Seq: si, Start: p, End: p})
 		}
 	}
 	return out
 }
 
 // grow explores the search-tree node for pattern p with instance list insts.
-func (m *miner) grow(p seqdb.Pattern, insts []instance) {
+func (m *miner) grow(p seqdb.Pattern, insts []span) {
 	if m.stop {
 		return
 	}
 	m.stats.NodesExplored++
 
-	extInsts, windowEvents := m.extensions(p, insts)
+	exts := m.extensions(p, insts)
 
 	emit := true
 	if m.closed {
@@ -140,7 +211,7 @@ func (m *miner) grow(p seqdb.Pattern, insts []instance) {
 		// extension of p has the matching extension of L with an identical
 		// instance list, so the whole subtree can only produce non-closed
 		// patterns and is skipped.
-		if witness, pruneSubtree := m.checkLandmarks(p, insts, windowEvents); witness {
+		if witness, pruneSubtree := m.checkLandmarks(p, insts); witness {
 			emit = false
 			m.stats.NonClosedSuppressed++
 			if pruneSubtree {
@@ -151,8 +222,8 @@ func (m *miner) grow(p seqdb.Pattern, insts []instance) {
 		// A suffix extension that preserves the support also witnesses
 		// non-closedness of p (Definition 4.2 with a suffix super-sequence).
 		if emit {
-			for _, list := range extInsts {
-				if len(list) == len(insts) {
+			for i := range exts {
+				if int(exts[i].count) == len(insts) {
 					emit = false
 					m.stats.NonClosedSuppressed++
 					break
@@ -168,28 +239,23 @@ func (m *miner) grow(p seqdb.Pattern, insts []instance) {
 		return
 	}
 
-	// Deterministic extension order.
-	exts := make([]seqdb.EventID, 0, len(extInsts))
-	for e := range extInsts {
-		exts = append(exts, e)
-	}
-	sort.Slice(exts, func(i, j int) bool { return exts[i] < exts[j] })
-
-	for _, e := range exts {
+	for i := range exts {
 		if m.stop {
 			return
 		}
-		list := extInsts[e]
-		if len(list) < m.minSup {
+		if int(exts[i].count) < m.minSup {
 			m.stats.NodesPrunedInfrequent++
 			continue
 		}
-		m.grow(p.Append(e), list)
+		m.grow(p.Append(exts[i].event), exts[i].insts)
 	}
 }
 
-// extensions computes, for every event e, the instance list of p ++ <e>, and
-// the set of all events observed in the forward windows of the instances.
+// extensions computes, for every event e, the instance list of p ++ <e>,
+// sorted by event id for deterministic traversal. It also leaves the set of
+// all events observed in the forward windows of the instances stamped in
+// scratch.winStamp (valid until the next extensions call), which
+// checkLandmarks consults.
 //
 // For each instance the candidate events are exactly the distinct events of
 // the forward window: the run of non-alphabet events following the instance,
@@ -197,48 +263,113 @@ func (m *miner) grow(p seqdb.Pattern, insts []instance) {
 // additionally requires that it does not occur inside the instance span,
 // because extending the pattern adds it to the QRE's exclusion set
 // (Definition 4.1).
-func (m *miner) extensions(p seqdb.Pattern, insts []instance) (map[seqdb.EventID][]instance, map[seqdb.EventID]struct{}) {
-	alphabet := p.Alphabet()
-	out := make(map[seqdb.EventID][]instance)
-	window := make(map[seqdb.EventID]struct{})
-	seen := make(map[seqdb.EventID]bool)
+//
+// This is a pseudo-projection: instead of materialising per-event maps the
+// node makes one counting pass over the forward windows, carves exactly-sized
+// instance lists out of a single arena allocation, and fills them in a second
+// pass. The gap-validity test uses the index's prev-occurrence chain, so it
+// is O(1) per candidate.
+func (m *miner) extensions(p seqdb.Pattern, insts []span) []extension {
+	sc := &m.scratch
+
+	alphaEpoch := seqdb.BumpEpoch(&sc.alphaEpoch, sc.inAlpha)
+	for _, e := range p {
+		sc.inAlpha[e] = alphaEpoch
+	}
+	winEpoch := seqdb.BumpEpoch(&sc.winEpoch, sc.winStamp)
+	sc.slots.Begin()
+
+	// Pass 1: discover extension events and count their instances.
 	for _, in := range insts {
-		s := m.db.Sequences[in.seq]
-		for k := range seen {
-			delete(seen, k)
-		}
-		positions := m.pos[in.seq]
-		for j := int(in.end) + 1; j < len(s); j++ {
+		s := m.db.Sequences[in.Seq]
+		seenEpoch := seqdb.BumpEpoch(&sc.seenEpoch, sc.seenStamp)
+		for j := int(in.End) + 1; j < len(s); j++ {
 			ev := s[j]
-			window[ev] = struct{}{}
-			if _, inAlpha := alphabet[ev]; inAlpha {
+			sc.winStamp[ev] = winEpoch
+			if sc.inAlpha[ev] == alphaEpoch {
 				// First alphabet event: always a valid extension, and the
 				// window ends here.
-				out[ev] = append(out[ev], instance{seq: in.seq, start: in.start, end: int32(j)})
+				sc.slots.Add(ev)
 				break
 			}
-			if seen[ev] {
+			if sc.seenStamp[ev] == seenEpoch {
 				continue
 			}
-			seen[ev] = true
+			sc.seenStamp[ev] = seenEpoch
 			// New symbol: its addition to the alphabet must not invalidate the
-			// existing gaps, so it may not occur inside the span.
-			if seqdb.CountInRange(positions[ev], int(in.start), int(in.end)+1) > 0 {
+			// existing gaps, so it may not occur inside the span. Because j is
+			// the first occurrence of ev in the window, its previous occurrence
+			// is at or before the span end, so one prev-occurrence read decides.
+			if m.idx.OccursWithin(int(in.Seq), j, int(in.Start)) {
 				continue
 			}
-			out[ev] = append(out[ev], instance{seq: in.seq, start: in.start, end: int32(j)})
+			sc.slots.Add(ev)
 		}
 	}
-	return out, window
+	if sc.slots.Len() == 0 {
+		return nil
+	}
+
+	// Carve exactly-sized per-event lists for the frequent extensions out of
+	// one arena; infrequent slots keep only their count.
+	exts := make([]extension, sc.slots.Len())
+	total := 0
+	for slot := range exts {
+		c := sc.slots.Count(slot)
+		exts[slot] = extension{event: sc.slots.Event(slot), count: c}
+		if int(c) >= m.minSup {
+			total += int(c)
+		}
+	}
+	arena := make([]span, total)
+	off := 0
+	for slot := range exts {
+		if c := int(exts[slot].count); c >= m.minSup {
+			exts[slot].insts = arena[off : off : off+c]
+			off += c
+		}
+	}
+
+	// Pass 2: fill the materialised lists.
+	for _, in := range insts {
+		s := m.db.Sequences[in.Seq]
+		seenEpoch := seqdb.BumpEpoch(&sc.seenEpoch, sc.seenStamp)
+		for j := int(in.End) + 1; j < len(s); j++ {
+			ev := s[j]
+			if sc.inAlpha[ev] == alphaEpoch {
+				x := &exts[sc.slots.Slot(ev)]
+				if x.insts != nil {
+					x.insts = append(x.insts, span{Seq: in.Seq, Start: in.Start, End: int32(j)})
+				}
+				break
+			}
+			if sc.seenStamp[ev] == seenEpoch {
+				continue
+			}
+			sc.seenStamp[ev] = seenEpoch
+			if m.idx.OccursWithin(int(in.Seq), j, int(in.Start)) {
+				continue
+			}
+			x := &exts[sc.slots.Slot(ev)]
+			if x.insts != nil {
+				x.insts = append(x.insts, span{Seq: in.Seq, Start: in.Start, End: int32(j)})
+			}
+		}
+	}
+
+	// Deterministic extension order. The slot indices in sc.slots are only
+	// consumed by pass 2 above, so sorting afterwards is safe.
+	slices.SortFunc(exts, func(a, b extension) int { return int(a.event) - int(b.event) })
+	return exts
 }
 
-func (m *miner) emit(p seqdb.Pattern, insts []instance) {
+func (m *miner) emit(p seqdb.Pattern, insts []span) {
 	mp := MinedPattern{Pattern: p.Clone(), Support: len(insts), SeqSupport: seqSupportOf(insts)}
 	if m.opts.IncludeInstances || m.closed {
 		// The closed miner always keeps instances while mining: the
 		// closedness filter needs them. They are dropped afterwards unless
 		// the caller asked for them.
-		mp.Instances = exportInstances(insts)
+		mp.Instances = qre.ExportSpans(insts)
 	}
 	m.emitted = append(m.emitted, mp)
 	if m.opts.MaxPatterns > 0 && len(m.emitted) >= m.opts.MaxPatterns {
@@ -246,24 +377,16 @@ func (m *miner) emit(p seqdb.Pattern, insts []instance) {
 	}
 }
 
-func seqSupportOf(insts []instance) int {
+func seqSupportOf(insts []span) int {
 	n := 0
 	last := int32(-1)
 	for _, in := range insts {
-		if in.seq != last {
+		if in.Seq != last {
 			n++
-			last = in.seq
+			last = in.Seq
 		}
 	}
 	return n
-}
-
-func exportInstances(insts []instance) []qre.Instance {
-	out := make([]qre.Instance, len(insts))
-	for i, in := range insts {
-		out[i] = in.export()
-	}
-	return out
 }
 
 // checkLandmarks consults and updates the landmark table. It returns
@@ -271,8 +394,10 @@ func exportInstances(insts []instance) []qre.Instance {
 // super-sequence of p (so p is certainly not closed), and pruneSubtree=true
 // when additionally none of the witness's extra events appears in p's forward
 // windows (so no extension of p can behave differently from the witness's
-// matching extension and the subtree holds no closed pattern).
-func (m *miner) checkLandmarks(p seqdb.Pattern, insts []instance, windowEvents map[seqdb.EventID]struct{}) (witness, pruneSubtree bool) {
+// matching extension and the subtree holds no closed pattern). Forward-window
+// membership is read from the winStamp scratch left by extensions.
+func (m *miner) checkLandmarks(p seqdb.Pattern, insts []span) (witness, pruneSubtree bool) {
+	sc := &m.scratch
 	sig := signatureOf(insts)
 	entries := m.landmarks[sig]
 	for i, lm := range entries {
@@ -286,7 +411,7 @@ func (m *miner) checkLandmarks(p seqdb.Pattern, insts []instance, windowEvents m
 				if p.Contains(ev) {
 					continue
 				}
-				if _, inWindow := windowEvents[ev]; inWindow {
+				if sc.winStamp[ev] == sc.winEpoch {
 					pruneSubtree = false
 					break
 				}
@@ -301,32 +426,21 @@ func (m *miner) checkLandmarks(p seqdb.Pattern, insts []instance, windowEvents m
 			return false, false
 		}
 	}
-	m.landmarks[sig] = append(entries, landmark{pattern: p.Clone(), instances: append([]instance(nil), insts...)})
+	m.landmarks[sig] = append(entries, landmark{pattern: p.Clone(), instances: insts})
 	return false, false
 }
 
-func signatureOf(insts []instance) uint64 {
-	h := fnv.New64a()
-	var buf [12]byte
+// signatureOf hashes an instance list with stack-allocated FNV-1a (this runs
+// once per closed-miner search node).
+func signatureOf(insts []span) uint64 {
+	h := seqdb.NewHash64()
 	for _, in := range insts {
-		buf[0] = byte(in.seq)
-		buf[1] = byte(in.seq >> 8)
-		buf[2] = byte(in.seq >> 16)
-		buf[3] = byte(in.seq >> 24)
-		buf[4] = byte(in.start)
-		buf[5] = byte(in.start >> 8)
-		buf[6] = byte(in.start >> 16)
-		buf[7] = byte(in.start >> 24)
-		buf[8] = byte(in.end)
-		buf[9] = byte(in.end >> 8)
-		buf[10] = byte(in.end >> 16)
-		buf[11] = byte(in.end >> 24)
-		h.Write(buf[:])
+		h = h.Mix32(in.Seq).Mix32(in.Start).Mix32(in.End)
 	}
-	return h.Sum64()
+	return uint64(h)
 }
 
-func sameInstances(a, b []instance) bool {
+func sameInstances(a, b []span) bool {
 	if len(a) != len(b) {
 		return false
 	}

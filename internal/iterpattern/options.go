@@ -15,6 +15,7 @@ package iterpattern
 import (
 	"errors"
 	"fmt"
+	"runtime"
 )
 
 // Options configures a mining run.
@@ -39,6 +40,13 @@ type Options struct {
 	// 0 means unlimited. It is a safety valve for interactive use and has no
 	// effect on the experiments, which run unbounded.
 	MaxPatterns int
+
+	// Workers bounds the worker pool that explores the top-level search tree
+	// (one frequent seed event per task). 0 and 1 run sequentially; negative
+	// values use GOMAXPROCS. Results are byte-identical to a sequential run
+	// for any worker count. MaxPatterns > 0 forces sequential mining, because
+	// the early-stop cutoff is defined by sequential emission order.
+	Workers int
 }
 
 // Validate reports configuration errors.
@@ -58,6 +66,20 @@ func (o Options) Validate() error {
 		return errors.New("iterpattern: MaxPatterns must be >= 0")
 	}
 	return nil
+}
+
+// effectiveWorkers resolves the Workers knob to a concrete worker count.
+func (o Options) effectiveWorkers() int {
+	if o.MaxPatterns > 0 {
+		return 1
+	}
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers == 0 {
+		return 1
+	}
+	return o.Workers
 }
 
 // absoluteSupport resolves the effective absolute instance-support threshold

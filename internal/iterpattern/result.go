@@ -49,6 +49,15 @@ type Stats struct {
 	Duration time.Duration
 }
 
+// merge accumulates the search counters of other into s. Duration and
+// PatternsEmitted are set once at the end of a run, not merged.
+func (s *Stats) merge(other Stats) {
+	s.NodesExplored += other.NodesExplored
+	s.NodesPrunedInfrequent += other.NodesPrunedInfrequent
+	s.SubtreesPrunedEquivalent += other.SubtreesPrunedEquivalent
+	s.NonClosedSuppressed += other.NonClosedSuppressed
+}
+
 // Result is the outcome of a mining run.
 type Result struct {
 	Patterns []MinedPattern

@@ -22,6 +22,28 @@ func (in Instance) String() string {
 	return fmt.Sprintf("(seq=%d,%d..%d)", in.Seq, in.Start, in.End)
 }
 
+// Span is the packed form of Instance used inside the mining hot paths: three
+// int32s instead of three ints, so instance lists pack twice as densely into
+// cache lines and arenas. Spans are exported to Instances only at result
+// boundaries.
+type Span struct {
+	Seq, Start, End int32
+}
+
+// Export widens the span to the public Instance form.
+func (sp Span) Export() Instance {
+	return Instance{Seq: int(sp.Seq), Start: int(sp.Start), End: int(sp.End)}
+}
+
+// ExportSpans bulk-converts a span list to instances in a single allocation.
+func ExportSpans(spans []Span) []Instance {
+	out := make([]Instance, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Export()
+	}
+	return out
+}
+
 // Contains reports whether in's span contains other's span (same sequence,
 // start <= other.Start and end >= other.End). This is exactly the
 // correspondence relation of Definition 4.2 read from the super-pattern side.
@@ -34,18 +56,18 @@ func (in Instance) Contains(other Instance) bool {
 // true on success. The match is deterministic: from a given start there is at
 // most one instance, because each gap must be free of the pattern's alphabet,
 // so the next pattern event must be the first alphabet event encountered.
+//
+// Alphabet membership is tested by scanning the pattern itself: mined
+// patterns are short, so the linear probe beats a map both in time and in
+// allocations (none).
 func MatchAt(s seqdb.Sequence, p seqdb.Pattern, start int) (end int, ok bool) {
 	if len(p) == 0 || start < 0 || start >= len(s) || s[start] != p[0] {
 		return 0, false
 	}
-	alphabet := p.Alphabet()
 	pos := start
 	for k := 1; k < len(p); k++ {
 		pos++
-		for pos < len(s) {
-			if _, inAlpha := alphabet[s[pos]]; inAlpha {
-				break
-			}
+		for pos < len(s) && !p.Contains(s[pos]) {
 			pos++
 		}
 		if pos >= len(s) || s[pos] != p[k] {
@@ -76,11 +98,23 @@ func FindInstances(s seqdb.Sequence, p seqdb.Pattern, seqIdx int) []Instance {
 }
 
 // FindAllInstances returns every instance of p across the whole database in
-// (sequence, start) order.
+// (sequence, start) order. All instances grow one shared slice, so the call
+// costs O(log instances) allocations rather than one per sequence.
 func FindAllInstances(db *seqdb.Database, p seqdb.Pattern) []Instance {
+	if len(p) == 0 {
+		return nil
+	}
 	var out []Instance
+	first := p[0]
 	for i, s := range db.Sequences {
-		out = append(out, FindInstances(s, p, i)...)
+		for j, ev := range s {
+			if ev != first {
+				continue
+			}
+			if end, ok := MatchAt(s, p, j); ok {
+				out = append(out, Instance{Seq: i, Start: j, End: end})
+			}
+		}
 	}
 	return out
 }
@@ -107,15 +141,22 @@ func CountInstances(db *seqdb.Database, p seqdb.Pattern) int {
 }
 
 // SequenceSupport returns the number of sequences containing at least one
-// instance of p.
+// instance of p. It allocates nothing.
 func SequenceSupport(db *seqdb.Database, p seqdb.Pattern) int {
 	if len(p) == 0 {
 		return 0
 	}
 	n := 0
-	for i, s := range db.Sequences {
-		if len(FindInstances(s, p, i)) > 0 {
-			n++
+	first := p[0]
+	for _, s := range db.Sequences {
+		for j, ev := range s {
+			if ev != first {
+				continue
+			}
+			if _, ok := MatchAt(s, p, j); ok {
+				n++
+				break
+			}
 		}
 	}
 	return n

@@ -1,10 +1,10 @@
 package rules
 
 import (
-	"hash/fnv"
-	"sort"
+	"slices"
 	"time"
 
+	"specmine/internal/par"
 	"specmine/internal/seqdb"
 )
 
@@ -37,7 +37,7 @@ func mineRules(db *seqdb.Database, opts Options, nonRedundant bool) (*Result, er
 	start := time.Now()
 	m := &ruleMiner{
 		db:        db,
-		pos:       db.Index(),
+		idx:       db.FlatIndex(),
 		opts:      opts,
 		minSeqSup: opts.absoluteSeqSupport(db.NumSequences()),
 		nr:        nonRedundant,
@@ -46,15 +46,18 @@ func mineRules(db *seqdb.Database, opts Options, nonRedundant bool) (*Result, er
 		m.premiseLandmarks = make(map[uint64][]premiseLandmark)
 	}
 	m.run()
+	mined := m.rules
+	if nonRedundant {
+		mined = m.removeRedundant(mined)
+	}
+	// Stats are copied only now: the final redundancy filter still increments
+	// RulesSuppressedRedundant.
 	res := &Result{
-		Rules:      m.rules,
+		Rules:      mined,
 		Stats:      m.stats,
 		MinSeqSup:  m.minSeqSup,
 		MinInstSup: opts.MinInstanceSupport,
 		MinConf:    opts.MinConfidence,
-	}
-	if nonRedundant {
-		res.Rules = m.removeRedundant(res.Rules)
 	}
 	res.Stats.RulesEmitted = len(res.Rules)
 	res.Stats.Duration = time.Since(start)
@@ -79,16 +82,25 @@ type tpRecord struct {
 }
 
 // premiseLandmark remembers a premise and its temporal-point identity for the
-// non-redundant miner's equivalence pruning.
+// non-redundant miner's equivalence pruning. The projection slice is shared
+// with the search node that produced it (projections are immutable once their
+// arena is filled), so registering a landmark copies no projection entries.
 type premiseLandmark struct {
 	premise seqdb.Pattern
 	last    seqdb.EventID
 	proj    []premiseProj
 }
 
+// consequentJob is one unit of parallel work: a surviving premise whose
+// consequent subtree is mined independently of every other premise.
+type consequentJob struct {
+	pre  seqdb.Pattern
+	proj []premiseProj
+}
+
 type ruleMiner struct {
 	db        *seqdb.Database
-	pos       []map[seqdb.EventID][]int
+	idx       *seqdb.PositionIndex
 	opts      Options
 	minSeqSup int
 	nr        bool
@@ -97,29 +109,64 @@ type ruleMiner struct {
 	stats            Stats
 	premiseLandmarks map[uint64][]premiseLandmark
 	stop             bool
+
+	// Premise-walk scratch (the premise tree is always walked sequentially:
+	// its landmark pruning depends on cross-seed exploration order).
+	scratch seqdb.EventSlots
+
+	// Sequential mode mines consequents inline through seqWorker; parallel
+	// mode collects jobs during the premise walk and fans them out afterwards.
+	seqWorker *ruleWorker
+	collect   bool
+	jobs      []consequentJob
 }
 
 func (m *ruleMiner) run() {
 	// Frequent single-event premises (Theorem 2 base case).
-	sup := m.db.EventSupport()
-	events := make([]seqdb.EventID, 0, len(sup))
-	for e, c := range sup {
-		if c >= m.minSeqSup {
-			events = append(events, e)
-		}
+	events := m.idx.FrequentEventsBySeqSupport(m.minSeqSup)
+	workers := m.opts.effectiveWorkers()
+	m.scratch = seqdb.NewEventSlots(m.idx.NumEvents())
+	m.collect = workers > 1
+	if !m.collect {
+		m.seqWorker = m.newWorker()
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+
 	for _, e := range events {
 		if m.stop {
-			return
+			break
 		}
-		var proj []premiseProj
-		for si := range m.db.Sequences {
-			if ps := m.pos[si][e]; len(ps) > 0 {
-				proj = append(proj, premiseProj{seq: int32(si), firstEnd: int32(ps[0])})
-			}
+		seqs := m.idx.SeqsContaining(e)
+		proj := make([]premiseProj, 0, len(seqs))
+		for _, si := range seqs {
+			proj = append(proj, premiseProj{seq: si, firstEnd: m.idx.Positions(int(si), e)[0]})
 		}
 		m.growPremise(seqdb.Pattern{e}, proj)
+	}
+
+	if !m.collect {
+		m.rules = m.seqWorker.rules
+		m.seqWorker.drainStats(&m.stats)
+		return
+	}
+
+	// Parallel consequent mining: jobs were collected in premise DFS order,
+	// each is independent, and merging per-job outputs in that order makes the
+	// emitted rule list byte-identical to a sequential run.
+	type jobOut struct {
+		rules []Rule
+		stats Stats
+	}
+	outs := make([]jobOut, len(m.jobs))
+	par.ForWorker(len(m.jobs), workers, m.newWorker, func(sub *ruleWorker, i int) {
+		sub.rules = nil
+		sub.mineConsequents(m.jobs[i].pre, m.jobs[i].proj)
+		outs[i].rules = sub.rules
+		sub.drainStats(&outs[i].stats)
+	})
+	for i := range outs {
+		m.rules = append(m.rules, outs[i].rules...)
+		m.stats.ConsequentNodesExplored += outs[i].stats.ConsequentNodesExplored
+		m.stats.RulesSuppressedRedundant += outs[i].stats.RulesSuppressedRedundant
 	}
 }
 
@@ -135,8 +182,17 @@ func (m *ruleMiner) growPremise(pre seqdb.Pattern, proj []premiseProj) {
 		return
 	}
 
-	// Steps 2–4: find temporal points and mine consequents for this premise.
-	m.mineConsequents(pre, proj)
+	// Steps 2–4: find temporal points and mine consequents for this premise,
+	// inline when sequential, deferred to the worker pool when parallel.
+	if m.collect {
+		m.jobs = append(m.jobs, consequentJob{pre: pre, proj: proj})
+	} else {
+		m.seqWorker.mineConsequents(pre, proj)
+		if m.seqWorker.stopped {
+			m.stop = true
+			return
+		}
+	}
 
 	if m.opts.MaxPremiseLength > 0 && len(pre) >= m.opts.MaxPremiseLength {
 		return
@@ -144,37 +200,72 @@ func (m *ruleMiner) growPremise(pre seqdb.Pattern, proj []premiseProj) {
 
 	// Candidate premise extensions: events occurring after the first temporal
 	// point in at least minSeqSup sequences (Theorem 2, apriori on s-support).
-	type ext struct{ proj []premiseProj }
-	counts := make(map[seqdb.EventID]*ext)
+	// An event extends the projection at its first occurrence within each
+	// suffix, which the index's prev-occurrence chain detects in O(1): s[j] is
+	// the first occurrence after firstEnd exactly when its previous occurrence
+	// precedes firstEnd+1.
+	sc := &m.scratch
+	sc.Begin()
 	for _, pr := range proj {
 		s := m.db.Sequences[pr.seq]
-		seen := make(map[seqdb.EventID]bool)
 		for j := int(pr.firstEnd) + 1; j < len(s); j++ {
-			ev := s[j]
-			if seen[ev] {
+			if m.idx.OccursWithin(int(pr.seq), j, int(pr.firstEnd)+1) {
 				continue
 			}
-			seen[ev] = true
-			o := counts[ev]
-			if o == nil {
-				o = &ext{}
-				counts[ev] = o
+			sc.Add(s[j])
+		}
+	}
+	if sc.Len() == 0 {
+		return
+	}
+
+	// Only extensions meeting the s-support threshold (Theorem 2) are
+	// materialised: the arena slices outlive the node inside landmark
+	// entries, so infrequent projections would be pinned for nothing.
+	type ext struct {
+		event seqdb.EventID
+		count int32
+		proj  []premiseProj
+	}
+	exts := make([]ext, sc.Len())
+	total := 0
+	for slot := range exts {
+		c := sc.Count(slot)
+		exts[slot] = ext{event: sc.Event(slot), count: c}
+		if int(c) >= m.minSeqSup {
+			total += int(c)
+		}
+	}
+	arena := make([]premiseProj, total)
+	off := 0
+	for slot := range exts {
+		if c := int(exts[slot].count); c >= m.minSeqSup {
+			exts[slot].proj = arena[off : off : off+c]
+			off += c
+		}
+	}
+	for _, pr := range proj {
+		s := m.db.Sequences[pr.seq]
+		for j := int(pr.firstEnd) + 1; j < len(s); j++ {
+			if m.idx.OccursWithin(int(pr.seq), j, int(pr.firstEnd)+1) {
+				continue
 			}
-			o.proj = append(o.proj, premiseProj{seq: pr.seq, firstEnd: int32(j)})
+			x := &exts[sc.Slot(s[j])]
+			if x.proj != nil {
+				x.proj = append(x.proj, premiseProj{seq: pr.seq, firstEnd: int32(j)})
+			}
 		}
 	}
-	events := make([]seqdb.EventID, 0, len(counts))
-	for ev, o := range counts {
-		if len(o.proj) >= m.minSeqSup {
-			events = append(events, ev)
-		}
-	}
-	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
-	for _, ev := range events {
+	slices.SortFunc(exts, func(a, b ext) int { return int(a.event) - int(b.event) })
+
+	for i := range exts {
 		if m.stop {
 			return
 		}
-		m.growPremise(pre.Append(ev), counts[ev].proj)
+		if int(exts[i].count) < m.minSeqSup {
+			continue
+		}
+		m.growPremise(pre.Append(exts[i].event), exts[i].proj)
 	}
 }
 
@@ -208,29 +299,19 @@ func (m *ruleMiner) premiseIsRedundant(pre seqdb.Pattern, proj []premiseProj) bo
 		}
 	}
 	m.premiseLandmarks[sig] = append(entries, premiseLandmark{
-		premise: pre.Clone(), last: last, proj: append([]premiseProj(nil), proj...),
+		premise: pre.Clone(), last: last, proj: proj,
 	})
 	return false
 }
 
+// premiseSignature hashes the premise identity with stack-allocated FNV-1a
+// (this runs once per premise search node).
 func premiseSignature(last seqdb.EventID, proj []premiseProj) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	buf[0] = byte(last)
-	buf[1] = byte(last >> 8)
-	h.Write(buf[:2])
+	h := seqdb.NewHash64().Mix16(int32(last))
 	for _, pr := range proj {
-		buf[0] = byte(pr.seq)
-		buf[1] = byte(pr.seq >> 8)
-		buf[2] = byte(pr.seq >> 16)
-		buf[3] = byte(pr.seq >> 24)
-		buf[4] = byte(pr.firstEnd)
-		buf[5] = byte(pr.firstEnd >> 8)
-		buf[6] = byte(pr.firstEnd >> 16)
-		buf[7] = byte(pr.firstEnd >> 24)
-		h.Write(buf[:])
+		h = h.Mix32(pr.seq).Mix32(pr.firstEnd)
 	}
-	return h.Sum64()
+	return uint64(h)
 }
 
 func sameProj(a, b []premiseProj) bool {
@@ -245,122 +326,201 @@ func sameProj(a, b []premiseProj) bool {
 	return true
 }
 
+// ruleWorker mines consequent subtrees. One worker serves the whole run in
+// sequential mode; parallel mode gives each pool goroutine its own worker so
+// the scratch buffers are never shared.
+type ruleWorker struct {
+	db        *seqdb.Database
+	idx       *seqdb.PositionIndex
+	opts      Options
+	nr        bool
+	scratch   seqdb.EventSlots
+	rules     []Rule
+	stopped   bool // MaxRules reached (sequential mode only)
+	nodes     int
+	redundant int
+}
+
+func (m *ruleMiner) newWorker() *ruleWorker {
+	return &ruleWorker{
+		db:      m.db,
+		idx:     m.idx,
+		opts:    m.opts,
+		nr:      m.nr,
+		scratch: seqdb.NewEventSlots(m.idx.NumEvents()),
+	}
+}
+
+// drainStats moves the worker's counters into stats.
+func (w *ruleWorker) drainStats(stats *Stats) {
+	stats.ConsequentNodesExplored += w.nodes
+	stats.RulesSuppressedRedundant += w.redundant
+	w.nodes = 0
+	w.redundant = 0
+}
+
 // mineConsequents performs steps 2–4 for one premise: it projects the
 // database at the premise's temporal points and grows consequents with
 // confidence-based pruning (Theorem 3).
-func (m *ruleMiner) mineConsequents(pre seqdb.Pattern, proj []premiseProj) {
-	seqSup := len(proj)
-	last := pre.Last()
-	var records []tpRecord
-	for _, pr := range proj {
-		for _, t := range m.pos[pr.seq][last] {
-			if int32(t) < pr.firstEnd {
-				continue
-			}
-			records = append(records, tpRecord{seq: pr.seq, tp: int32(t), cur: int32(t) + 1})
-		}
-	}
-	totalTP := len(records)
-	if totalTP == 0 {
+func (w *ruleWorker) mineConsequents(pre seqdb.Pattern, proj []premiseProj) {
+	if w.stopped {
 		return
 	}
-	m.growConsequent(pre, seqSup, totalTP, nil, records)
+	seqSup := len(proj)
+	last := pre.Last()
+	total := 0
+	for _, pr := range proj {
+		total += w.idx.CountFrom(int(pr.seq), last, int(pr.firstEnd))
+	}
+	if total == 0 {
+		return
+	}
+	records := make([]tpRecord, 0, total)
+	for _, pr := range proj {
+		for _, t := range w.idx.PositionsFrom(int(pr.seq), last, int(pr.firstEnd)) {
+			records = append(records, tpRecord{seq: pr.seq, tp: t, cur: t + 1})
+		}
+	}
+	w.growConsequent(pre, seqSup, len(records), nil, records)
 }
 
 // growConsequent explores the consequent search tree for a fixed premise.
 // records holds the temporal points at which the current consequent is still
 // satisfied, together with the position reached by its earliest embedding.
-func (m *ruleMiner) growConsequent(pre seqdb.Pattern, seqSup, totalTP int, post seqdb.Pattern, records []tpRecord) {
-	if m.stop {
+type consequentExt struct {
+	event   seqdb.EventID
+	count   int32
+	records []tpRecord
+}
+
+func (w *ruleWorker) growConsequent(pre seqdb.Pattern, seqSup, totalTP int, post seqdb.Pattern, records []tpRecord) {
+	if w.stopped {
 		return
 	}
-	m.stats.ConsequentNodesExplored++
+	w.nodes++
 
-	// Candidate consequent extensions with their surviving records.
-	counts := make(map[seqdb.EventID][]tpRecord)
-	for _, r := range records {
-		s := m.db.Sequences[r.seq]
-		seen := make(map[seqdb.EventID]bool)
-		for j := int(r.cur); j < len(s); j++ {
-			ev := s[j]
-			if seen[ev] {
-				continue
-			}
-			seen[ev] = true
-			counts[ev] = append(counts[ev], tpRecord{seq: r.seq, tp: r.tp, cur: int32(j) + 1})
-		}
-	}
-
-	minSatisfied := int(m.opts.MinConfidence*float64(totalTP) - 1e-9)
-	if float64(minSatisfied) < m.opts.MinConfidence*float64(totalTP)-1e-9 {
+	// The confidence floor on surviving temporal points (Theorem 3) is fixed
+	// for the whole premise, so it also decides which candidate extensions
+	// are worth materialising below.
+	minSatisfied := int(w.opts.MinConfidence*float64(totalTP) - 1e-9)
+	if float64(minSatisfied) < w.opts.MinConfidence*float64(totalTP)-1e-9 {
 		minSatisfied++
 	}
 	if minSatisfied < 1 {
 		minSatisfied = 1
 	}
 
+	// Candidate consequent extensions with their surviving records: an event
+	// survives a record at its first occurrence in the record's suffix, which
+	// is again a single prev-occurrence read per position. Extensions below
+	// the confidence floor keep only their count: they are never recursed
+	// into, and the redundancy check below can only match extensions whose
+	// count equals len(records) >= minSatisfied.
+	sc := &w.scratch
+	sc.Begin()
+	for _, r := range records {
+		s := w.db.Sequences[r.seq]
+		for j := int(r.cur); j < len(s); j++ {
+			if w.idx.OccursWithin(int(r.seq), j, int(r.cur)) {
+				continue
+			}
+			sc.Add(s[j])
+		}
+	}
+	var exts []consequentExt
+	if sc.Len() > 0 {
+		exts = make([]consequentExt, sc.Len())
+		total := 0
+		for slot := range exts {
+			c := sc.Count(slot)
+			exts[slot] = consequentExt{event: sc.Event(slot), count: c}
+			if int(c) >= minSatisfied {
+				total += int(c)
+			}
+		}
+		arena := make([]tpRecord, total)
+		off := 0
+		for slot := range exts {
+			if c := int(exts[slot].count); c >= minSatisfied {
+				exts[slot].records = arena[off : off : off+c]
+				off += c
+			}
+		}
+		for _, r := range records {
+			s := w.db.Sequences[r.seq]
+			for j := int(r.cur); j < len(s); j++ {
+				if w.idx.OccursWithin(int(r.seq), j, int(r.cur)) {
+					continue
+				}
+				x := &exts[sc.Slot(s[j])]
+				if x.records != nil {
+					x.records = append(x.records, tpRecord{seq: r.seq, tp: r.tp, cur: int32(j) + 1})
+				}
+			}
+		}
+		slices.SortFunc(exts, func(a, b consequentExt) int { return int(a.event) - int(b.event) })
+	}
+
 	if len(post) > 0 {
 		conf := float64(len(records)) / float64(totalTP)
-		iSup := m.instanceSupport(post, records)
-		emit := iSup >= m.opts.MinInstanceSupport && conf+1e-12 >= m.opts.MinConfidence
-		if emit && m.nr && (m.opts.MaxConsequentLength == 0 || len(post) < m.opts.MaxConsequentLength) {
+		iSup := w.instanceSupport(post, records)
+		emit := iSup >= w.opts.MinInstanceSupport && conf+1e-12 >= w.opts.MinConfidence
+		if emit && w.nr && (w.opts.MaxConsequentLength == 0 || len(post) < w.opts.MaxConsequentLength) {
 			// A consequent extension that keeps every statistic identical
 			// makes this rule redundant (Definition 5.2 keeps the longer
-			// consequent), so it is not reported on its own.
-			for ev, extRecords := range counts {
-				if len(extRecords) == len(records) && m.instanceSupportFor(ev, extRecords) == iSup {
+			// consequent), so it is not reported on its own. Such an
+			// extension has count == len(records) >= minSatisfied, so it is
+			// always materialised.
+			for i := range exts {
+				if int(exts[i].count) == len(records) && w.instanceSupportFor(exts[i].event, exts[i].records) == iSup {
 					emit = false
-					m.stats.RulesSuppressedRedundant++
+					w.redundant++
 					break
 				}
 			}
 		}
 		if emit {
-			m.rules = append(m.rules, Rule{
+			w.rules = append(w.rules, Rule{
 				Pre:             pre.Clone(),
 				Post:            post.Clone(),
 				SeqSupport:      seqSup,
 				InstanceSupport: iSup,
 				Confidence:      conf,
 			})
-			if m.opts.MaxRules > 0 && len(m.rules) >= m.opts.MaxRules {
-				m.stop = true
+			if w.opts.MaxRules > 0 && len(w.rules) >= w.opts.MaxRules {
+				w.stopped = true
 				return
 			}
 		}
 	}
 
-	if m.opts.MaxConsequentLength > 0 && len(post) >= m.opts.MaxConsequentLength {
+	if w.opts.MaxConsequentLength > 0 && len(post) >= w.opts.MaxConsequentLength {
 		return
 	}
 
-	events := make([]seqdb.EventID, 0, len(counts))
-	for ev, extRecords := range counts {
-		// Theorem 3: extending the consequent can only lose satisfied temporal
-		// points, so subtrees below the confidence threshold are pruned.
-		if len(extRecords) >= minSatisfied {
-			events = append(events, ev)
-		}
-	}
-	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
-	for _, ev := range events {
-		if m.stop {
+	for i := range exts {
+		if w.stopped {
 			return
 		}
-		m.growConsequent(pre, seqSup, totalTP, post.Append(ev), counts[ev])
+		// Theorem 3: extending the consequent can only lose satisfied temporal
+		// points, so subtrees below the confidence threshold are pruned.
+		if int(exts[i].count) < minSatisfied {
+			continue
+		}
+		w.growConsequent(pre, seqSup, totalTP, post.Append(exts[i].event), exts[i].records)
 	}
 }
 
 // instanceSupport computes the i-support of pre -> post from the surviving
 // temporal-point records: the number of occurrences of last(post) at or after
 // the earliest completion of pre ++ post in each sequence.
-func (m *ruleMiner) instanceSupport(post seqdb.Pattern, records []tpRecord) int {
-	return m.instanceSupportFor(post.Last(), records)
+func (w *ruleWorker) instanceSupport(post seqdb.Pattern, records []tpRecord) int {
+	return w.instanceSupportFor(post.Last(), records)
 }
 
 // instanceSupportFor is instanceSupport with the last consequent event given
 // explicitly, so it can also score candidate extensions cheaply.
-func (m *ruleMiner) instanceSupportFor(last seqdb.EventID, records []tpRecord) int {
+func (w *ruleWorker) instanceSupportFor(last seqdb.EventID, records []tpRecord) int {
 	iSup := 0
 	seenSeq := int32(-1)
 	for _, r := range records {
@@ -368,8 +528,7 @@ func (m *ruleMiner) instanceSupportFor(last seqdb.EventID, records []tpRecord) i
 			continue // only the earliest temporal point per sequence matters
 		}
 		seenSeq = r.seq
-		completion := int(r.cur) - 1
-		iSup += seqdb.CountInRange(m.pos[r.seq][last], completion, len(m.db.Sequences[r.seq]))
+		iSup += w.idx.CountFrom(int(r.seq), last, int(r.cur)-1)
 	}
 	return iSup
 }

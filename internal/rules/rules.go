@@ -21,6 +21,7 @@ package rules
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -49,6 +50,16 @@ type Options struct {
 	// MaxRules aborts mining after emitting this many rules (0 = unlimited).
 	// It is a safety valve for interactive use.
 	MaxRules int
+
+	// Workers bounds the worker pool that mines consequent subtrees. The
+	// premise tree is always walked sequentially (its redundancy pruning
+	// depends on exploration order), collecting one job per surviving premise;
+	// jobs then fan out across the pool. 0 and 1 run fully sequentially;
+	// negative values use GOMAXPROCS. Results are byte-identical to a
+	// sequential run for any worker count. MaxRules > 0 forces sequential
+	// mining, because the early-stop cutoff is defined by sequential emission
+	// order.
+	Workers int
 }
 
 // Validate reports configuration errors.
@@ -66,6 +77,20 @@ func (o Options) Validate() error {
 		return errors.New("rules: length and rule bounds must be >= 0")
 	}
 	return nil
+}
+
+// effectiveWorkers resolves the Workers knob to a concrete worker count.
+func (o Options) effectiveWorkers() int {
+	if o.MaxRules > 0 {
+		return 1
+	}
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers == 0 {
+		return 1
+	}
+	return o.Workers
 }
 
 func (o Options) absoluteSeqSupport(numSequences int) int {

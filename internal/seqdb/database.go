@@ -13,8 +13,12 @@ type Database struct {
 
 	// positions[i] caches, for sequence i, the sorted occurrence positions of
 	// every event in that sequence. It is built lazily by Index and used by
-	// the miners for O(log n) next-occurrence queries.
+	// legacy callers for O(log n) next-occurrence queries.
 	positions []map[EventID][]int
+
+	// flat caches the flat positional index built by FlatIndex. The miners'
+	// hot paths run entirely against it.
+	flat *PositionIndex
 }
 
 // NewDatabase returns an empty database with a fresh dictionary.
@@ -36,6 +40,7 @@ func NewDatabaseWithDict(dict *Dictionary) *Database {
 func (db *Database) Append(s Sequence) {
 	db.Sequences = append(db.Sequences, s)
 	db.positions = nil
+	db.flat = nil
 }
 
 // AppendNames interns each name and appends the resulting sequence. It is
@@ -78,6 +83,17 @@ func (db *Database) Index() []map[EventID][]int {
 // the cache if necessary.
 func (db *Database) Positions(i int) map[EventID][]int {
 	return db.Index()[i]
+}
+
+// FlatIndex builds (or returns the cached) flat positional index over the
+// database. All miners run their hot paths against this representation; see
+// PositionIndex for the layout. The index is immutable and safe for
+// concurrent use once built.
+func (db *Database) FlatIndex() *PositionIndex {
+	if db.flat == nil {
+		db.flat = BuildPositionIndex(db.Sequences, db.Dict.Size())
+	}
+	return db.flat
 }
 
 // EventSupport returns, for every event, the number of sequences in which it

@@ -1,0 +1,292 @@
+package seqdb
+
+import "sort"
+
+// PositionIndex is the flat, cache-friendly positional index used by the
+// mining hot paths. It replaces the per-sequence map[EventID][]int layout of
+// Database.Index with a CSR (compressed sparse row) representation:
+//
+//   - one shared int32 arena holds every position list back to back;
+//   - each sequence owns a sorted slice of the distinct events it contains and
+//     a parallel offset table into the arena, so a (sequence, event) lookup is
+//     a binary search over the sequence's (typically small) local alphabet;
+//   - prevOcc[s][j] stores the previous position of event s[j] within sequence
+//     s (or -1), which turns "does this event occur inside span [lo..j)?" —
+//     the gap-validity test the QRE semantics needs at every search-tree node —
+//     into a single O(1) array read;
+//   - a per-event postings CSR lists, for every event, the sequences that
+//     contain it, which drives seed generation without map iteration.
+//
+// All derived data is immutable after Build, so one index is safely shared by
+// any number of concurrent mining workers.
+type PositionIndex struct {
+	numEvents int
+
+	// Per-sequence CSR: seqEvents[s] is the sorted distinct-event list of
+	// sequence s, seqOffsets[s][k] the arena offset of the position list of
+	// seqEvents[s][k] (seqOffsets[s] has one trailing sentinel entry).
+	seqEvents  [][]EventID
+	seqOffsets [][]int32
+	posArena   []int32
+
+	// prevOcc[s][j] is the previous position of event s[j] in s, or -1.
+	prevOcc [][]int32
+
+	// Per-event postings CSR: postSeqs[postOffsets[e]:postOffsets[e+1]] lists
+	// the sequences containing event e, in increasing order.
+	postSeqs    []int32
+	postOffsets []int32
+
+	// instCount[e] is the total number of occurrences of event e.
+	instCount []int32
+}
+
+// BuildPositionIndex constructs the index for the given sequences. numEvents
+// must be at least one greater than the largest event id referenced.
+func BuildPositionIndex(sequences []Sequence, numEvents int) *PositionIndex {
+	for _, s := range sequences {
+		for _, e := range s {
+			if int(e) >= numEvents {
+				numEvents = int(e) + 1
+			}
+		}
+	}
+	idx := &PositionIndex{
+		numEvents:  numEvents,
+		seqEvents:  make([][]EventID, len(sequences)),
+		seqOffsets: make([][]int32, len(sequences)),
+		prevOcc:    make([][]int32, len(sequences)),
+		instCount:  make([]int32, numEvents),
+	}
+
+	totalEvents := 0
+	for _, s := range sequences {
+		totalEvents += len(s)
+	}
+	idx.posArena = make([]int32, 0, totalEvents)
+	prevArena := make([]int32, totalEvents)
+
+	// Scratch keyed by event id, reset via the per-sequence touched list so
+	// building stays O(total events + distinct events log distinct events).
+	lastSeen := make([]int32, numEvents)
+	counts := make([]int32, numEvents)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	seqSupport := make([]int32, numEvents)
+	touched := make([]EventID, 0, 64)
+
+	// One backing array for all distinct-event lists and offset tables keeps
+	// the per-sequence headers contiguous too.
+	distinctTotal := 0
+	for _, s := range sequences {
+		touched = touched[:0]
+		for _, e := range s {
+			if counts[e] == 0 {
+				touched = append(touched, e)
+			}
+			counts[e]++
+		}
+		distinctTotal += len(touched)
+		for _, e := range touched {
+			counts[e] = 0
+		}
+	}
+	eventsArena := make([]EventID, 0, distinctTotal)
+	offsetsArena := make([]int32, 0, distinctTotal+len(sequences))
+
+	cursor := make([]int32, numEvents)
+	prevBase := 0
+	for si, s := range sequences {
+		// Distinct events and their occurrence counts.
+		touched = touched[:0]
+		for _, e := range s {
+			if counts[e] == 0 {
+				touched = append(touched, e)
+			}
+			counts[e]++
+			idx.instCount[e]++
+		}
+		sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
+
+		evBase := len(eventsArena)
+		eventsArena = append(eventsArena, touched...)
+		idx.seqEvents[si] = eventsArena[evBase : evBase+len(touched)]
+
+		offBase := len(offsetsArena)
+		off := int32(len(idx.posArena))
+		for _, e := range touched {
+			offsetsArena = append(offsetsArena, off)
+			cursor[e] = off
+			off += counts[e]
+			seqSupport[e]++
+		}
+		offsetsArena = append(offsetsArena, off)
+		idx.seqOffsets[si] = offsetsArena[offBase : offBase+len(touched)+1]
+		idx.posArena = idx.posArena[:off]
+
+		// Fill position lists and the prev-occurrence array in one pass.
+		prev := prevArena[prevBase : prevBase+len(s)]
+		prevBase += len(s)
+		for j, e := range s {
+			idx.posArena[cursor[e]] = int32(j)
+			cursor[e]++
+			prev[j] = lastSeen[e]
+			lastSeen[e] = int32(j)
+		}
+		idx.prevOcc[si] = prev
+		for _, e := range touched {
+			counts[e] = 0
+			lastSeen[e] = -1
+		}
+	}
+
+	// Per-event postings.
+	idx.postOffsets = make([]int32, numEvents+1)
+	total := int32(0)
+	for e := 0; e < numEvents; e++ {
+		idx.postOffsets[e] = total
+		total += seqSupport[e]
+	}
+	idx.postOffsets[numEvents] = total
+	idx.postSeqs = make([]int32, total)
+	postCursor := make([]int32, numEvents)
+	copy(postCursor, idx.postOffsets[:numEvents])
+	for si := range sequences {
+		for _, e := range idx.seqEvents[si] {
+			idx.postSeqs[postCursor[e]] = int32(si)
+			postCursor[e]++
+		}
+	}
+	return idx
+}
+
+// NumEvents returns the size of the event-id space covered by the index.
+func (idx *PositionIndex) NumEvents() int { return idx.numEvents }
+
+// NumSequences returns the number of indexed sequences.
+func (idx *PositionIndex) NumSequences() int { return len(idx.seqEvents) }
+
+// Positions returns the sorted occurrence positions of event e in sequence s,
+// or nil when e does not occur there.
+func (idx *PositionIndex) Positions(s int, e EventID) []int32 {
+	events := idx.seqEvents[s]
+	lo, hi := 0, len(events)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if events[mid] < e {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(events) || events[lo] != e {
+		return nil
+	}
+	offs := idx.seqOffsets[s]
+	return idx.posArena[offs[lo]:offs[lo+1]]
+}
+
+// SeqEvents returns the sorted distinct events of sequence s. The returned
+// slice is shared and must not be modified.
+func (idx *PositionIndex) SeqEvents(s int) []EventID { return idx.seqEvents[s] }
+
+// PrevOccurrence returns the position of the previous occurrence (before pos)
+// of the event located at position pos of sequence s, or -1 when pos holds its
+// first occurrence.
+func (idx *PositionIndex) PrevOccurrence(s, pos int) int32 { return idx.prevOcc[s][pos] }
+
+// OccursWithin reports whether the event at position pos of sequence s also
+// occurs somewhere in [lo, pos). It relies on the prev-occurrence chain, so it
+// is exact only when pos holds the first occurrence at or after lo' for every
+// lo' in (prevOcc, pos]; the miners always query it in that regime.
+func (idx *PositionIndex) OccursWithin(s, pos, lo int) bool {
+	return idx.prevOcc[s][pos] >= int32(lo)
+}
+
+// searchInt32 returns the smallest index i with positions[i] >= from.
+func searchInt32(positions []int32, from int32) int {
+	lo, hi := 0, len(positions)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if positions[mid] < from {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CountInRange returns the number of occurrences of e in sequence s falling
+// in the half-open position interval [lo, hi).
+func (idx *PositionIndex) CountInRange(s int, e EventID, lo, hi int) int {
+	if hi <= lo {
+		return 0
+	}
+	positions := idx.Positions(s, e)
+	return searchInt32(positions, int32(hi)) - searchInt32(positions, int32(lo))
+}
+
+// CountFrom returns the number of occurrences of e in sequence s at position
+// from or later.
+func (idx *PositionIndex) CountFrom(s int, e EventID, from int) int {
+	positions := idx.Positions(s, e)
+	return len(positions) - searchInt32(positions, int32(from))
+}
+
+// PositionsFrom returns the sorted occurrence positions of e in sequence s
+// that are >= from.
+func (idx *PositionIndex) PositionsFrom(s int, e EventID, from int) []int32 {
+	positions := idx.Positions(s, e)
+	return positions[searchInt32(positions, int32(from)):]
+}
+
+// NextAfter returns the smallest position >= from at which e occurs in
+// sequence s, or -1 when there is none.
+func (idx *PositionIndex) NextAfter(s int, e EventID, from int) int32 {
+	positions := idx.Positions(s, e)
+	i := searchInt32(positions, int32(from))
+	if i == len(positions) {
+		return -1
+	}
+	return positions[i]
+}
+
+// SeqsContaining returns the sequences containing event e, in increasing
+// order. The returned slice is shared and must not be modified.
+func (idx *PositionIndex) SeqsContaining(e EventID) []int32 {
+	return idx.postSeqs[idx.postOffsets[e]:idx.postOffsets[e+1]]
+}
+
+// EventSeqSupport returns the number of sequences containing event e.
+func (idx *PositionIndex) EventSeqSupport(e EventID) int {
+	return int(idx.postOffsets[e+1] - idx.postOffsets[e])
+}
+
+// EventInstanceCount returns the total number of occurrences of event e.
+func (idx *PositionIndex) EventInstanceCount(e EventID) int { return int(idx.instCount[e]) }
+
+// FrequentEventsByInstanceCount returns, sorted by id, the events with at
+// least min total occurrences.
+func (idx *PositionIndex) FrequentEventsByInstanceCount(min int) []EventID {
+	var out []EventID
+	for e := 0; e < idx.numEvents; e++ {
+		if int(idx.instCount[e]) >= min {
+			out = append(out, EventID(e))
+		}
+	}
+	return out
+}
+
+// FrequentEventsBySeqSupport returns, sorted by id, the events occurring in at
+// least min distinct sequences.
+func (idx *PositionIndex) FrequentEventsBySeqSupport(min int) []EventID {
+	var out []EventID
+	for e := 0; e < idx.numEvents; e++ {
+		if idx.EventSeqSupport(EventID(e)) >= min {
+			out = append(out, EventID(e))
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package seqdb
+
+// Scratch helpers shared by the mining hot paths. Both miners collect
+// per-event extension buckets at every search-tree node; doing that with maps
+// dominates the profile, so they use epoch-stamped dense arrays instead:
+// bumping an epoch invalidates every entry at once and no clearing pass is
+// ever needed between nodes. The subtle part — handling the (practically
+// unreachable) epoch wraparound so stale stamps can never alias a fresh
+// epoch — lives here exactly once.
+
+// BumpEpoch advances an epoch counter, clearing the stamp arrays on uint32
+// wraparound, and returns the new epoch.
+func BumpEpoch(epoch *uint32, stamps ...[]uint32) uint32 {
+	*epoch++
+	if *epoch == 0 {
+		for _, s := range stamps {
+			clear(s)
+		}
+		*epoch = 1
+	}
+	return *epoch
+}
+
+// EventSlots assigns dense slot numbers to the distinct events touched while
+// scanning one search-tree node, and counts occurrences per slot. Begin
+// resets it in O(1); Add is O(1) per event.
+type EventSlots struct {
+	slotOf []int32
+	stamp  []uint32
+	epoch  uint32
+	events []EventID
+	counts []int32
+}
+
+// NewEventSlots returns slots for an event-id space of size numEvents.
+func NewEventSlots(numEvents int) EventSlots {
+	return EventSlots{
+		slotOf: make([]int32, numEvents),
+		stamp:  make([]uint32, numEvents),
+	}
+}
+
+// Begin starts a new node: all previous slot assignments become invalid.
+func (es *EventSlots) Begin() {
+	BumpEpoch(&es.epoch, es.stamp)
+	es.events = es.events[:0]
+	es.counts = es.counts[:0]
+}
+
+// Add counts one occurrence of ev, assigning it a slot on first sight, and
+// returns the slot.
+func (es *EventSlots) Add(ev EventID) int32 {
+	if es.stamp[ev] == es.epoch {
+		s := es.slotOf[ev]
+		es.counts[s]++
+		return s
+	}
+	s := int32(len(es.events))
+	es.stamp[ev] = es.epoch
+	es.slotOf[ev] = s
+	es.events = append(es.events, ev)
+	es.counts = append(es.counts, 1)
+	return s
+}
+
+// Slot returns the slot previously assigned to ev by Add in the current
+// node. It must only be called for events already added.
+func (es *EventSlots) Slot(ev EventID) int32 { return es.slotOf[ev] }
+
+// Len returns the number of distinct events added in the current node.
+func (es *EventSlots) Len() int { return len(es.events) }
+
+// Event returns the event occupying the given slot.
+func (es *EventSlots) Event(slot int) EventID { return es.events[slot] }
+
+// Count returns the occurrence count of the given slot.
+func (es *EventSlots) Count(slot int) int32 { return es.counts[slot] }
+
+// Hash64 is an incremental FNV-1a hasher for the miners' landmark
+// signatures; unlike hash/fnv it lives on the stack and allocates nothing.
+type Hash64 uint64
+
+// NewHash64 returns the FNV-1a offset basis.
+func NewHash64() Hash64 { return 14695981039346656037 }
+
+// Mix32 folds the four bytes of v into the hash, least significant first
+// (byte-compatible with writing the little-endian encoding to hash/fnv).
+func (h Hash64) Mix32(v int32) Hash64 {
+	const prime64 = 1099511628211
+	h = (h ^ Hash64(byte(v))) * prime64
+	h = (h ^ Hash64(byte(v>>8))) * prime64
+	h = (h ^ Hash64(byte(v>>16))) * prime64
+	h = (h ^ Hash64(byte(v>>24))) * prime64
+	return h
+}
+
+// Mix16 folds the low two bytes of v into the hash, least significant first.
+func (h Hash64) Mix16(v int32) Hash64 {
+	const prime64 = 1099511628211
+	h = (h ^ Hash64(byte(v))) * prime64
+	h = (h ^ Hash64(byte(v>>8))) * prime64
+	return h
+}

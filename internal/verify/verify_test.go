@@ -26,7 +26,7 @@ func lockRule(db *seqdb.Database) rules.Rule {
 func TestCheckRuleFindsViolations(t *testing.T) {
 	db := mkdb(
 		[]string{"lock", "use", "unlock"},
-		[]string{"lock", "use"}, // violation at position 0
+		[]string{"lock", "use"},            // violation at position 0
 		[]string{"lock", "unlock", "lock"}, // violation at position 2
 		[]string{"idle"},
 	)
