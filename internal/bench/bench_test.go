@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -10,13 +11,16 @@ import (
 	"specmine/internal/bench/baseline"
 	"specmine/internal/iterpattern"
 	"specmine/internal/rules"
+	"specmine/internal/verify"
 )
 
 func BenchmarkMineClosed(b *testing.B) {
 	for _, c := range ClosedCases() {
 		db := c.Gen()
 		db.FlatIndex()
-		db.Index()
+		if !c.SkipBaseline {
+			db.Index()
+		}
 		b.Run(c.Name+"/flat", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -25,6 +29,9 @@ func BenchmarkMineClosed(b *testing.B) {
 				}
 			}
 		})
+		if c.SkipBaseline {
+			continue
+		}
 		b.Run(c.Name+"/baseline", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -36,21 +43,29 @@ func BenchmarkMineClosed(b *testing.B) {
 	}
 }
 
+// BenchmarkMineClosedWorkers measures parallel scaling of the pattern miner
+// on the cases marked Parallel. Interpret ns/op together with GOMAXPROCS
+// (reported in the trajectory per row): on a single-processor runner the
+// rows measure pool overhead, not speedup.
 func BenchmarkMineClosedWorkers(b *testing.B) {
-	c := ClosedCases()[1]
-	db := c.Gen()
-	db.FlatIndex()
-	for _, workers := range []int{1, 2, 4} {
-		opts := c.Opts
-		opts.Workers = workers
-		b.Run(c.Name+"/workers="+string(rune('0'+workers)), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := iterpattern.MineClosed(db, opts); err != nil {
-					b.Fatal(err)
+	for _, c := range ClosedCases() {
+		if !c.Parallel {
+			continue
+		}
+		db := c.Gen()
+		db.FlatIndex()
+		for _, workers := range append([]int{1}, ParallelWorkerCounts...) {
+			opts := c.Opts
+			opts.Workers = workers
+			b.Run(fmt.Sprintf("%s/workers=%d", c.Name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := iterpattern.MineClosed(db, opts); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -63,6 +78,64 @@ func BenchmarkMineRules(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := rules.MineNonRedundant(db, c.Opts); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMineRulesWorkers measures parallel scaling of the rule miner —
+// premise enumeration and consequent mining both fan out — on the cases
+// marked Parallel.
+func BenchmarkMineRulesWorkers(b *testing.B) {
+	for _, c := range RuleCases() {
+		if !c.Parallel {
+			continue
+		}
+		db := c.Gen()
+		db.FlatIndex()
+		for _, workers := range append([]int{1}, ParallelWorkerCounts...) {
+			opts := c.Opts
+			opts.Workers = workers
+			b.Run(fmt.Sprintf("%s/workers=%d", c.Name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := rules.MineNonRedundant(db, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkVerify compares the batched conformance engine against the
+// per-rule rescan on the serving-path scenario: a fixed mined rule set
+// checked against a fresh trace batch.
+func BenchmarkVerify(b *testing.B) {
+	for _, c := range VerifyCases() {
+		ruleSet, db := c.Gen()
+		if len(ruleSet) == 0 {
+			b.Fatalf("%s: no rules mined", c.Name)
+		}
+		db.FlatIndex()
+		engine, err := verify.NewEngine(ruleSet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s/rules=%d/batched", c.Name, len(ruleSet)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = engine.Check(db)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/rules=%d/per-rule", c.Name, len(ruleSet)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range ruleSet {
+					if _, err := verify.CheckRule(db, r); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		})
@@ -86,39 +159,79 @@ func BenchmarkBuildIndex(b *testing.B) {
 	})
 }
 
-// --- BENCH_mining.json trajectory ----------------------------------------
+// --- BENCH_mining.json trajectory (schema v2) ------------------------------
 
-// trajectoryCase is one row of the checked-in benchmark trajectory.
+// parallelRow is one worker-scaling measurement. GOMAXPROCS is recorded per
+// row — a parallel ns/op is meaningless without knowing how many processors
+// the pool actually had (the v1 schema carried one global field, which
+// misleadingly paired a workers=4 number with gomaxprocs=1).
+type parallelRow struct {
+	Workers    int   `json:"workers"`
+	NsPerOp    int64 `json:"ns_per_op"`
+	Gomaxprocs int   `json:"gomaxprocs"`
+}
+
+// trajectoryCase is one closed-mining row of the checked-in trajectory.
 type trajectoryCase struct {
-	Name              string  `json:"name"`
-	Sequences         int     `json:"sequences"`
-	Alphabet          int     `json:"alphabet"`
-	Density           string  `json:"density"`
-	Patterns          int     `json:"patterns"`
-	FlatNsPerOp       int64   `json:"flat_ns_per_op"`
-	FlatAllocsPerOp   int64   `json:"flat_allocs_per_op"`
-	FlatBytesPerOp    int64   `json:"flat_bytes_per_op"`
-	BaseNsPerOp       int64   `json:"baseline_ns_per_op"`
-	BaseAllocsPerOp   int64   `json:"baseline_allocs_per_op"`
-	BaseBytesPerOp    int64   `json:"baseline_bytes_per_op"`
-	Speedup           float64 `json:"speedup"`
-	AllocReduction    float64 `json:"alloc_reduction"`
-	BytesReduction    float64 `json:"bytes_reduction"`
-	ParallelW4NsPerOp int64   `json:"parallel_w4_ns_per_op,omitempty"`
+	Name            string        `json:"name"`
+	Sequences       int           `json:"sequences"`
+	Alphabet        int           `json:"alphabet"`
+	Density         string        `json:"density"`
+	Patterns        int           `json:"patterns"`
+	FlatNsPerOp     int64         `json:"flat_ns_per_op"`
+	FlatAllocsPerOp int64         `json:"flat_allocs_per_op"`
+	FlatBytesPerOp  int64         `json:"flat_bytes_per_op"`
+	BaseNsPerOp     int64         `json:"baseline_ns_per_op,omitempty"`
+	BaseAllocsPerOp int64         `json:"baseline_allocs_per_op,omitempty"`
+	BaseBytesPerOp  int64         `json:"baseline_bytes_per_op,omitempty"`
+	Speedup         float64       `json:"speedup,omitempty"`
+	AllocReduction  float64       `json:"alloc_reduction,omitempty"`
+	BytesReduction  float64       `json:"bytes_reduction,omitempty"`
+	Parallel        []parallelRow `json:"parallel,omitempty"`
+}
+
+// ruleTrajectoryCase is one rule-mining row.
+type ruleTrajectoryCase struct {
+	Name        string        `json:"name"`
+	Rules       int           `json:"rules"`
+	NsPerOp     int64         `json:"ns_per_op"`
+	AllocsPerOp int64         `json:"allocs_per_op"`
+	BytesPerOp  int64         `json:"bytes_per_op"`
+	Parallel    []parallelRow `json:"parallel,omitempty"`
+}
+
+// verifyTrajectoryCase is one batched-verification row.
+type verifyTrajectoryCase struct {
+	Name               string  `json:"name"`
+	Rules              int     `json:"rules"`
+	Traces             int     `json:"traces"`
+	BatchedNsPerOp     int64   `json:"batched_ns_per_op"`
+	BatchedAllocsPerOp int64   `json:"batched_allocs_per_op"`
+	PerRuleNsPerOp     int64   `json:"per_rule_ns_per_op"`
+	PerRuleAllocsPerOp int64   `json:"per_rule_allocs_per_op"`
+	Speedup            float64 `json:"speedup"`
 }
 
 type trajectory struct {
-	Schema     string           `json:"schema"`
-	Generator  string           `json:"generator"`
-	GoVersion  string           `json:"go_version"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	Cases      []trajectoryCase `json:"cases"`
+	Schema      string                 `json:"schema"`
+	Generator   string                 `json:"generator"`
+	GoVersion   string                 `json:"go_version"`
+	Cases       []trajectoryCase       `json:"cases"`
+	RuleCases   []ruleTrajectoryCase   `json:"rule_cases"`
+	VerifyCases []verifyTrajectoryCase `json:"verify_cases"`
+}
+
+func benchOnce(f func(b *testing.B)) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
 }
 
 // TestWriteBenchTrajectory regenerates BENCH_mining.json at the repository
 // root. It is the authoritative producer of the checked-in file; run it with
 //
-//	SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory -v
+//	SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory -v -timeout 30m
 //
 // Without the environment variable the test is skipped, so routine test runs
 // never rewrite the artifact (or pay the benchmarking cost).
@@ -127,31 +240,20 @@ func TestWriteBenchTrajectory(t *testing.T) {
 		t.Skip("set SPECMINE_WRITE_BENCH=1 to regenerate BENCH_mining.json")
 	}
 	out := trajectory{
-		Schema:     "specmine/bench-mining/v1",
-		Generator:  "SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory",
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Schema:    "specmine/bench-mining/v2",
+		Generator: "SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory",
+		GoVersion: runtime.Version(),
 	}
-	for i, c := range ClosedCases() {
+	for _, c := range ClosedCases() {
 		db := c.Gen()
 		db.FlatIndex()
-		db.Index()
 		res, err := iterpattern.MineClosed(db, c.Opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		flat := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
+		flat := benchOnce(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := iterpattern.MineClosed(db, c.Opts); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-		base := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := baseline.MineClosed(db, c.Opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -165,28 +267,122 @@ func TestWriteBenchTrajectory(t *testing.T) {
 			FlatNsPerOp:     flat.NsPerOp(),
 			FlatAllocsPerOp: flat.AllocsPerOp(),
 			FlatBytesPerOp:  flat.AllocedBytesPerOp(),
-			BaseNsPerOp:     base.NsPerOp(),
-			BaseAllocsPerOp: base.AllocsPerOp(),
-			BaseBytesPerOp:  base.AllocedBytesPerOp(),
-			Speedup:         round2(float64(base.NsPerOp()) / float64(flat.NsPerOp())),
-			AllocReduction:  round2(float64(base.AllocsPerOp()) / float64(flat.AllocsPerOp())),
-			BytesReduction:  round2(float64(base.AllocedBytesPerOp()) / float64(flat.AllocedBytesPerOp())),
 		}
-		if i == 0 {
-			opts := c.Opts
-			opts.Workers = 4
-			par := testing.Benchmark(func(b *testing.B) {
+		if !c.SkipBaseline {
+			db.Index()
+			base := benchOnce(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := iterpattern.MineClosed(db, opts); err != nil {
+					if _, err := baseline.MineClosed(db, c.Opts); err != nil {
 						b.Fatal(err)
 					}
 				}
 			})
-			tc.ParallelW4NsPerOp = par.NsPerOp()
+			tc.BaseNsPerOp = base.NsPerOp()
+			tc.BaseAllocsPerOp = base.AllocsPerOp()
+			tc.BaseBytesPerOp = base.AllocedBytesPerOp()
+			tc.Speedup = round2(float64(base.NsPerOp()) / float64(flat.NsPerOp()))
+			tc.AllocReduction = round2(float64(base.AllocsPerOp()) / float64(flat.AllocsPerOp()))
+			tc.BytesReduction = round2(float64(base.AllocedBytesPerOp()) / float64(flat.AllocedBytesPerOp()))
+		}
+		if c.Parallel {
+			for _, workers := range ParallelWorkerCounts {
+				opts := c.Opts
+				opts.Workers = workers
+				par := benchOnce(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := iterpattern.MineClosed(db, opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				tc.Parallel = append(tc.Parallel, parallelRow{
+					Workers: workers, NsPerOp: par.NsPerOp(), Gomaxprocs: runtime.GOMAXPROCS(0),
+				})
+			}
 		}
 		out.Cases = append(out.Cases, tc)
-		t.Logf("%s: speedup %.2fx, alloc reduction %.1fx", c.Name, tc.Speedup, tc.AllocReduction)
+		t.Logf("%s: flat %v ns/op (%d allocs), speedup %.2fx", c.Name, tc.FlatNsPerOp, tc.FlatAllocsPerOp, tc.Speedup)
 	}
+
+	for _, c := range RuleCases() {
+		db := c.Gen()
+		db.FlatIndex()
+		res, err := rules.MineNonRedundant(db, c.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rules.MineNonRedundant(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rc := ruleTrajectoryCase{
+			Name:        c.Name,
+			Rules:       len(res.Rules),
+			NsPerOp:     run.NsPerOp(),
+			AllocsPerOp: run.AllocsPerOp(),
+			BytesPerOp:  run.AllocedBytesPerOp(),
+		}
+		if c.Parallel {
+			for _, workers := range ParallelWorkerCounts {
+				opts := c.Opts
+				opts.Workers = workers
+				par := benchOnce(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := rules.MineNonRedundant(db, opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				rc.Parallel = append(rc.Parallel, parallelRow{
+					Workers: workers, NsPerOp: par.NsPerOp(), Gomaxprocs: runtime.GOMAXPROCS(0),
+				})
+			}
+		}
+		out.RuleCases = append(out.RuleCases, rc)
+		t.Logf("%s: %v ns/op, %d rules", c.Name, rc.NsPerOp, rc.Rules)
+	}
+
+	for _, c := range VerifyCases() {
+		ruleSet, db := c.Gen()
+		if len(ruleSet) == 0 {
+			t.Fatalf("%s: no rules mined", c.Name)
+		}
+		db.FlatIndex()
+		engine, err := verify.NewEngine(ruleSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = engine.Check(db)
+			}
+		})
+		perRule := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, r := range ruleSet {
+					if _, err := verify.CheckRule(db, r); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		vc := verifyTrajectoryCase{
+			Name:               c.Name,
+			Rules:              len(ruleSet),
+			Traces:             db.NumSequences(),
+			BatchedNsPerOp:     batched.NsPerOp(),
+			BatchedAllocsPerOp: batched.AllocsPerOp(),
+			PerRuleNsPerOp:     perRule.NsPerOp(),
+			PerRuleAllocsPerOp: perRule.AllocsPerOp(),
+			Speedup:            round2(float64(perRule.NsPerOp()) / float64(batched.NsPerOp())),
+		}
+		out.VerifyCases = append(out.VerifyCases, vc)
+		t.Logf("%s: batched %v ns/op vs per-rule %v ns/op (%.2fx)", c.Name, vc.BatchedNsPerOp, vc.PerRuleNsPerOp, vc.Speedup)
+	}
+
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,124 @@
+// Command benchguard is the CI benchmark-regression gate. It re-measures the
+// headline synth closed-mining case, writes benchstat-compatible sample
+// files — old.txt holding the checked-in BENCH_mining.json trajectory value
+// and new.txt holding the live measurements — and exits non-zero when the
+// best live run is more than the allowed factor slower than the trajectory.
+//
+// CI runs it as
+//
+//	go run ./internal/bench/benchguard -trajectory BENCH_mining.json -out /tmp/benchguard
+//	benchstat /tmp/benchguard/old.txt /tmp/benchguard/new.txt
+//
+// so the human-readable delta report comes from benchstat while the
+// pass/fail decision stays hermetic (no external tooling needed to gate).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"specmine/internal/bench"
+	"specmine/internal/iterpattern"
+)
+
+type trajectoryCase struct {
+	Name        string `json:"name"`
+	FlatNsPerOp int64  `json:"flat_ns_per_op"`
+}
+
+type trajectory struct {
+	Schema string           `json:"schema"`
+	Cases  []trajectoryCase `json:"cases"`
+}
+
+func main() {
+	trajPath := flag.String("trajectory", "BENCH_mining.json", "path to the checked-in trajectory file")
+	outDir := flag.String("out", ".", "directory for the benchstat sample files old.txt and new.txt")
+	count := flag.Int("count", 5, "number of live benchmark runs")
+	factor := flag.Float64("factor", 1.5, "maximum allowed ns/op regression factor")
+	flag.Parse()
+
+	buf, err := os.ReadFile(*trajPath)
+	if err != nil {
+		fatalf("reading trajectory: %v", err)
+	}
+	var traj trajectory
+	if err := json.Unmarshal(buf, &traj); err != nil {
+		fatalf("parsing trajectory: %v", err)
+	}
+
+	c := bench.ClosedCases()[0] // the acceptance headline case
+	var oldNs int64
+	for _, tc := range traj.Cases {
+		if tc.Name == c.Name {
+			oldNs = tc.FlatNsPerOp
+			break
+		}
+	}
+	if oldNs == 0 {
+		fatalf("headline case %s not found in %s", c.Name, *trajPath)
+	}
+
+	benchName := "BenchmarkMineClosed/" + c.Name + "/flat"
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatalf("creating output directory: %v", err)
+	}
+	if err := writeSamples(filepath.Join(*outDir, "old.txt"), benchName, []int64{oldNs}); err != nil {
+		fatalf("writing old.txt: %v", err)
+	}
+
+	db := c.Gen()
+	db.FlatIndex()
+	best := int64(0)
+	samples := make([]int64, 0, *count)
+	for i := 0; i < *count; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				if _, err := iterpattern.MineClosed(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := r.NsPerOp()
+		samples = append(samples, ns)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	if err := writeSamples(filepath.Join(*outDir, "new.txt"), benchName, samples); err != nil {
+		fatalf("writing new.txt: %v", err)
+	}
+
+	limit := int64(float64(oldNs) * *factor)
+	fmt.Printf("benchguard: %s trajectory %d ns/op, best of %d live runs %d ns/op, limit %d ns/op\n",
+		c.Name, oldNs, *count, best, limit)
+	if best > limit {
+		fatalf("benchmark regression: best live run %d ns/op exceeds %.2fx the checked-in %d ns/op",
+			best, *factor, oldNs)
+	}
+	fmt.Println("benchguard: within budget")
+}
+
+// writeSamples emits one benchstat-parsable sample file.
+func writeSamples(path, benchName string, nsPerOp []int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "goos: %s\ngoarch: %s\npkg: specmine/internal/bench\n", runtime.GOOS, runtime.GOARCH)
+	for _, ns := range nsPerOp {
+		fmt.Fprintf(f, "%s \t       1\t%12d ns/op\n", benchName, ns)
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

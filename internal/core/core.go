@@ -178,8 +178,23 @@ func DescribeRule(dict *Dictionary, rule Rule) (string, error) {
 	return ltl.Describe(f, dict), nil
 }
 
+// Verifier is a rule set compiled for batched conformance checking: the
+// premises share one prefix trie and every trace is scanned once for the
+// whole set. Compile once with CompileRules, then serve any number of trace
+// batches through Check.
+type Verifier = verify.Engine
+
+// CompileRules compiles a mined (or hand-written) rule set into a reusable
+// batched Verifier. Use it on serving paths that check a stream of trace
+// batches against a fixed specification; one-shot callers can use CheckRules
+// directly.
+func CompileRules(ruleSet []Rule) (*Verifier, error) {
+	return verify.NewEngine(ruleSet)
+}
+
 // CheckRules verifies mined rules against (typically fresh) traces and
-// returns a conformance summary with per-rule violation details.
+// returns a conformance summary with per-rule violation details. The rule
+// set is checked in one batched pass per trace.
 func CheckRules(db *Database, ruleSet []Rule) (verify.Summary, error) {
 	reports, err := verify.CheckRules(db, ruleSet)
 	if err != nil {

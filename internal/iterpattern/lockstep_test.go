@@ -1,0 +1,52 @@
+package iterpattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"specmine/internal/qre"
+	"specmine/internal/seqdb"
+)
+
+// TestLockstepMatchesFindAllInstances pins the closedness filter's
+// single-pass lockstep instance finder to the reference qre.FindAllInstances
+// on randomized databases, including the bounded-abort contract.
+func TestLockstepMatchesFindAllInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 300; iter++ {
+		db := seqdb.NewDatabase()
+		alphabet := 3 + rng.Intn(3)
+		for i := 0; i < alphabet; i++ {
+			db.Dict.Intern(string(rune('a' + i)))
+		}
+		for i := 0; i < 3; i++ {
+			n := 1 + rng.Intn(15)
+			s := make(seqdb.Sequence, n)
+			for j := range s {
+				s[j] = seqdb.EventID(rng.Intn(alphabet))
+			}
+			db.Append(s)
+		}
+		w := newClosedWorker(db, db.FlatIndex())
+		for trial := 0; trial < 10; trial++ {
+			plen := 1 + rng.Intn(4)
+			p := make(seqdb.Pattern, plen)
+			for j := range p {
+				p[j] = seqdb.EventID(rng.Intn(alphabet))
+			}
+			want := qre.FindAllInstances(db, p)
+			got, ok := w.findInstancesBounded(p, len(want)+1)
+			if !ok {
+				t.Fatalf("iter %d: bounded abort with limit=len+1 for %v", iter, p)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("iter %d: %v: got %d instances %v want %d %v (db=%v)", iter, p, len(got), got, len(want), want, db.Sequences)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("iter %d: %v: instance %d got %v want %v (db=%v)", iter, p, k, got[k], want[k], db.Sequences)
+				}
+			}
+		}
+	}
+}

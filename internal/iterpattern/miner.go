@@ -66,30 +66,33 @@ func mine(db *seqdb.Database, opts Options, closed bool) (*Result, error) {
 	return res, nil
 }
 
-// span is the internal, allocation-friendly form of qre.Instance: instance
-// lists are grown inside per-node arenas of packed spans.
+// span is the internal, allocation-friendly form of qre.Instance. Node
+// instance lists are stored run-compressed (qre.SpanRuns): in the dense
+// looping regime explicit lists grow near-quadratically while the compressed
+// form stays proportional to the number of loop boundaries.
 type span = qre.Span
 
 // extension is one candidate suffix extension of a search node: the extending
-// event, its instance count, and — only when the count clears the support
-// threshold — the instance list of p ++ <event>, carved out of the node's
-// arena. Infrequent extensions stay unmaterialised (insts == nil): they are
-// never recursed into and the closedness checks need only the count, so
-// leaving them out keeps node arenas (which landmark entries pin for the rest
-// of the run) down to exactly the lists the search can still use.
+// event, its instance count, and — only for nodes that survive the support,
+// equivalence and length checks — the run-compressed instance list of
+// p ++ <event>. The counting pass never materialises anything: counts alone
+// decide frequency, the support-preservation closedness test, and landmark
+// subtree pruning, so leaf and pruned nodes (the bulk of a bounded dense
+// search) skip materialisation entirely.
 type extension struct {
 	event seqdb.EventID
 	count int32
-	insts []span
+	insts qre.SpanRuns
 }
 
 // landmark records an already-explored search node for the closed miner's
-// equivalence pruning. The instance slice is shared with the search node that
-// produced it — instance lists are immutable once their arena is filled — so
-// registering a landmark costs one pattern clone and no instance copying.
+// equivalence pruning. The instance runs are a compact copy of the node's
+// (run-compressed, hence small) instance list: copying lets the node's
+// over-allocated free-listed backing array recycle immediately instead of
+// being pinned for the rest of the run.
 type landmark struct {
 	pattern   seqdb.Pattern
-	instances []span
+	instances qre.SpanRuns
 }
 
 type miner struct {
@@ -105,12 +108,24 @@ type miner struct {
 	stop      bool
 
 	scratch minerScratch
+
+	// runFree recycles the []SpanRun backing arrays of instance lists whose
+	// node has been fully explored; extFree does the same for extension
+	// slices. Together with run compression this makes instance storage cost
+	// O(live search path), not O(nodes explored).
+	runFree [][]qre.SpanRun
+	extFree [][]extension
+
+	// path is the shared pattern buffer for the current search path: the
+	// node for depth d works on path[:d+1], so descending never allocates.
+	// Everything that retains a pattern (emission, landmarks) clones it.
+	path seqdb.Pattern
 }
 
-// minerScratch holds the reusable per-worker buffers that make extensions()
-// allocation-free apart from each node's result arena. All per-event arrays
-// are epoch-stamped (see seqdb.BumpEpoch): bumping the epoch invalidates
-// every entry at once, so no clearing pass is ever needed between nodes.
+// minerScratch holds the reusable per-worker buffers that make the extension
+// passes allocation-free. All per-event arrays are epoch-stamped (see
+// seqdb.BumpEpoch): bumping the epoch invalidates every entry at once, so no
+// clearing pass is ever needed between nodes.
 type minerScratch struct {
 	slots seqdb.EventSlots // extension-event slots and counts per node
 
@@ -132,6 +147,38 @@ func (m *miner) initScratch() {
 		winStamp:  make([]uint32, n),
 		seenStamp: make([]uint32, n),
 	}
+	m.path = make(seqdb.Pattern, 0, 64)
+}
+
+func (m *miner) getRuns() []qre.SpanRun {
+	if n := len(m.runFree); n > 0 {
+		r := m.runFree[n-1]
+		m.runFree = m.runFree[:n-1]
+		return r
+	}
+	return nil
+}
+
+func (m *miner) putRuns(backing []qre.SpanRun) {
+	if cap(backing) == 0 {
+		return
+	}
+	m.runFree = append(m.runFree, backing[:0])
+}
+
+func (m *miner) getExts(n int) []extension {
+	if k := len(m.extFree); k > 0 {
+		x := m.extFree[k-1]
+		m.extFree = m.extFree[:k-1]
+		if cap(x) >= n {
+			return x[:n]
+		}
+	}
+	return make([]extension, n)
+}
+
+func (m *miner) putExts(x []extension) {
+	m.extFree = append(m.extFree, x[:0])
 }
 
 func (m *miner) run() {
@@ -146,7 +193,7 @@ func (m *miner) run() {
 			if m.stop {
 				return
 			}
-			m.grow(seqdb.Pattern{e}, m.singleEventInstances(e))
+			m.mineSeed(e)
 		}
 		return
 	}
@@ -172,8 +219,7 @@ func (m *miner) run() {
 	}, func(sub *miner, i int) {
 		sub.emitted = nil
 		sub.stats = Stats{}
-		e := events[i]
-		sub.grow(seqdb.Pattern{e}, sub.singleEventInstances(e))
+		sub.mineSeed(events[i])
 		outs[i] = seedOut{emitted: sub.emitted, stats: sub.stats}
 	})
 	for i := range outs {
@@ -182,24 +228,37 @@ func (m *miner) run() {
 	}
 }
 
-func (m *miner) singleEventInstances(e seqdb.EventID) []span {
-	out := make([]span, 0, m.idx.EventInstanceCount(e))
-	for _, si := range m.idx.SeqsContaining(e) {
-		for _, p := range m.idx.Positions(int(si), e) {
-			out = append(out, span{Seq: si, Start: p, End: p})
-		}
-	}
-	return out
+func (m *miner) mineSeed(e seqdb.EventID) {
+	insts := m.singleEventInstances(e)
+	m.path = append(m.path[:0], e)
+	m.grow(m.path, insts)
+	m.putRuns(insts.Runs())
 }
 
-// grow explores the search-tree node for pattern p with instance list insts.
-func (m *miner) grow(p seqdb.Pattern, insts []span) {
+func (m *miner) singleEventInstances(e seqdb.EventID) qre.SpanRuns {
+	var rs qre.SpanRuns
+	rs.Reset(m.getRuns())
+	for _, si := range m.idx.SeqsContaining(e) {
+		for _, p := range m.idx.Positions(int(si), e) {
+			rs.Append(span{Seq: si, Start: p, End: p})
+		}
+	}
+	return rs
+}
+
+// grow explores the search-tree node for pattern p (a view of the shared
+// path buffer) with instance runs insts. The caller owns and recycles insts'
+// backing array after grow returns.
+func (m *miner) grow(p seqdb.Pattern, insts qre.SpanRuns) {
 	if m.stop {
 		return
 	}
 	m.stats.NodesExplored++
 
-	exts := m.extensions(p, insts)
+	// Count-first: one window pass yields every candidate's instance count
+	// (and stamps the forward-window event set for checkLandmarks). Nothing
+	// is materialised yet.
+	exts := m.countExtensions(p, insts)
 
 	emit := true
 	if m.closed {
@@ -211,19 +270,24 @@ func (m *miner) grow(p seqdb.Pattern, insts []span) {
 		// extension of p has the matching extension of L with an identical
 		// instance list, so the whole subtree can only produce non-closed
 		// patterns and is skipped.
-		if witness, pruneSubtree := m.checkLandmarks(p, insts); witness {
+		witness, pruneSubtree := m.checkLandmarks(p, insts)
+		if witness {
 			emit = false
 			m.stats.NonClosedSuppressed++
 			if pruneSubtree {
 				m.stats.SubtreesPrunedEquivalent++
+				if exts != nil {
+					m.putExts(exts)
+				}
 				return
 			}
 		}
 		// A suffix extension that preserves the support also witnesses
 		// non-closedness of p (Definition 4.2 with a suffix super-sequence).
+		// Counts suffice: the extension's instance list is never needed.
 		if emit {
 			for i := range exts {
-				if int(exts[i].count) == len(insts) {
+				if int(exts[i].count) == insts.Len() {
 					emit = false
 					m.stats.NonClosedSuppressed++
 					break
@@ -235,41 +299,50 @@ func (m *miner) grow(p seqdb.Pattern, insts []span) {
 		m.emit(p, insts)
 	}
 
+	if exts == nil {
+		return
+	}
 	if m.opts.MaxPatternLength > 0 && len(p) >= m.opts.MaxPatternLength {
+		m.putExts(exts)
 		return
 	}
 
+	// The node survives and will recurse: only now are the supra-threshold
+	// extension lists materialised, run-compressed, into free-listed arenas.
+	m.materializeExtensions(p, insts, exts)
+
 	for i := range exts {
 		if m.stop {
-			return
+			break
 		}
 		if int(exts[i].count) < m.minSup {
 			m.stats.NodesPrunedInfrequent++
 			continue
 		}
-		m.grow(p.Append(exts[i].event), exts[i].insts)
+		// Descend on the shared path buffer: p is path[:d+1], so this append
+		// writes path[d+1] in place (no allocation while within capacity).
+		// Sibling iterations overwrite it; anything that retains the child
+		// pattern clones it.
+		m.grow(append(p, exts[i].event), exts[i].insts)
+		m.putRuns(exts[i].insts.Runs())
 	}
+	m.putExts(exts)
 }
 
-// extensions computes, for every event e, the instance list of p ++ <e>,
-// sorted by event id for deterministic traversal. It also leaves the set of
-// all events observed in the forward windows of the instances stamped in
-// scratch.winStamp (valid until the next extensions call), which
-// checkLandmarks consults.
+// countExtensions computes, for every candidate extension event of p, the
+// instance count of p ++ <event>, in slot (first-seen) order. It also leaves
+// the set of all events observed in the forward windows of the instances
+// stamped in scratch.winStamp (valid until the next countExtensions call),
+// which checkLandmarks consults.
 //
 // For each instance the candidate events are exactly the distinct events of
 // the forward window: the run of non-alphabet events following the instance,
 // terminated (inclusively) by the first alphabet event. A non-alphabet event
 // additionally requires that it does not occur inside the instance span,
 // because extending the pattern adds it to the QRE's exclusion set
-// (Definition 4.1).
-//
-// This is a pseudo-projection: instead of materialising per-event maps the
-// node makes one counting pass over the forward windows, carves exactly-sized
-// instance lists out of a single arena allocation, and fills them in a second
-// pass. The gap-validity test uses the index's prev-occurrence chain, so it
-// is O(1) per candidate.
-func (m *miner) extensions(p seqdb.Pattern, insts []span) []extension {
+// (Definition 4.1). The gap-validity test uses the index's prev-occurrence
+// chain, so it is O(1) per candidate.
+func (m *miner) countExtensions(p seqdb.Pattern, insts qre.SpanRuns) []extension {
 	sc := &m.scratch
 
 	alphaEpoch := seqdb.BumpEpoch(&sc.alphaEpoch, sc.inAlpha)
@@ -279,97 +352,108 @@ func (m *miner) extensions(p seqdb.Pattern, insts []span) []extension {
 	winEpoch := seqdb.BumpEpoch(&sc.winEpoch, sc.winStamp)
 	sc.slots.Begin()
 
-	// Pass 1: discover extension events and count their instances.
-	for _, in := range insts {
-		s := m.db.Sequences[in.Seq]
-		seenEpoch := seqdb.BumpEpoch(&sc.seenEpoch, sc.seenStamp)
-		for j := int(in.End) + 1; j < len(s); j++ {
-			ev := s[j]
-			sc.winStamp[ev] = winEpoch
-			if sc.inAlpha[ev] == alphaEpoch {
-				// First alphabet event: always a valid extension, and the
-				// window ends here.
+	for _, r := range insts.Runs() {
+		s := m.db.Sequences[r.Seq]
+		start, end := r.Start, r.End
+		for k := int32(0); k < r.Count; k, start, end = k+1, start+r.Stride, end+r.Stride {
+			seenEpoch := seqdb.BumpEpoch(&sc.seenEpoch, sc.seenStamp)
+			for j := int(end) + 1; j < len(s); j++ {
+				ev := s[j]
+				sc.winStamp[ev] = winEpoch
+				if sc.inAlpha[ev] == alphaEpoch {
+					// First alphabet event: always a valid extension, and the
+					// window ends here.
+					sc.slots.Add(ev)
+					break
+				}
+				if sc.seenStamp[ev] == seenEpoch {
+					continue
+				}
+				sc.seenStamp[ev] = seenEpoch
+				// New symbol: its addition to the alphabet must not invalidate
+				// the existing gaps, so it may not occur inside the span.
+				// Because j is the first occurrence of ev in the window, its
+				// previous occurrence is at or before the span end, so one
+				// prev-occurrence read decides.
+				if m.idx.OccursWithin(int(r.Seq), j, int(start)) {
+					continue
+				}
 				sc.slots.Add(ev)
-				break
 			}
-			if sc.seenStamp[ev] == seenEpoch {
-				continue
-			}
-			sc.seenStamp[ev] = seenEpoch
-			// New symbol: its addition to the alphabet must not invalidate the
-			// existing gaps, so it may not occur inside the span. Because j is
-			// the first occurrence of ev in the window, its previous occurrence
-			// is at or before the span end, so one prev-occurrence read decides.
-			if m.idx.OccursWithin(int(in.Seq), j, int(in.Start)) {
-				continue
-			}
-			sc.slots.Add(ev)
 		}
 	}
 	if sc.slots.Len() == 0 {
 		return nil
 	}
-
-	// Carve exactly-sized per-event lists for the frequent extensions out of
-	// one arena; infrequent slots keep only their count.
-	exts := make([]extension, sc.slots.Len())
-	total := 0
+	exts := m.getExts(sc.slots.Len())
 	for slot := range exts {
-		c := sc.slots.Count(slot)
-		exts[slot] = extension{event: sc.slots.Event(slot), count: c}
-		if int(c) >= m.minSup {
-			total += int(c)
+		exts[slot] = extension{event: sc.slots.Event(slot), count: sc.slots.Count(slot)}
+	}
+	return exts
+}
+
+// materializeExtensions re-walks the forward windows once and fills the
+// run-compressed instance lists of the supra-threshold extensions, then sorts
+// exts by event id for deterministic traversal. It must run directly after
+// countExtensions on the same node: it reuses the slot assignments and alpha
+// stamps the counting pass left in scratch.
+func (m *miner) materializeExtensions(p seqdb.Pattern, insts qre.SpanRuns, exts []extension) {
+	sc := &m.scratch
+	alphaEpoch := sc.alphaEpoch
+
+	any := false
+	for slot := range exts {
+		if int(exts[slot].count) >= m.minSup {
+			exts[slot].insts.Reset(m.getRuns())
+			any = true
 		}
 	}
-	arena := make([]span, total)
-	off := 0
-	for slot := range exts {
-		if c := int(exts[slot].count); c >= m.minSup {
-			exts[slot].insts = arena[off : off : off+c]
-			off += c
-		}
+	if !any {
+		slices.SortFunc(exts, func(a, b extension) int { return int(a.event) - int(b.event) })
+		return
 	}
 
-	// Pass 2: fill the materialised lists.
-	for _, in := range insts {
-		s := m.db.Sequences[in.Seq]
-		seenEpoch := seqdb.BumpEpoch(&sc.seenEpoch, sc.seenStamp)
-		for j := int(in.End) + 1; j < len(s); j++ {
-			ev := s[j]
-			if sc.inAlpha[ev] == alphaEpoch {
-				x := &exts[sc.slots.Slot(ev)]
-				if x.insts != nil {
-					x.insts = append(x.insts, span{Seq: in.Seq, Start: in.Start, End: int32(j)})
+	for _, r := range insts.Runs() {
+		s := m.db.Sequences[r.Seq]
+		start, end := r.Start, r.End
+		for k := int32(0); k < r.Count; k, start, end = k+1, start+r.Stride, end+r.Stride {
+			seenEpoch := seqdb.BumpEpoch(&sc.seenEpoch, sc.seenStamp)
+			for j := int(end) + 1; j < len(s); j++ {
+				ev := s[j]
+				if sc.inAlpha[ev] == alphaEpoch {
+					x := &exts[sc.slots.Slot(ev)]
+					if int(x.count) >= m.minSup {
+						x.insts.Append(span{Seq: r.Seq, Start: start, End: int32(j)})
+					}
+					break
 				}
-				break
-			}
-			if sc.seenStamp[ev] == seenEpoch {
-				continue
-			}
-			sc.seenStamp[ev] = seenEpoch
-			if m.idx.OccursWithin(int(in.Seq), j, int(in.Start)) {
-				continue
-			}
-			x := &exts[sc.slots.Slot(ev)]
-			if x.insts != nil {
-				x.insts = append(x.insts, span{Seq: in.Seq, Start: in.Start, End: int32(j)})
+				if sc.seenStamp[ev] == seenEpoch {
+					continue
+				}
+				sc.seenStamp[ev] = seenEpoch
+				if m.idx.OccursWithin(int(r.Seq), j, int(start)) {
+					continue
+				}
+				x := &exts[sc.slots.Slot(ev)]
+				if int(x.count) >= m.minSup {
+					x.insts.Append(span{Seq: r.Seq, Start: start, End: int32(j)})
+				}
 			}
 		}
 	}
 
 	// Deterministic extension order. The slot indices in sc.slots are only
-	// consumed by pass 2 above, so sorting afterwards is safe.
+	// consumed by the fill pass above, so sorting afterwards is safe.
 	slices.SortFunc(exts, func(a, b extension) int { return int(a.event) - int(b.event) })
-	return exts
 }
 
-func (m *miner) emit(p seqdb.Pattern, insts []span) {
-	mp := MinedPattern{Pattern: p.Clone(), Support: len(insts), SeqSupport: seqSupportOf(insts)}
+func (m *miner) emit(p seqdb.Pattern, insts qre.SpanRuns) {
+	mp := MinedPattern{Pattern: p.Clone(), Support: insts.Len(), SeqSupport: insts.SeqSupport()}
 	if m.opts.IncludeInstances || m.closed {
 		// The closed miner always keeps instances while mining: the
 		// closedness filter needs them. They are dropped afterwards unless
 		// the caller asked for them.
-		mp.Instances = qre.ExportSpans(insts)
+		mp.Instances = insts.Export()
 	}
 	m.emitted = append(m.emitted, mp)
 	if m.opts.MaxPatterns > 0 && len(m.emitted) >= m.opts.MaxPatterns {
@@ -377,31 +461,22 @@ func (m *miner) emit(p seqdb.Pattern, insts []span) {
 	}
 }
 
-func seqSupportOf(insts []span) int {
-	n := 0
-	last := int32(-1)
-	for _, in := range insts {
-		if in.Seq != last {
-			n++
-			last = in.Seq
-		}
-	}
-	return n
-}
-
 // checkLandmarks consults and updates the landmark table. It returns
 // witness=true when an earlier pattern with an identical instance list is a
 // super-sequence of p (so p is certainly not closed), and pruneSubtree=true
 // when additionally none of the witness's extra events appears in p's forward
 // windows (so no extension of p can behave differently from the witness's
-// matching extension and the subtree holds no closed pattern). Forward-window
-// membership is read from the winStamp scratch left by extensions.
-func (m *miner) checkLandmarks(p seqdb.Pattern, insts []span) (witness, pruneSubtree bool) {
+// matching extension and the subtree holds no closed pattern).
+// Forward-window membership is read from the winStamp scratch left by
+// countExtensions. All comparisons and hashes run on the compressed runs,
+// which represent equal span sequences exactly when equal; new entries store
+// a compact copy so the caller's backing array stays recyclable.
+func (m *miner) checkLandmarks(p seqdb.Pattern, insts qre.SpanRuns) (witness, pruneSubtree bool) {
 	sc := &m.scratch
-	sig := signatureOf(insts)
+	sig := insts.Signature()
 	entries := m.landmarks[sig]
 	for i, lm := range entries {
-		if !sameInstances(lm.instances, insts) {
+		if !lm.instances.Equal(insts) {
 			continue
 		}
 		if p.IsSubsequenceOf(lm.pattern) && len(p) < len(lm.pattern) {
@@ -426,28 +501,6 @@ func (m *miner) checkLandmarks(p seqdb.Pattern, insts []span) (witness, pruneSub
 			return false, false
 		}
 	}
-	m.landmarks[sig] = append(entries, landmark{pattern: p.Clone(), instances: insts})
+	m.landmarks[sig] = append(entries, landmark{pattern: p.Clone(), instances: insts.Compact()})
 	return false, false
-}
-
-// signatureOf hashes an instance list with stack-allocated FNV-1a (this runs
-// once per closed-miner search node).
-func signatureOf(insts []span) uint64 {
-	h := seqdb.NewHash64()
-	for _, in := range insts {
-		h = h.Mix32(in.Seq).Mix32(in.Start).Mix32(in.End)
-	}
-	return uint64(h)
-}
-
-func sameInstances(a, b []span) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

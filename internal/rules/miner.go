@@ -16,10 +16,11 @@ func MineFull(db *seqdb.Database, opts Options) (*Result, error) {
 }
 
 // MineNonRedundant mines the non-redundant set of significant rules
-// (Definition 5.2): premise subtrees whose temporal points coincide with a
-// shorter premise are pruned early, consequents that can be extended without
-// changing any statistic are not reported on their own, and a final filter
-// removes any remaining redundancy (the "NR" series of Figures 2 and 3).
+// (Definition 5.2): premises whose temporal points coincide with those of a
+// longer premise are dropped by a canonical dedup before any consequent is
+// mined, consequents that can be extended without changing any statistic are
+// not reported on their own, and a final filter removes any remaining
+// redundancy (the "NR" series of Figures 2 and 3).
 func MineNonRedundant(db *seqdb.Database, opts Options) (*Result, error) {
 	return mineRules(db, opts, true)
 }
@@ -41,9 +42,6 @@ func mineRules(db *seqdb.Database, opts Options, nonRedundant bool) (*Result, er
 		opts:      opts,
 		minSeqSup: opts.absoluteSeqSupport(db.NumSequences()),
 		nr:        nonRedundant,
-	}
-	if nonRedundant {
-		m.premiseLandmarks = make(map[uint64][]premiseLandmark)
 	}
 	m.run()
 	mined := m.rules
@@ -81,21 +79,15 @@ type tpRecord struct {
 	cur int32
 }
 
-// premiseLandmark remembers a premise and its temporal-point identity for the
-// non-redundant miner's equivalence pruning. The projection slice is shared
-// with the search node that produced it (projections are immutable once their
-// arena is filled), so registering a landmark copies no projection entries.
-type premiseLandmark struct {
-	premise seqdb.Pattern
-	last    seqdb.EventID
-	proj    []premiseProj
-}
-
-// consequentJob is one unit of parallel work: a surviving premise whose
-// consequent subtree is mined independently of every other premise.
+// consequentJob is one unit of parallel work: an enumerated premise whose
+// consequent subtree is mined independently of every other premise. sig is
+// the canonical signature of the premise's temporal-point identity (last
+// event plus first temporal point per sequence), which drives the
+// non-redundant miner's dedup.
 type consequentJob struct {
 	pre  seqdb.Pattern
 	proj []premiseProj
+	sig  uint64
 }
 
 type ruleMiner struct {
@@ -105,96 +97,204 @@ type ruleMiner struct {
 	minSeqSup int
 	nr        bool
 
-	rules            []Rule
-	stats            Stats
-	premiseLandmarks map[uint64][]premiseLandmark
-	stop             bool
-
-	// Premise-walk scratch (the premise tree is always walked sequentially:
-	// its landmark pruning depends on cross-seed exploration order).
-	scratch seqdb.EventSlots
-
-	// Sequential mode mines consequents inline through seqWorker; parallel
-	// mode collects jobs during the premise walk and fans them out afterwards.
-	seqWorker *ruleWorker
-	collect   bool
-	jobs      []consequentJob
+	rules []Rule
+	stats Stats
 }
 
+// run executes the three mining phases. Phase 1 enumerates every s-frequent
+// premise with its projection; seeds root independent subtrees and no state
+// crosses them, so the premise tree fans out across Options.Workers (the
+// order-dependent landmark pruning this replaces forced a sequential walk).
+// Phase 2 (non-redundant mode) drops premises whose temporal points coincide
+// with a longer premise's via canonical signature-based dedup — an
+// order-free decision, unlike the landmark walk, so it is unaffected by the
+// parallel enumeration. Phase 3 mines one consequent subtree per surviving
+// premise, also across the worker pool. Merging phase outputs in seed / job
+// order makes the result byte-identical for any worker count.
 func (m *ruleMiner) run() {
 	// Frequent single-event premises (Theorem 2 base case).
 	events := m.idx.FrequentEventsBySeqSupport(m.minSeqSup)
 	workers := m.opts.effectiveWorkers()
-	m.scratch = seqdb.NewEventSlots(m.idx.NumEvents())
-	m.collect = workers > 1
-	if !m.collect {
-		m.seqWorker = m.newWorker()
+
+	// Phase 1: premise enumeration.
+	type seedOut struct {
+		jobs     []consequentJob
+		explored int
+		pruned   int
+	}
+	outs := make([]seedOut, len(events))
+	pw := workers
+	if pw > len(events) {
+		pw = len(events)
+	}
+	par.ForWorker(len(events), pw, m.newPremiseWalker, func(wk *premiseWalker, i int) {
+		wk.jobs = nil
+		wk.explored = 0
+		wk.pruned = 0
+		wk.walkSeed(events[i])
+		outs[i] = seedOut{jobs: wk.jobs, explored: wk.explored, pruned: wk.pruned}
+	})
+	var jobs []consequentJob
+	for i := range outs {
+		jobs = append(jobs, outs[i].jobs...)
+		m.stats.PremisesExplored += outs[i].explored
+		m.stats.PremisesPrunedRedundant += outs[i].pruned
 	}
 
-	for _, e := range events {
-		if m.stop {
-			break
-		}
-		seqs := m.idx.SeqsContaining(e)
-		proj := make([]premiseProj, 0, len(seqs))
-		for _, si := range seqs {
-			proj = append(proj, premiseProj{seq: si, firstEnd: m.idx.Positions(int(si), e)[0]})
-		}
-		m.growPremise(seqdb.Pattern{e}, proj)
+	// Phase 2: canonical premise dedup (Definition 5.2 applied at the
+	// premise level; see dedupPremises).
+	if m.nr {
+		jobs = m.dedupPremises(jobs)
 	}
 
-	if !m.collect {
-		m.rules = m.seqWorker.rules
-		m.seqWorker.drainStats(&m.stats)
+	// Phase 3: consequent mining.
+	if workers <= 1 {
+		w := m.newWorker()
+		for i := range jobs {
+			w.mineConsequents(jobs[i].pre, jobs[i].proj)
+			if w.stopped {
+				break
+			}
+		}
+		m.rules = w.rules
+		w.drainStats(&m.stats)
 		return
 	}
-
-	// Parallel consequent mining: jobs were collected in premise DFS order,
-	// each is independent, and merging per-job outputs in that order makes the
-	// emitted rule list byte-identical to a sequential run.
 	type jobOut struct {
 		rules []Rule
 		stats Stats
 	}
-	outs := make([]jobOut, len(m.jobs))
-	par.ForWorker(len(m.jobs), workers, m.newWorker, func(sub *ruleWorker, i int) {
+	jouts := make([]jobOut, len(jobs))
+	par.ForWorker(len(jobs), workers, m.newWorker, func(sub *ruleWorker, i int) {
 		sub.rules = nil
-		sub.mineConsequents(m.jobs[i].pre, m.jobs[i].proj)
-		outs[i].rules = sub.rules
-		sub.drainStats(&outs[i].stats)
+		sub.mineConsequents(jobs[i].pre, jobs[i].proj)
+		jouts[i].rules = sub.rules
+		sub.drainStats(&jouts[i].stats)
 	})
-	for i := range outs {
-		m.rules = append(m.rules, outs[i].rules...)
-		m.stats.ConsequentNodesExplored += outs[i].stats.ConsequentNodesExplored
-		m.stats.RulesSuppressedRedundant += outs[i].stats.RulesSuppressedRedundant
+	for i := range jouts {
+		m.rules = append(m.rules, jouts[i].rules...)
+		m.stats.ConsequentNodesExplored += jouts[i].stats.ConsequentNodesExplored
+		m.stats.RulesSuppressedRedundant += jouts[i].stats.RulesSuppressedRedundant
 	}
 }
 
-// growPremise explores the premise search tree (step 1 of Section 5).
-func (m *ruleMiner) growPremise(pre seqdb.Pattern, proj []premiseProj) {
-	if m.stop {
-		return
+// dedupPremises drops every premise that has an equivalent proper
+// super-sequence among the enumerated premises. Two premises are equivalent
+// when they share the last event and the first temporal point in every
+// sequence: their full temporal-point sets then coincide, so for any
+// consequent the two resulting rules carry identical statistics, and
+// Definition 5.2 keeps the one with the longer (super-sequence)
+// concatenation. The decision depends only on the premise set — not on any
+// exploration order — so it commutes with the parallel walk; rules the
+// dropped premises would have produced are covered by the kept equivalent
+// super-sequences (redundancy chains terminate at a maximal premise, which
+// is never dropped), and the exact removeRedundant filter still runs last.
+func (m *ruleMiner) dedupPremises(jobs []consequentJob) []consequentJob {
+	groups := make(map[uint64][]int32, len(jobs))
+	for i := range jobs {
+		groups[jobs[i].sig] = append(groups[jobs[i].sig], int32(i))
 	}
-	m.stats.PremisesExplored++
-
-	if m.nr && m.premiseIsRedundant(pre, proj) {
-		m.stats.PremisesPrunedRedundant++
-		return
-	}
-
-	// Steps 2–4: find temporal points and mine consequents for this premise,
-	// inline when sequential, deferred to the worker pool when parallel.
-	if m.collect {
-		m.jobs = append(m.jobs, consequentJob{pre: pre, proj: proj})
-	} else {
-		m.seqWorker.mineConsequents(pre, proj)
-		if m.seqWorker.stopped {
-			m.stop = true
-			return
+	// Decide every drop against the pristine job list before compacting:
+	// the group lists address jobs by index, so compacting in place while
+	// still deciding would compare against overwritten slots.
+	drop := make([]bool, len(jobs))
+	for i := range jobs {
+		last := jobs[i].pre.Last()
+		for _, k := range groups[jobs[i].sig] {
+			if int(k) == i {
+				continue
+			}
+			other := &jobs[k]
+			if len(other.pre) <= len(jobs[i].pre) || other.pre.Last() != last || !sameProj(other.proj, jobs[i].proj) {
+				continue
+			}
+			if jobs[i].pre.IsSubsequenceOf(other.pre) {
+				drop[i] = true
+				break
+			}
 		}
 	}
+	kept := jobs[:0]
+	for i := range jobs {
+		if drop[i] {
+			m.stats.PremisesPrunedRedundant++
+			continue
+		}
+		kept = append(kept, jobs[i])
+	}
+	return kept
+}
 
-	if m.opts.MaxPremiseLength > 0 && len(pre) >= m.opts.MaxPremiseLength {
+// premiseWalker enumerates the premise search tree below one seed event
+// (step 1 of Section 5). One walker serves the whole run in sequential mode;
+// parallel mode gives each pool goroutine its own walker so the scratch
+// buffers are never shared.
+type premiseWalker struct {
+	db        *seqdb.Database
+	idx       *seqdb.PositionIndex
+	opts      Options
+	minSeqSup int
+	nr        bool
+
+	scratch  seqdb.EventSlots
+	path     seqdb.Pattern
+	jobs     []consequentJob
+	explored int
+	pruned   int
+
+	// Backscan scratch (see hasEquivalentInsertion).
+	seenStamp []uint32
+	seenEpoch uint32
+	cnt       []int32
+	cntStamp  []uint32
+	cntEpoch  uint32
+	abTab     []int32
+}
+
+func (m *ruleMiner) newPremiseWalker() *premiseWalker {
+	n := m.idx.NumEvents()
+	return &premiseWalker{
+		db:        m.db,
+		idx:       m.idx,
+		opts:      m.opts,
+		minSeqSup: m.minSeqSup,
+		nr:        m.nr,
+		scratch:   seqdb.NewEventSlots(n),
+		path:      make(seqdb.Pattern, 0, 32),
+		seenStamp: make([]uint32, n),
+		cnt:       make([]int32, n),
+		cntStamp:  make([]uint32, n),
+	}
+}
+
+func (wk *premiseWalker) walkSeed(e seqdb.EventID) {
+	seqs := wk.idx.SeqsContaining(e)
+	proj := make([]premiseProj, 0, len(seqs))
+	for _, si := range seqs {
+		proj = append(proj, premiseProj{seq: si, firstEnd: wk.idx.Positions(int(si), e)[0]})
+	}
+	wk.path = append(wk.path[:0], e)
+	wk.growPremise(wk.path, proj)
+}
+
+// growPremise records the node as a consequent job and recurses into its
+// s-frequent extensions. In non-redundant mode, premises dominated by an
+// equivalent single-insertion super-sequence are skipped subtree and all:
+// the dominating premise's subtree produces rules with identical statistics
+// and longer concatenations for everything this subtree could emit.
+func (wk *premiseWalker) growPremise(pre seqdb.Pattern, proj []premiseProj) {
+	wk.explored++
+	if wk.nr && wk.hasEquivalentInsertion(pre, proj) {
+		wk.pruned++
+		return
+	}
+	wk.jobs = append(wk.jobs, consequentJob{
+		pre:  pre.Clone(),
+		proj: proj,
+		sig:  premiseSignature(pre.Last(), proj),
+	})
+
+	if wk.opts.MaxPremiseLength > 0 && len(pre) >= wk.opts.MaxPremiseLength {
 		return
 	}
 
@@ -204,12 +304,12 @@ func (m *ruleMiner) growPremise(pre seqdb.Pattern, proj []premiseProj) {
 	// suffix, which the index's prev-occurrence chain detects in O(1): s[j] is
 	// the first occurrence after firstEnd exactly when its previous occurrence
 	// precedes firstEnd+1.
-	sc := &m.scratch
+	sc := &wk.scratch
 	sc.Begin()
 	for _, pr := range proj {
-		s := m.db.Sequences[pr.seq]
+		s := wk.db.Sequences[pr.seq]
 		for j := int(pr.firstEnd) + 1; j < len(s); j++ {
-			if m.idx.OccursWithin(int(pr.seq), j, int(pr.firstEnd)+1) {
+			if wk.idx.OccursWithin(int(pr.seq), j, int(pr.firstEnd)+1) {
 				continue
 			}
 			sc.Add(s[j])
@@ -220,8 +320,8 @@ func (m *ruleMiner) growPremise(pre seqdb.Pattern, proj []premiseProj) {
 	}
 
 	// Only extensions meeting the s-support threshold (Theorem 2) are
-	// materialised: the arena slices outlive the node inside landmark
-	// entries, so infrequent projections would be pinned for nothing.
+	// materialised: the arena slices outlive the node inside jobs, so
+	// infrequent projections would be pinned for nothing.
 	type ext struct {
 		event seqdb.EventID
 		count int32
@@ -232,22 +332,22 @@ func (m *ruleMiner) growPremise(pre seqdb.Pattern, proj []premiseProj) {
 	for slot := range exts {
 		c := sc.Count(slot)
 		exts[slot] = ext{event: sc.Event(slot), count: c}
-		if int(c) >= m.minSeqSup {
+		if int(c) >= wk.minSeqSup {
 			total += int(c)
 		}
 	}
 	arena := make([]premiseProj, total)
 	off := 0
 	for slot := range exts {
-		if c := int(exts[slot].count); c >= m.minSeqSup {
+		if c := int(exts[slot].count); c >= wk.minSeqSup {
 			exts[slot].proj = arena[off : off : off+c]
 			off += c
 		}
 	}
 	for _, pr := range proj {
-		s := m.db.Sequences[pr.seq]
+		s := wk.db.Sequences[pr.seq]
 		for j := int(pr.firstEnd) + 1; j < len(s); j++ {
-			if m.idx.OccursWithin(int(pr.seq), j, int(pr.firstEnd)+1) {
+			if wk.idx.OccursWithin(int(pr.seq), j, int(pr.firstEnd)+1) {
 				continue
 			}
 			x := &exts[sc.Slot(s[j])]
@@ -259,53 +359,112 @@ func (m *ruleMiner) growPremise(pre seqdb.Pattern, proj []premiseProj) {
 	slices.SortFunc(exts, func(a, b ext) int { return int(a.event) - int(b.event) })
 
 	for i := range exts {
-		if m.stop {
-			return
-		}
-		if int(exts[i].count) < m.minSeqSup {
+		if int(exts[i].count) < wk.minSeqSup {
 			continue
 		}
-		m.growPremise(pre.Append(exts[i].event), exts[i].proj)
+		wk.growPremise(append(pre, exts[i].event), exts[i].proj)
 	}
 }
 
-// premiseIsRedundant consults and updates the landmark table of the
-// non-redundant miner. Two premises with the same last event and the same
-// first temporal point in every sequence have identical temporal-point sets,
-// so for any consequent the two resulting rules carry identical statistics.
-// Definition 5.2 keeps the rule with the longer (super-sequence)
-// concatenation, so when an already-explored premise is a super-sequence of
-// the current one, every rule the current premise (or any of its extensions)
-// could produce is redundant with respect to a rule grown from that longer
-// premise's subtree: the current subtree is skipped. When the current premise
-// is instead the longer one, it becomes the new landmark and the shorter
-// premise's already-emitted rules are cleaned up by the final redundancy
-// filter.
-func (m *ruleMiner) premiseIsRedundant(pre seqdb.Pattern, proj []premiseProj) bool {
-	last := pre.Last()
-	sig := premiseSignature(last, proj)
-	entries := m.premiseLandmarks[sig]
-	for i, lm := range entries {
-		if lm.last != last || !sameProj(lm.proj, proj) {
-			continue
+// hasEquivalentInsertion is the canonical (order-free) counterpart of
+// landmark-based premise pruning: it reports whether some single event can be
+// inserted into pre's prefix to give a longer premise with the *same*
+// temporal-point identity — same last event, same first temporal point in
+// every supporting sequence, hence the same supporting sequences. When such
+// an insertion exists (and stays within MaxPremiseLength, so the dominating
+// premise is itself enumerated), every rule minable from pre or any of its
+// extensions is redundant per Definition 5.2 against the dominating
+// premise's subtree, so pre's subtree is skipped. Chains of insertions
+// terminate at a maximal premise, which this test never skips.
+//
+// The test is exact, in the BIDE backward-extension style: an event e can be
+// inserted at slot i of the prefix P' = pre[:len-1] while preserving the
+// first temporal point fe of a sequence s iff e occurs strictly between the
+// end of the greedy (earliest) embedding of P'[:i] and the start of the
+// latest embedding of P'[i:] within s[0..fe-1]. The skip fires iff for some
+// slot one event lies in that window in every supporting sequence.
+func (wk *premiseWalker) hasEquivalentInsertion(pre seqdb.Pattern, proj []premiseProj) bool {
+	if wk.opts.MaxPremiseLength > 0 && len(pre)+1 > wk.opts.MaxPremiseLength {
+		return false
+	}
+	m := len(pre) - 1
+	prefix := pre[:m]
+
+	// Per sequence: a[i] = end position of the greedy embedding of P'[:i]
+	// (-1 for the empty prefix), b[i] = start position of the latest
+	// embedding of P'[i:] within s[0..fe-1] (fe for the empty suffix). Both
+	// embeddings exist because fe is pre's first temporal point, so the
+	// prefix embeds within s[0..fe-1].
+	width := m + 1
+	need := 2 * width * len(proj)
+	if cap(wk.abTab) < need {
+		wk.abTab = make([]int32, need)
+	}
+	ab := wk.abTab[:need]
+	for si, pr := range proj {
+		s := wk.db.Sequences[pr.seq]
+		a := ab[2*si*width : (2*si+1)*width]
+		b := ab[(2*si+1)*width : (2*si+2)*width]
+		a[0] = -1
+		j := 0
+		for k := 0; k < m; k++ {
+			for s[j] != prefix[k] {
+				j++
+			}
+			a[k+1] = int32(j)
+			j++
 		}
-		if pre.IsSubsequenceOf(lm.premise) && len(pre) < len(lm.premise) {
-			return true
-		}
-		if lm.premise.IsSubsequenceOf(pre) {
-			entries[i] = premiseLandmark{premise: pre.Clone(), last: last, proj: lm.proj}
-			m.premiseLandmarks[sig] = entries
-			return false
+		b[m] = pr.firstEnd
+		j = int(pr.firstEnd) - 1
+		for k := m - 1; k >= 0; k-- {
+			for s[j] != prefix[k] {
+				j--
+			}
+			b[k] = int32(j)
+			j--
 		}
 	}
-	m.premiseLandmarks[sig] = append(entries, premiseLandmark{
-		premise: pre.Clone(), last: last, proj: proj,
-	})
+
+	// Slot-major intersection: cnt[ev] counts the sequences (so far) whose
+	// slot-i window contains ev; an event reaching len(proj) proves the
+	// insertion. The strict cnt[ev] == si chain ensures membership in every
+	// previous sequence.
+	for i := 0; i <= m; i++ {
+		cntEpoch := seqdb.BumpEpoch(&wk.cntEpoch, wk.cntStamp)
+		for si, pr := range proj {
+			s := wk.db.Sequences[pr.seq]
+			lo := ab[2*si*width+i] + 1
+			hi := ab[(2*si+1)*width+i]
+			seenEpoch := seqdb.BumpEpoch(&wk.seenEpoch, wk.seenStamp)
+			for p := lo; p < hi; p++ {
+				ev := s[p]
+				if wk.seenStamp[ev] == seenEpoch {
+					continue
+				}
+				wk.seenStamp[ev] = seenEpoch
+				if si == 0 {
+					wk.cntStamp[ev] = cntEpoch
+					wk.cnt[ev] = 1
+					if len(proj) == 1 {
+						return true
+					}
+					continue
+				}
+				if wk.cntStamp[ev] == cntEpoch && wk.cnt[ev] == int32(si) {
+					wk.cnt[ev] = int32(si) + 1
+					if si+1 == len(proj) {
+						return true
+					}
+				}
+			}
+		}
+	}
 	return false
 }
 
-// premiseSignature hashes the premise identity with stack-allocated FNV-1a
-// (this runs once per premise search node).
+// premiseSignature hashes the premise's temporal-point identity — the last
+// event plus the first temporal point in every supporting sequence — with
+// stack-allocated FNV-1a (this runs once per premise node).
 func premiseSignature(last seqdb.EventID, proj []premiseProj) uint64 {
 	h := seqdb.NewHash64().Mix16(int32(last))
 	for _, pr := range proj {

@@ -253,6 +253,18 @@ func (idx *PositionIndex) NextAfter(s int, e EventID, from int) int32 {
 	return positions[i]
 }
 
+// PrevBefore returns the largest position < before at which e occurs in
+// sequence s, or -1 when there is none. It is the backward counterpart of
+// NextAfter, used by the batched verifier's latest-embedding computation.
+func (idx *PositionIndex) PrevBefore(s int, e EventID, before int) int32 {
+	positions := idx.Positions(s, e)
+	i := searchInt32(positions, int32(before))
+	if i == 0 {
+		return -1
+	}
+	return positions[i-1]
+}
+
 // SeqsContaining returns the sequences containing event e, in increasing
 // order. The returned slice is shared and must not be modified.
 func (idx *PositionIndex) SeqsContaining(e EventID) []int32 {

@@ -98,6 +98,15 @@ func TestPositionIndexRangeQueries(t *testing.T) {
 					if got := idx.NextAfter(si, e, lo); got != wantNext {
 						t.Fatalf("NextAfter(seq %d, ev %d, %d)=%d want %d", si, e, lo, got, wantNext)
 					}
+					wantPrev := int32(-1)
+					for j := 0; j < lo; j++ {
+						if s[j] == e {
+							wantPrev = int32(j)
+						}
+					}
+					if got := idx.PrevBefore(si, e, lo); got != wantPrev {
+						t.Fatalf("PrevBefore(seq %d, ev %d, %d)=%d want %d", si, e, lo, got, wantPrev)
+					}
 				}
 			}
 		}

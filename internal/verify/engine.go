@@ -1,0 +1,201 @@
+package verify
+
+import (
+	"specmine/internal/ltl"
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+)
+
+// Engine is a rule set compiled for batched conformance checking: the
+// serving path for checking fresh traffic against a mined specification.
+// CheckRule walks every trace once per rule; a production rule set has
+// hundreds of rules sharing a handful of premise prefixes and consequents,
+// so the engine compiles the whole set once — premises into a shared prefix
+// trie, consequents into a deduplicated table — and then answers all rules
+// in a single pass per trace over the flat positional index.
+//
+// Compile once with NewEngine, then call Check against any number of
+// databases. The engine is immutable after compilation and safe for
+// concurrent Check calls; each call allocates its own scratch.
+type Engine struct {
+	ruleSet  []rules.Rule
+	formulas []ltl.Formula
+
+	// Premise-prefix trie. Node 0 is the root (empty prefix); children carry
+	// the event extending their parent's prefix. Nodes are stored in
+	// insertion order, so every parent precedes its children and one forward
+	// sweep evaluates the whole trie.
+	trieEvent  []seqdb.EventID
+	trieParent []int32
+
+	// posts holds the distinct consequents of the rule set.
+	posts []seqdb.Pattern
+
+	// Per rule: the trie node of its premise prefix (pre minus the last
+	// event), the premise's last event, and its consequent's index in posts.
+	rulePreNode []int32
+	ruleLast    []seqdb.EventID
+	rulePost    []int32
+}
+
+// NewEngine compiles a rule set. Rules are validated (via their LTL
+// translation, like CheckRule) in order, so the first invalid rule produces
+// the same error the per-rule path would.
+func NewEngine(ruleSet []rules.Rule) (*Engine, error) {
+	e := &Engine{
+		ruleSet:     ruleSet,
+		formulas:    make([]ltl.Formula, len(ruleSet)),
+		trieEvent:   []seqdb.EventID{0},
+		trieParent:  []int32{-1},
+		rulePreNode: make([]int32, len(ruleSet)),
+		ruleLast:    make([]seqdb.EventID, len(ruleSet)),
+		rulePost:    make([]int32, len(ruleSet)),
+	}
+	// children[node] maps extending events to child nodes during compilation.
+	children := []map[seqdb.EventID]int32{nil}
+	postIndex := make(map[string]int32)
+	for i, r := range ruleSet {
+		formula, err := ltl.FromRule(r.Pre, r.Post)
+		if err != nil {
+			return nil, err
+		}
+		e.formulas[i] = formula
+
+		node := int32(0)
+		for _, ev := range r.Pre[:len(r.Pre)-1] {
+			if children[node] == nil {
+				children[node] = make(map[seqdb.EventID]int32, 2)
+			}
+			child, ok := children[node][ev]
+			if !ok {
+				child = int32(len(e.trieEvent))
+				e.trieEvent = append(e.trieEvent, ev)
+				e.trieParent = append(e.trieParent, node)
+				children = append(children, nil)
+				children[node][ev] = child
+			}
+			node = child
+		}
+		e.rulePreNode[i] = node
+		e.ruleLast[i] = r.Pre.Last()
+
+		key := r.Post.Key()
+		pi, ok := postIndex[key]
+		if !ok {
+			pi = int32(len(e.posts))
+			e.posts = append(e.posts, r.Post)
+			postIndex[key] = pi
+		}
+		e.rulePost[i] = pi
+	}
+	return e, nil
+}
+
+// NumTrieNodes reports the size of the compiled premise trie (including the
+// root); with shared prefixes it is at most 1 + sum of premise lengths.
+func (e *Engine) NumTrieNodes() int { return len(e.trieEvent) }
+
+// NumDistinctPosts reports the number of deduplicated consequents.
+func (e *Engine) NumDistinctPosts() int { return len(e.posts) }
+
+// trieDead marks a trie node whose prefix does not embed in the current
+// trace. The root uses -1 ("completes before position 0"), so the dead
+// sentinel must be distinct.
+const trieDead = int32(-2)
+
+// Check evaluates every compiled rule against every trace of db and returns
+// one report per rule, in rule order — byte-identical to calling CheckRule
+// per rule, but in one pass per trace.
+//
+// Per trace the engine computes, in one forward sweep over the trie, the
+// position at which each premise prefix first completes (one NextAfter index
+// query per node); a premise's temporal points are then exactly the
+// occurrences of its last event after that position, read straight off the
+// index. Satisfaction is monotone — if the consequent follows one temporal
+// point it follows every earlier one — so one backward embedding per
+// distinct consequent (PrevBefore queries) yields the latest start position
+// from which it still embeds, and a binary search splits each rule's
+// temporal points into satisfied and violated.
+func (e *Engine) Check(db *seqdb.Database) []RuleReport {
+	idx := db.FlatIndex()
+	reports := make([]RuleReport, len(e.ruleSet))
+	for i := range reports {
+		reports[i] = RuleReport{Rule: e.ruleSet[i], Formula: e.formulas[i]}
+	}
+	g := make([]int32, len(e.trieEvent))
+	late := make([]int32, len(e.posts))
+
+	for si := range db.Sequences {
+		// First-completion position of every premise prefix.
+		g[0] = -1
+		for n := 1; n < len(g); n++ {
+			pg := g[e.trieParent[n]]
+			if pg == trieDead {
+				g[n] = trieDead
+				continue
+			}
+			p := idx.NextAfter(si, e.trieEvent[n], int(pg)+1)
+			if p < 0 {
+				g[n] = trieDead
+			} else {
+				g[n] = p
+			}
+		}
+		// Latest start from which each distinct consequent still embeds
+		// (-1 when it does not embed at all).
+		for pi, post := range e.posts {
+			pos := int32(len(db.Sequences[si]))
+			for k := len(post) - 1; k >= 0; k-- {
+				pos = idx.PrevBefore(si, post[k], int(pos))
+				if pos < 0 {
+					break
+				}
+			}
+			late[pi] = pos
+		}
+
+		for i := range e.ruleSet {
+			rep := &reports[i]
+			pg := g[e.rulePreNode[i]]
+			if pg == trieDead {
+				rep.SatisfiedTraces++
+				continue
+			}
+			tps := idx.PositionsFrom(si, e.ruleLast[i], int(pg)+1)
+			if len(tps) == 0 {
+				rep.SatisfiedTraces++
+				continue
+			}
+			rep.TotalTemporalPoints += len(tps)
+			// A temporal point tp is satisfied iff the consequent embeds in
+			// s[tp+1:], i.e. iff tp+1 <= late, i.e. tp < late.
+			sat := lowerBound(tps, late[e.rulePost[i]])
+			rep.SatisfiedTemporalPoints += sat
+			if sat == len(tps) {
+				rep.SatisfiedTraces++
+				continue
+			}
+			rep.ViolatedTraces++
+			for _, tp := range tps[sat:] {
+				rep.Violations = append(rep.Violations, RuleViolation{
+					Rule: e.ruleSet[i], Seq: si, TemporalPoint: int(tp),
+				})
+			}
+		}
+	}
+	return reports
+}
+
+// lowerBound returns the number of entries in sorted that are < limit.
+func lowerBound(sorted []int32, limit int32) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sorted[mid] < limit {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

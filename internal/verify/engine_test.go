@@ -1,0 +1,178 @@
+package verify
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+	"specmine/internal/synth"
+	"specmine/internal/tracesim"
+)
+
+// checkEngineMatchesPerRule asserts that the batched engine produces reports
+// byte-identical to the per-rule CheckRule path on the given database.
+func checkEngineMatchesPerRule(t *testing.T, label string, db *seqdb.Database, ruleSet []rules.Rule) {
+	t.Helper()
+	engine, err := NewEngine(ruleSet)
+	if err != nil {
+		t.Fatalf("%s: NewEngine: %v", label, err)
+	}
+	got := engine.Check(db)
+	if len(got) != len(ruleSet) {
+		t.Fatalf("%s: %d reports for %d rules", label, len(got), len(ruleSet))
+	}
+	for i, r := range ruleSet {
+		want, err := CheckRule(db, r)
+		if err != nil {
+			t.Fatalf("%s: CheckRule: %v", label, err)
+		}
+		g := got[i]
+		if g.TotalTemporalPoints != want.TotalTemporalPoints ||
+			g.SatisfiedTemporalPoints != want.SatisfiedTemporalPoints ||
+			g.SatisfiedTraces != want.SatisfiedTraces ||
+			g.ViolatedTraces != want.ViolatedTraces {
+			t.Fatalf("%s: rule %d counters differ:\n got %+v\nwant %+v", label, i, g, want)
+		}
+		if len(g.Violations) != len(want.Violations) {
+			t.Fatalf("%s: rule %d violations %d want %d", label, i, len(g.Violations), len(want.Violations))
+		}
+		for k := range want.Violations {
+			if g.Violations[k].Seq != want.Violations[k].Seq ||
+				g.Violations[k].TemporalPoint != want.Violations[k].TemporalPoint {
+				t.Fatalf("%s: rule %d violation %d: got %+v want %+v",
+					label, i, k, g.Violations[k], want.Violations[k])
+			}
+		}
+		if !reflect.DeepEqual(g.Formula, want.Formula) {
+			t.Fatalf("%s: rule %d formula differs", label, i)
+		}
+		if g.HoldRate() != want.HoldRate() {
+			t.Fatalf("%s: rule %d hold rate %v want %v", label, i, g.HoldRate(), want.HoldRate())
+		}
+	}
+}
+
+// minedRules mines a non-redundant rule set from the workload so the engine
+// is exercised with realistic premises and consequents, including shared
+// premise prefixes and duplicated consequents.
+func minedRules(t *testing.T, db *seqdb.Database) []rules.Rule {
+	t.Helper()
+	for _, opts := range []rules.Options{
+		{MinSeqSupportRel: 0.9, MinInstanceSupport: 1, MinConfidence: 0.9,
+			MaxPremiseLength: 2, MaxConsequentLength: 2},
+		{MinSeqSupportRel: 0.5, MinInstanceSupport: 1, MinConfidence: 0.8,
+			MaxPremiseLength: 2, MaxConsequentLength: 2},
+	} {
+		res, err := rules.MineNonRedundant(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rules) > 0 {
+			return res.Rules
+		}
+	}
+	return nil
+}
+
+func TestEngineMatchesPerRuleOnWorkloads(t *testing.T) {
+	for name, w := range tracesim.Workloads() {
+		train := w.MustGenerate(30, 7)
+		ruleSet := minedRules(t, train)
+		if len(ruleSet) == 0 {
+			t.Fatalf("%s: no rules mined", name)
+		}
+		// Check against the training traces and against fresh traffic with a
+		// raised violation rate, sharing the training dictionary.
+		checkEngineMatchesPerRule(t, name+"/train", train, ruleSet)
+		fresh := w
+		fresh.ViolationRate = 0.3
+		db2, err := fresh.Generate(40, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := seqdb.NewDatabaseWithDict(train.Dict)
+		for _, s := range db2.Sequences {
+			names := make([]string, len(s))
+			for i, ev := range s {
+				names[i] = db2.Dict.Name(ev)
+			}
+			merged.AppendNames(names...)
+		}
+		checkEngineMatchesPerRule(t, name+"/fresh", merged, ruleSet)
+	}
+}
+
+func TestEngineMatchesPerRuleRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 40; iter++ {
+		db := seqdb.NewDatabase()
+		alphabet := 3 + rng.Intn(4)
+		for i := 0; i < alphabet; i++ {
+			db.Dict.Intern(string(rune('a' + i)))
+		}
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			n := 1 + rng.Intn(14)
+			s := make(seqdb.Sequence, n)
+			for j := range s {
+				s[j] = seqdb.EventID(rng.Intn(alphabet))
+			}
+			db.Append(s)
+		}
+		var ruleSet []rules.Rule
+		for r := 0; r < 1+rng.Intn(8); r++ {
+			pre := make(seqdb.Pattern, 1+rng.Intn(3))
+			for j := range pre {
+				pre[j] = seqdb.EventID(rng.Intn(alphabet))
+			}
+			post := make(seqdb.Pattern, 1+rng.Intn(3))
+			for j := range post {
+				post[j] = seqdb.EventID(rng.Intn(alphabet))
+			}
+			ruleSet = append(ruleSet, rules.Rule{Pre: pre, Post: post})
+		}
+		checkEngineMatchesPerRule(t, "random", db, ruleSet)
+	}
+}
+
+func TestEngineOnSynthQuest(t *testing.T) {
+	db := synth.MustGenerate(synth.Config{
+		NumSequences: 40, AvgSequenceLength: 25, NumEvents: 40, AvgPatternLength: 5, Seed: 13,
+	})
+	ruleSet := minedRules(t, db)
+	if len(ruleSet) == 0 {
+		t.Skip("no rules mined from this configuration")
+	}
+	checkEngineMatchesPerRule(t, "quest", db, ruleSet)
+}
+
+func TestEngineSharesTrieAndPosts(t *testing.T) {
+	d := seqdb.NewDictionary()
+	mk := func(pre, post string) rules.Rule {
+		return rules.Rule{Pre: seqdb.ParsePattern(d, pre), Post: seqdb.ParsePattern(d, post)}
+	}
+	engine, err := NewEngine([]rules.Rule{
+		mk("a b c", "x"),
+		mk("a b d", "x"),
+		mk("a b", "y"),
+		mk("q", "x"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefixes: "", "a", "a b" (shared by the first three; rule 4's prefix is
+	// the root) -> 3 nodes. Posts: x (deduplicated), y -> 2.
+	if engine.NumTrieNodes() != 3 {
+		t.Errorf("NumTrieNodes=%d want 3", engine.NumTrieNodes())
+	}
+	if engine.NumDistinctPosts() != 2 {
+		t.Errorf("NumDistinctPosts=%d want 2", engine.NumDistinctPosts())
+	}
+}
+
+func TestEngineRejectsEmptySides(t *testing.T) {
+	if _, err := NewEngine([]rules.Rule{{}}); err == nil {
+		t.Errorf("engine accepted an empty rule")
+	}
+}

@@ -90,17 +90,15 @@ func CheckRule(db *seqdb.Database, rule rules.Rule) (RuleReport, error) {
 }
 
 // CheckRules evaluates a set of rules and returns one report per rule, in the
-// given order.
+// given order. It compiles the set into a batched Engine and checks all rules
+// in one pass per trace; the reports are identical to calling CheckRule rule
+// by rule.
 func CheckRules(db *seqdb.Database, ruleSet []rules.Rule) ([]RuleReport, error) {
-	out := make([]RuleReport, 0, len(ruleSet))
-	for _, r := range ruleSet {
-		rep, err := CheckRule(db, r)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rep)
+	engine, err := NewEngine(ruleSet)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return engine.Check(db), nil
 }
 
 // PatternReport summarises checking one iterative pattern against a database.
