@@ -28,6 +28,7 @@ import (
 	"specmine/internal/seqdb"
 	"specmine/internal/synth"
 	"specmine/internal/tracesim"
+	"specmine/internal/verify"
 )
 
 // ClosedCase is one closed-pattern mining benchmark configuration.
@@ -176,6 +177,95 @@ func VerifyCases() []VerifyCase {
 		mk("verify-locking-x500", "locking", 50, 500, strict),
 		mk("verify-transaction-x200", "transaction", 30, 200, relaxed),
 	}
+}
+
+// StreamCase is one streaming-ingestion benchmark configuration: a tracesim
+// workload replayed as an interleaved chunk stream (see tracesim.Stream)
+// into a sharded stream.Ingester, optionally with an online conformance
+// engine attached. The headline metrics are events/sec and per-event allocs.
+type StreamCase struct {
+	Name     string
+	Workload string
+	Traces   int
+	Shards   int
+	// FlushBatch is the sealed-trace batch size between incremental index
+	// extensions.
+	FlushBatch int
+	// Concurrency is how many traces the replay keeps open at once.
+	Concurrency int
+	// Checked attaches an online engine compiled from rules mined on a
+	// training batch, so every event also advances conformance automata.
+	Checked bool
+}
+
+// StreamOp is one pre-generated ingestion operation: events to append to a
+// trace, or (with Seal) its termination. Pre-generating operations keeps
+// workload synthesis and name interning out of the measured region.
+type StreamOp struct {
+	TraceID string
+	Events  []seqdb.EventID
+	Seal    bool
+}
+
+// StreamCases returns the streaming-ingestion benchmark matrix.
+func StreamCases() []StreamCase {
+	return []StreamCase{
+		{Name: "stream-locking-x200", Workload: "locking", Traces: 200,
+			Shards: 4, FlushBatch: 32, Concurrency: 16},
+		{Name: "stream-transaction-x200", Workload: "transaction", Traces: 200,
+			Shards: 4, FlushBatch: 32, Concurrency: 16},
+		{Name: "stream-security-x200-checked", Workload: "security", Traces: 200,
+			Shards: 4, FlushBatch: 32, Concurrency: 16, Checked: true},
+	}
+}
+
+// GenStream pre-generates the case's operation stream against a fresh
+// dictionary, returning the dictionary (pass it to the ingester so ids
+// resolve), the operations, the engine to attach (nil unless Checked) and
+// the total event count.
+func (c StreamCase) GenStream() (*seqdb.Dictionary, []StreamOp, *verify.Engine, int) {
+	w := tracesim.Workloads()[c.Workload]
+	var engine *verify.Engine
+	dict := seqdb.NewDictionary()
+	if c.Checked {
+		train := w.MustGenerate(30, 7)
+		res, err := rules.MineNonRedundant(train, rules.Options{
+			MinSeqSupportRel: 0.5, MinInstanceSupport: 1, MinConfidence: 0.8,
+			MaxPremiseLength: 2, MaxConsequentLength: 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if len(res.Rules) == 0 {
+			panic("bench: no rules mined for checked stream case")
+		}
+		engine, err = verify.NewEngine(res.Rules)
+		if err != nil {
+			panic(err)
+		}
+		dict = train.Dict
+		w.ViolationRate = 0.25
+	}
+	var ops []StreamOp
+	events := 0
+	err := w.Stream(c.Traces, 99, c.Concurrency, func(ch tracesim.StreamChunk) error {
+		ids := make([]seqdb.EventID, len(ch.Events))
+		for i, n := range ch.Events {
+			ids[i] = dict.Intern(n)
+		}
+		events += len(ids)
+		if len(ids) > 0 {
+			ops = append(ops, StreamOp{TraceID: ch.TraceID, Events: ids})
+		}
+		if ch.Final {
+			ops = append(ops, StreamOp{TraceID: ch.TraceID, Seal: true})
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return dict, ops, engine, events
 }
 
 // rebased re-interns db's traces through dict, so rules mined against dict

@@ -11,6 +11,7 @@ import (
 	"specmine/internal/bench/baseline"
 	"specmine/internal/iterpattern"
 	"specmine/internal/rules"
+	"specmine/internal/stream"
 	"specmine/internal/verify"
 )
 
@@ -118,7 +119,6 @@ func BenchmarkVerify(b *testing.B) {
 		if len(ruleSet) == 0 {
 			b.Fatalf("%s: no rules mined", c.Name)
 		}
-		db.FlatIndex()
 		engine, err := verify.NewEngine(ruleSet)
 		if err != nil {
 			b.Fatal(err)
@@ -200,16 +200,37 @@ type ruleTrajectoryCase struct {
 	Parallel    []parallelRow `json:"parallel,omitempty"`
 }
 
-// verifyTrajectoryCase is one batched-verification row.
+// verifyTrajectoryCase is one batched-verification row. Since the online
+// overhaul the batched engine drives the per-event checker, so the row also
+// records the per-event view of the same work (events/sec and allocations
+// per event through a reused Checker).
 type verifyTrajectoryCase struct {
 	Name               string  `json:"name"`
 	Rules              int     `json:"rules"`
 	Traces             int     `json:"traces"`
+	Events             int     `json:"events"`
 	BatchedNsPerOp     int64   `json:"batched_ns_per_op"`
 	BatchedAllocsPerOp int64   `json:"batched_allocs_per_op"`
 	PerRuleNsPerOp     int64   `json:"per_rule_ns_per_op"`
 	PerRuleAllocsPerOp int64   `json:"per_rule_allocs_per_op"`
 	Speedup            float64 `json:"speedup"`
+	OnlineEventsPerSec float64 `json:"online_events_per_sec"`
+	OnlineAllocsPerEvt float64 `json:"online_allocs_per_event"`
+}
+
+// streamTrajectoryCase is one streaming-ingestion row: a chunked trace
+// stream pushed through the sharded ingester (sealing, online checking when
+// configured, incremental index flushes, final snapshot).
+type streamTrajectoryCase struct {
+	Name           string  `json:"name"`
+	Shards         int     `json:"shards"`
+	Traces         int     `json:"traces"`
+	Events         int     `json:"events"`
+	Checked        bool    `json:"checked"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
 }
 
 type trajectory struct {
@@ -219,6 +240,7 @@ type trajectory struct {
 	Cases       []trajectoryCase       `json:"cases"`
 	RuleCases   []ruleTrajectoryCase   `json:"rule_cases"`
 	VerifyCases []verifyTrajectoryCase `json:"verify_cases"`
+	StreamCases []streamTrajectoryCase `json:"stream_cases"`
 }
 
 func benchOnce(f func(b *testing.B)) testing.BenchmarkResult {
@@ -240,7 +262,7 @@ func TestWriteBenchTrajectory(t *testing.T) {
 		t.Skip("set SPECMINE_WRITE_BENCH=1 to regenerate BENCH_mining.json")
 	}
 	out := trajectory{
-		Schema:    "specmine/bench-mining/v2",
+		Schema:    "specmine/bench-mining/v3",
 		Generator: "SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory",
 		GoVersion: runtime.Version(),
 	}
@@ -350,7 +372,6 @@ func TestWriteBenchTrajectory(t *testing.T) {
 		if len(ruleSet) == 0 {
 			t.Fatalf("%s: no rules mined", c.Name)
 		}
-		db.FlatIndex()
 		engine, err := verify.NewEngine(ruleSet)
 		if err != nil {
 			t.Fatal(err)
@@ -369,18 +390,74 @@ func TestWriteBenchTrajectory(t *testing.T) {
 				}
 			}
 		})
+		events := db.NumEvents()
+		checker := engine.NewChecker()
+		online := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reports := engine.NewReports()
+				for si, s := range db.Sequences {
+					for _, ev := range s {
+						checker.Advance(ev)
+					}
+					checker.Close(si, reports)
+				}
+			}
+		})
 		vc := verifyTrajectoryCase{
 			Name:               c.Name,
 			Rules:              len(ruleSet),
 			Traces:             db.NumSequences(),
+			Events:             events,
 			BatchedNsPerOp:     batched.NsPerOp(),
 			BatchedAllocsPerOp: batched.AllocsPerOp(),
 			PerRuleNsPerOp:     perRule.NsPerOp(),
 			PerRuleAllocsPerOp: perRule.AllocsPerOp(),
 			Speedup:            round2(float64(perRule.NsPerOp()) / float64(batched.NsPerOp())),
+			OnlineEventsPerSec: round2(float64(events) * 1e9 / float64(online.NsPerOp())),
+			OnlineAllocsPerEvt: round2(float64(online.AllocsPerOp()) / float64(events)),
 		}
 		out.VerifyCases = append(out.VerifyCases, vc)
-		t.Logf("%s: batched %v ns/op vs per-rule %v ns/op (%.2fx)", c.Name, vc.BatchedNsPerOp, vc.PerRuleNsPerOp, vc.Speedup)
+		t.Logf("%s: batched %v ns/op vs per-rule %v ns/op (%.2fx), online %.0f events/sec",
+			c.Name, vc.BatchedNsPerOp, vc.PerRuleNsPerOp, vc.Speedup, vc.OnlineEventsPerSec)
+	}
+
+	for _, c := range StreamCases() {
+		dict, ops, engine, events := c.GenStream()
+		run := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ing := stream.NewIngester(stream.Config{
+					Shards: c.Shards, FlushBatch: c.FlushBatch, Dict: dict, Engine: engine,
+				})
+				for _, op := range ops {
+					if op.Seal {
+						if err := ing.CloseTrace(op.TraceID); err != nil {
+							b.Fatal(err)
+						}
+					} else if err := ing.IngestIDs(op.TraceID, op.Events...); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := ing.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+				if err := ing.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sc := streamTrajectoryCase{
+			Name:           c.Name,
+			Shards:         c.Shards,
+			Traces:         c.Traces,
+			Events:         events,
+			Checked:        c.Checked,
+			NsPerOp:        run.NsPerOp(),
+			EventsPerSec:   round2(float64(events) * 1e9 / float64(run.NsPerOp())),
+			AllocsPerEvent: round2(float64(run.AllocsPerOp()) / float64(events)),
+			BytesPerOp:     run.AllocedBytesPerOp(),
+		}
+		out.StreamCases = append(out.StreamCases, sc)
+		t.Logf("%s: %v ns/op, %.0f events/sec, %.2f allocs/event", c.Name, sc.NsPerOp, sc.EventsPerSec, sc.AllocsPerEvent)
 	}
 
 	buf, err := json.MarshalIndent(out, "", "  ")

@@ -1,8 +1,11 @@
 // Command benchguard is the CI benchmark-regression gate. It re-measures the
-// headline synth closed-mining case, writes benchstat-compatible sample
-// files — old.txt holding the checked-in BENCH_mining.json trajectory value
-// and new.txt holding the live measurements — and exits non-zero when the
-// best live run is more than the allowed factor slower than the trajectory.
+// headline cases — synth closed mining and the batched conformance check —
+// writes benchstat-compatible sample files (old.txt holding the checked-in
+// BENCH_mining.json trajectory values, new.txt the live measurements), and
+// exits non-zero when any case's best live run is more than the allowed
+// factor slower than its trajectory value. Every case is measured and
+// reported in one table before the verdict, so a regression in one case
+// never hides another.
 //
 // CI runs it as
 //
@@ -14,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +28,7 @@ import (
 
 	"specmine/internal/bench"
 	"specmine/internal/iterpattern"
+	"specmine/internal/verify"
 )
 
 type trajectoryCase struct {
@@ -31,15 +36,32 @@ type trajectoryCase struct {
 	FlatNsPerOp int64  `json:"flat_ns_per_op"`
 }
 
+type verifyTrajectoryCase struct {
+	Name           string `json:"name"`
+	BatchedNsPerOp int64  `json:"batched_ns_per_op"`
+}
+
 type trajectory struct {
-	Schema string           `json:"schema"`
-	Cases  []trajectoryCase `json:"cases"`
+	Schema      string                 `json:"schema"`
+	Cases       []trajectoryCase       `json:"cases"`
+	VerifyCases []verifyTrajectoryCase `json:"verify_cases"`
+}
+
+// gate is one benchmark case the guard re-measures against its trajectory
+// value.
+type gate struct {
+	label     string // table row label
+	benchName string // benchstat sample name
+	oldNs     int64
+	run       func(b *testing.B)
+
+	best int64 // filled by measurement
 }
 
 func main() {
 	trajPath := flag.String("trajectory", "BENCH_mining.json", "path to the checked-in trajectory file")
 	outDir := flag.String("out", ".", "directory for the benchstat sample files old.txt and new.txt")
-	count := flag.Int("count", 5, "number of live benchmark runs")
+	count := flag.Int("count", 5, "number of live benchmark runs per case")
 	factor := flag.Float64("factor", 1.5, "maximum allowed ns/op regression factor")
 	flag.Parse()
 
@@ -52,70 +74,124 @@ func main() {
 		fatalf("parsing trajectory: %v", err)
 	}
 
-	c := bench.ClosedCases()[0] // the acceptance headline case
-	var oldNs int64
-	for _, tc := range traj.Cases {
-		if tc.Name == c.Name {
-			oldNs = tc.FlatNsPerOp
-			break
-		}
-	}
-	if oldNs == 0 {
-		fatalf("headline case %s not found in %s", c.Name, *trajPath)
-	}
+	gates := []*gate{miningGate(traj), verifyGate(traj)}
 
-	benchName := "BenchmarkMineClosed/" + c.Name + "/flat"
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatalf("creating output directory: %v", err)
 	}
-	if err := writeSamples(filepath.Join(*outDir, "old.txt"), benchName, []int64{oldNs}); err != nil {
+	var oldBuf, newBuf bytes.Buffer
+	writeHeader(&oldBuf)
+	writeHeader(&newBuf)
+
+	for _, g := range gates {
+		writeSamples(&oldBuf, g.benchName, []int64{g.oldNs})
+		samples := make([]int64, 0, *count)
+		for i := 0; i < *count; i++ {
+			ns := testing.Benchmark(g.run).NsPerOp()
+			samples = append(samples, ns)
+			if g.best == 0 || ns < g.best {
+				g.best = ns
+			}
+		}
+		writeSamples(&newBuf, g.benchName, samples)
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "old.txt"), oldBuf.Bytes(), 0o644); err != nil {
 		fatalf("writing old.txt: %v", err)
 	}
-
-	db := c.Gen()
-	db.FlatIndex()
-	best := int64(0)
-	samples := make([]int64, 0, *count)
-	for i := 0; i < *count; i++ {
-		r := testing.Benchmark(func(b *testing.B) {
-			for j := 0; j < b.N; j++ {
-				if _, err := iterpattern.MineClosed(db, c.Opts); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-		ns := r.NsPerOp()
-		samples = append(samples, ns)
-		if best == 0 || ns < best {
-			best = ns
-		}
-	}
-	if err := writeSamples(filepath.Join(*outDir, "new.txt"), benchName, samples); err != nil {
+	if err := os.WriteFile(filepath.Join(*outDir, "new.txt"), newBuf.Bytes(), 0o644); err != nil {
 		fatalf("writing new.txt: %v", err)
 	}
 
-	limit := int64(float64(oldNs) * *factor)
-	fmt.Printf("benchguard: %s trajectory %d ns/op, best of %d live runs %d ns/op, limit %d ns/op\n",
-		c.Name, oldNs, *count, best, limit)
-	if best > limit {
-		fatalf("benchmark regression: best live run %d ns/op exceeds %.2fx the checked-in %d ns/op",
-			best, *factor, oldNs)
+	// One readable verdict table covering every case, then the exit status.
+	failed := 0
+	fmt.Printf("benchguard: best of %d live runs vs checked-in trajectory (budget %.2fx)\n", *count, *factor)
+	fmt.Printf("  %-42s %14s %14s %7s %7s\n", "case", "old ns/op", "best ns/op", "ratio", "status")
+	for _, g := range gates {
+		limit := int64(float64(g.oldNs) * *factor)
+		status := "ok"
+		if g.best > limit {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-42s %14d %14d %6.2fx %7s\n",
+			g.label, g.oldNs, g.best, float64(g.best)/float64(g.oldNs), status)
+	}
+	if failed > 0 {
+		fatalf("%d of %d cases exceed the %.2fx budget", failed, len(gates), *factor)
 	}
 	fmt.Println("benchguard: within budget")
 }
 
-// writeSamples emits one benchstat-parsable sample file.
-func writeSamples(path, benchName string, nsPerOp []int64) error {
-	f, err := os.Create(path)
+// miningGate re-measures the closed-mining acceptance headline.
+func miningGate(traj trajectory) *gate {
+	c := bench.ClosedCases()[0]
+	g := &gate{
+		label:     "mine-closed/" + c.Name,
+		benchName: "BenchmarkMineClosed/" + c.Name + "/flat",
+	}
+	for _, tc := range traj.Cases {
+		if tc.Name == c.Name {
+			g.oldNs = tc.FlatNsPerOp
+			break
+		}
+	}
+	if g.oldNs == 0 {
+		fatalf("headline case %s not found in trajectory", c.Name)
+	}
+	db := c.Gen()
+	db.FlatIndex()
+	g.run = func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := iterpattern.MineClosed(db, c.Opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+// verifyGate re-measures the batched conformance headline (which since the
+// online overhaul also covers the streaming checker — Check drives it).
+func verifyGate(traj trajectory) *gate {
+	c := bench.VerifyCases()[0]
+	g := &gate{
+		label:     "verify-batched/" + c.Name,
+		benchName: "BenchmarkVerify/" + c.Name + "/batched",
+	}
+	for _, vc := range traj.VerifyCases {
+		if vc.Name == c.Name {
+			g.oldNs = vc.BatchedNsPerOp
+			break
+		}
+	}
+	if g.oldNs == 0 {
+		fatalf("verify headline case %s not found in trajectory", c.Name)
+	}
+	ruleSet, db := c.Gen()
+	if len(ruleSet) == 0 {
+		fatalf("verify headline case %s mined no rules", c.Name)
+	}
+	engine, err := verify.NewEngine(ruleSet)
 	if err != nil {
-		return err
+		fatalf("compiling verify headline rules: %v", err)
 	}
-	defer f.Close()
-	fmt.Fprintf(f, "goos: %s\ngoarch: %s\npkg: specmine/internal/bench\n", runtime.GOOS, runtime.GOARCH)
+	g.run = func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = engine.Check(db)
+		}
+	}
+	return g
+}
+
+func writeHeader(buf *bytes.Buffer) {
+	fmt.Fprintf(buf, "goos: %s\ngoarch: %s\npkg: specmine/internal/bench\n", runtime.GOOS, runtime.GOARCH)
+}
+
+// writeSamples appends benchstat-parsable sample lines.
+func writeSamples(buf *bytes.Buffer, benchName string, nsPerOp []int64) {
 	for _, ns := range nsPerOp {
-		fmt.Fprintf(f, "%s \t       1\t%12d ns/op\n", benchName, ns)
+		fmt.Fprintf(buf, "%s \t       1\t%12d ns/op\n", benchName, ns)
 	}
-	return nil
 }
 
 func fatalf(format string, args ...any) {

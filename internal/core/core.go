@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -15,6 +16,7 @@ import (
 	"specmine/internal/rank"
 	"specmine/internal/rules"
 	"specmine/internal/seqdb"
+	"specmine/internal/stream"
 	"specmine/internal/verify"
 )
 
@@ -202,6 +204,96 @@ func CheckRules(db *Database, ruleSet []Rule) (verify.Summary, error) {
 	}
 	return verify.NewSummary(reports), nil
 }
+
+// StreamOptions configures a streaming ingestion session through the facade.
+type StreamOptions struct {
+	// Shards is the number of ingestion shards (default 4).
+	Shards int
+	// Buffer is the per-shard channel capacity (default 256); full buffers
+	// apply backpressure to Ingest callers.
+	Buffer int
+	// FlushBatch is how many sealed traces a shard batches before extending
+	// its positional index incrementally (default 32).
+	FlushBatch int
+	// Dict shares a dictionary with previously mined artifacts. It is
+	// required when Rules is set: the rules' event ids must come from it.
+	Dict *Dictionary
+	// Rules, when non-empty, is compiled into an online conformance engine
+	// that checks every trace as its events arrive.
+	Rules []Rule
+}
+
+// Streamer ingests live traces: events arrive incrementally per trace id,
+// terminated traces are sealed into sharded databases with incrementally
+// maintained indexes, and consistent snapshots feed the batch miners. With
+// Rules configured, conformance is checked online and CheckOnline returns
+// the summary a batch CheckRules over Snapshot() would produce.
+type Streamer struct {
+	ing      *stream.Ingester
+	hasRules bool
+}
+
+// NewStreamer starts a streaming ingestion session.
+func NewStreamer(opts StreamOptions) (*Streamer, error) {
+	cfg := stream.Config{
+		Shards:     opts.Shards,
+		Buffer:     opts.Buffer,
+		FlushBatch: opts.FlushBatch,
+		Dict:       opts.Dict,
+	}
+	if len(opts.Rules) > 0 {
+		if opts.Dict == nil {
+			return nil, errors.New("core: StreamOptions.Rules requires the dictionary the rules were mined against")
+		}
+		engine, err := verify.NewEngine(opts.Rules)
+		if err != nil {
+			return nil, fmt.Errorf("compiling online rule set: %w", err)
+		}
+		cfg.Engine = engine
+	}
+	return &Streamer{ing: stream.NewIngester(cfg), hasRules: len(opts.Rules) > 0}, nil
+}
+
+// Dict returns the streamer's event dictionary.
+func (st *Streamer) Dict() *Dictionary { return st.ing.Dict() }
+
+// Ingest appends events to the identified (possibly new) trace.
+func (st *Streamer) Ingest(traceID string, events ...string) error {
+	return st.ing.Ingest(traceID, events...)
+}
+
+// CloseTrace terminates a trace, sealing it into the streamed database.
+func (st *Streamer) CloseTrace(traceID string) error {
+	return st.ing.CloseTrace(traceID)
+}
+
+// Snapshot returns a consistent database of every sealed trace; mine it with
+// MinePatterns/MineRules or check it with CheckRules while ingestion
+// continues.
+func (st *Streamer) Snapshot() (*Database, error) {
+	v, err := st.ing.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return v.DB, nil
+}
+
+// CheckOnline returns the conformance summary accumulated by the online
+// checkers over every sealed trace — equal to CheckRules over Snapshot(),
+// without rescanning anything.
+func (st *Streamer) CheckOnline() (verify.Summary, error) {
+	if !st.hasRules {
+		return verify.Summary{}, errors.New("core: streamer has no rules configured")
+	}
+	v, err := st.ing.Snapshot()
+	if err != nil {
+		return verify.Summary{}, err
+	}
+	return verify.NewSummary(v.Reports), nil
+}
+
+// Close shuts the streamer down, discarding still-open traces.
+func (st *Streamer) Close() error { return st.ing.Close() }
 
 // RankPatterns orders mined patterns by interestingness (the future-work
 // ranking of Section 8), most interesting first.

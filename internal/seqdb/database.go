@@ -17,8 +17,11 @@ type Database struct {
 	positions []map[EventID][]int
 
 	// flat caches the flat positional index built by FlatIndex. The miners'
-	// hot paths run entirely against it.
-	flat *PositionIndex
+	// hot paths run entirely against it. flatSeqs is the number of sequences
+	// the index covers: when sequences are appended, FlatIndex extends the
+	// index incrementally instead of rebuilding it.
+	flat     *PositionIndex
+	flatSeqs int
 }
 
 // NewDatabase returns an empty database with a fresh dictionary.
@@ -36,11 +39,28 @@ func NewDatabaseWithDict(dict *Dictionary) *Database {
 	return &Database{Dict: dict}
 }
 
-// Append adds a sequence of already-interned event ids to the database.
+// Append adds a sequence of already-interned event ids to the database. An
+// already-built flat index is not discarded: the next FlatIndex call extends
+// it incrementally with the appended sequences.
 func (db *Database) Append(s Sequence) {
 	db.Sequences = append(db.Sequences, s)
 	db.positions = nil
-	db.flat = nil
+}
+
+// ExtendLast appends events to the database's last sequence — the streaming
+// case of an open trace receiving more events. The flat index, when current,
+// is extended in place (only the last sequence's tail region is rewritten).
+func (db *Database) ExtendLast(events ...EventID) {
+	if len(db.Sequences) == 0 {
+		db.Append(events)
+		return
+	}
+	last := len(db.Sequences) - 1
+	db.Sequences[last] = append(db.Sequences[last], events...)
+	db.positions = nil
+	if db.flat != nil && db.flatSeqs == len(db.Sequences) {
+		db.flat.AppendEvents(db.Sequences[last], db.Dict.Size())
+	}
 }
 
 // AppendNames interns each name and appends the resulting sequence. It is
@@ -87,13 +107,38 @@ func (db *Database) Positions(i int) map[EventID][]int {
 
 // FlatIndex builds (or returns the cached) flat positional index over the
 // database. All miners run their hot paths against this representation; see
-// PositionIndex for the layout. The index is immutable and safe for
-// concurrent use once built.
+// PositionIndex for the layout. When sequences were appended since the last
+// call the index is extended incrementally rather than rebuilt, bumping its
+// version; the returned state is always exactly what a fresh build over the
+// current sequences would produce. The index must not be mutated while other
+// goroutines read it — concurrent readers take FlatIndex().Snapshot() (or go
+// through the stream package, whose shards serialise appends).
 func (db *Database) FlatIndex() *PositionIndex {
-	if db.flat == nil {
+	switch {
+	case db.flat == nil:
 		db.flat = BuildPositionIndex(db.Sequences, db.Dict.Size())
+	case db.flatSeqs < len(db.Sequences):
+		db.flat.AppendSequences(db.Sequences[db.flatSeqs:], db.Dict.Size())
 	}
+	db.flatSeqs = len(db.Sequences)
 	return db.flat
+}
+
+// SnapshotView returns a read-only view of the database: the dictionary is
+// shared, the sequence headers are copied, and a current flat index is
+// captured via PositionIndex.Snapshot. The view stays consistent while the
+// original keeps appending, so it can be handed to concurrent miners.
+// SnapshotView must be called by the database's writer.
+func (db *Database) SnapshotView() *Database {
+	v := &Database{
+		Dict:      db.Dict,
+		Sequences: append([]Sequence(nil), db.Sequences...),
+	}
+	if db.flat != nil && db.flatSeqs == len(db.Sequences) {
+		v.flat = db.flat.Snapshot()
+		v.flatSeqs = len(v.Sequences)
+	}
+	return v
 }
 
 // EventSupport returns, for every event, the number of sequences in which it

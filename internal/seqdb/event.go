@@ -12,6 +12,7 @@ package seqdb
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // EventID is the interned identifier of a distinct event (a method
@@ -24,7 +25,13 @@ const NoEvent EventID = -1
 
 // Dictionary interns event names to EventIDs and back. The zero value is not
 // ready to use; call NewDictionary.
+//
+// A Dictionary is safe for concurrent use: the streaming ingester interns
+// fresh traffic on caller goroutines while shard goroutines consult Size
+// during index flushes. Mining hot paths never touch the dictionary (they
+// operate on EventIDs), so the lock is outside every profile that matters.
 type Dictionary struct {
+	mu     sync.RWMutex
 	byName map[string]EventID
 	names  []string
 }
@@ -37,6 +44,8 @@ func NewDictionary() *Dictionary {
 // Intern returns the EventID for name, assigning a fresh one if the name has
 // not been seen before.
 func (d *Dictionary) Intern(name string) EventID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.byName[name]; ok {
 		return id
 	}
@@ -49,6 +58,8 @@ func (d *Dictionary) Intern(name string) EventID {
 // Lookup returns the EventID previously assigned to name, or NoEvent if the
 // name was never interned.
 func (d *Dictionary) Lookup(name string) EventID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id, ok := d.byName[name]; ok {
 		return id
 	}
@@ -58,7 +69,12 @@ func (d *Dictionary) Lookup(name string) EventID {
 // Name returns the textual name of id. Unknown ids render as "ev<id>" so that
 // results remain printable even when a dictionary is absent or incomplete.
 func (d *Dictionary) Name(id EventID) string {
-	if d == nil || id < 0 || int(id) >= len(d.names) {
+	if d == nil {
+		return fmt.Sprintf("ev%d", int(id))
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id < 0 || int(id) >= len(d.names) {
 		return fmt.Sprintf("ev%d", int(id))
 	}
 	return d.names[id]
@@ -69,11 +85,15 @@ func (d *Dictionary) Size() int {
 	if d == nil {
 		return 0
 	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.names)
 }
 
 // Names returns a copy of all interned names, indexed by EventID.
 func (d *Dictionary) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]string, len(d.names))
 	copy(out, d.names)
 	return out
@@ -82,7 +102,7 @@ func (d *Dictionary) Names() []string {
 // Clone returns an independent copy of the dictionary.
 func (d *Dictionary) Clone() *Dictionary {
 	c := NewDictionary()
-	c.names = append(c.names, d.names...)
+	c.names = append(c.names, d.Names()...)
 	for i, n := range c.names {
 		c.byName[n] = EventID(i)
 	}

@@ -39,6 +39,13 @@ type PositionIndex struct {
 
 	// instCount[e] is the total number of occurrences of event e.
 	instCount []int32
+
+	// version counts append batches (see index_append.go); frozenSeqs and
+	// frozenPos are the header/arena watermarks visible to the most recent
+	// Snapshot, below which tail rewrites must copy-on-write.
+	version    uint64
+	frozenSeqs int
+	frozenPos  int
 }
 
 // BuildPositionIndex constructs the index for the given sequences. numEvents

@@ -1,0 +1,293 @@
+package seqdb
+
+import "sort"
+
+// Incremental maintenance of PositionIndex. A streaming ingester appends
+// traces (and extends the still-open tail trace) far more often than it
+// mines, so rebuilding the whole index per batch — O(total events) — is the
+// wrong cost model. The methods here extend the CSR arenas in place:
+//
+//   - AppendSequences packs the new sequences' position lists, prev-occurrence
+//     chains and headers onto the arena tails — O(new events) for the heavy
+//     per-position structures. The per-event postings CSR, being ordered by
+//     event rather than by sequence, cannot grow at a tail; it is re-merged
+//     into fresh arrays at O(alphabet + total postings) per batch. Postings
+//     hold one entry per (sequence, distinct event) pair — far smaller than
+//     the position arena — and the stream ingester batches seals (FlushBatch)
+//     to amortise exactly this term;
+//   - AppendEvents rewrites only the tail region belonging to the still-open
+//     last sequence;
+//   - Snapshot hands out a consistent read-only view in O(1): appends never
+//     write below a snapshot's visible arena lengths (tail rewrites that
+//     would are diverted onto fresh backing arrays first), so snapshots stay
+//     valid while the owner keeps appending.
+//
+// Every append bumps a version counter, so readers can cheaply detect that a
+// live index has moved past the view they captured. All mutating methods and
+// Snapshot must be called from the index's single writer (in the stream
+// package, the owning shard goroutine); snapshots themselves are immutable
+// and safe to share.
+
+// Version returns the index's append epoch: 0 for a freshly built index,
+// incremented by every AppendSequences/AppendEvents call. A Snapshot carries
+// the version of the state it captured.
+func (idx *PositionIndex) Version() uint64 { return idx.version }
+
+// Snapshot returns a read-only view of the index's current state. The view
+// is unaffected by subsequent appends to idx and is safe for concurrent use
+// by any number of readers. Snapshot itself must be called by the index's
+// writer (it is not safe concurrently with an append).
+func (idx *PositionIndex) Snapshot() *PositionIndex {
+	s := *idx
+	// Appends below these watermarks would be visible to the snapshot; record
+	// them on both sides so tail rewrites divert to fresh backing arrays. The
+	// snapshot keeps the markers too, so that (unusually) appending to the
+	// snapshot itself also forks instead of scribbling on shared arenas.
+	idx.frozenSeqs = len(idx.seqEvents)
+	idx.frozenPos = len(idx.posArena)
+	s.frozenSeqs = idx.frozenSeqs
+	s.frozenPos = idx.frozenPos
+	// Clamp the snapshot's append capacity so an append through the snapshot
+	// reallocates rather than writing into arena tails the live index owns.
+	s.posArena = s.posArena[:len(s.posArena):len(s.posArena)]
+	s.seqEvents = s.seqEvents[:len(s.seqEvents):len(s.seqEvents)]
+	s.seqOffsets = s.seqOffsets[:len(s.seqOffsets):len(s.seqOffsets)]
+	s.prevOcc = s.prevOcc[:len(s.prevOcc):len(s.prevOcc)]
+	return &s
+}
+
+// AppendSequence extends the index with one additional sequence; see
+// AppendSequences.
+func (idx *PositionIndex) AppendSequence(s Sequence, numEvents int) {
+	idx.AppendSequences([]Sequence{s}, numEvents)
+}
+
+// AppendSequences extends the index with additional sequences, producing
+// exactly the state BuildPositionIndex would produce for the concatenated
+// sequence list. numEvents widens the event-id space when the dictionary has
+// grown (it is further widened by any larger id observed in the batch).
+// Existing Snapshot views remain valid; the live index's version is bumped.
+func (idx *PositionIndex) AppendSequences(sequences []Sequence, numEvents int) {
+	if len(sequences) == 0 {
+		return
+	}
+	for _, s := range sequences {
+		for _, e := range s {
+			if int(e) >= numEvents {
+				numEvents = int(e) + 1
+			}
+		}
+	}
+	if numEvents < idx.numEvents {
+		numEvents = idx.numEvents
+	}
+
+	// instCount is updated in place by value, not appended, so clone it: a
+	// snapshot sharing the old array must keep the old counts.
+	instCount := make([]int32, numEvents)
+	copy(instCount, idx.instCount)
+	idx.instCount = instCount
+	idx.numEvents = numEvents
+
+	totalEvents := 0
+	for _, s := range sequences {
+		totalEvents += len(s)
+	}
+	// Per-batch backing for the new sequences' headers and prev chains. Only
+	// posArena must stay one physical array (offsets index it absolutely);
+	// headers are reached through per-sequence slices, so each batch can own
+	// its backing. Grow posArena once up front; extending its length within
+	// capacity never touches entries a snapshot can see.
+	if need := len(idx.posArena) + totalEvents; cap(idx.posArena) < need {
+		grown := make([]int32, len(idx.posArena), need+need/4)
+		copy(grown, idx.posArena)
+		idx.posArena = grown
+	}
+	prevArena := make([]int32, totalEvents)
+	prevBase := 0
+
+	lastSeen := make([]int32, numEvents)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	counts := make([]int32, numEvents)
+	cursor := make([]int32, numEvents)
+	addedSupport := make([]int32, numEvents)
+	touched := make([]EventID, 0, 64)
+
+	distinctTotal := 0
+	for _, s := range sequences {
+		touched = touched[:0]
+		for _, e := range s {
+			if counts[e] == 0 {
+				touched = append(touched, e)
+			}
+			counts[e]++
+		}
+		distinctTotal += len(touched)
+		for _, e := range touched {
+			counts[e] = 0
+		}
+	}
+	eventsArena := make([]EventID, 0, distinctTotal)
+	offsetsArena := make([]int32, 0, distinctTotal+len(sequences))
+
+	for _, s := range sequences {
+		touched = touched[:0]
+		for _, e := range s {
+			if counts[e] == 0 {
+				touched = append(touched, e)
+			}
+			counts[e]++
+			idx.instCount[e]++
+		}
+		sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
+
+		evBase := len(eventsArena)
+		eventsArena = append(eventsArena, touched...)
+		idx.seqEvents = append(idx.seqEvents, eventsArena[evBase:evBase+len(touched)])
+
+		offBase := len(offsetsArena)
+		off := int32(len(idx.posArena))
+		for _, e := range touched {
+			offsetsArena = append(offsetsArena, off)
+			cursor[e] = off
+			off += counts[e]
+			addedSupport[e]++
+		}
+		offsetsArena = append(offsetsArena, off)
+		idx.seqOffsets = append(idx.seqOffsets, offsetsArena[offBase:offBase+len(touched)+1])
+		idx.posArena = idx.posArena[:off]
+
+		prev := prevArena[prevBase : prevBase+len(s)]
+		prevBase += len(s)
+		for j, e := range s {
+			idx.posArena[cursor[e]] = int32(j)
+			cursor[e]++
+			prev[j] = lastSeen[e]
+			lastSeen[e] = int32(j)
+		}
+		idx.prevOcc = append(idx.prevOcc, prev)
+		for _, e := range touched {
+			counts[e] = 0
+			lastSeen[e] = -1
+		}
+	}
+
+	idx.mergePostings(len(idx.seqEvents)-len(sequences), addedSupport)
+	idx.version++
+}
+
+// AppendEvents extends the index's last sequence. extended must be the full
+// contents of that sequence after the extension (its previously indexed
+// prefix unchanged); the Database wrapper guarantees this. Only the tail
+// region belonging to the last sequence is rewritten, diverted onto fresh
+// backing first when a Snapshot still covers it.
+func (idx *PositionIndex) AppendEvents(extended Sequence, numEvents int) {
+	si := len(idx.seqEvents) - 1
+	if si < 0 {
+		idx.AppendSequences([]Sequence{extended}, numEvents)
+		return
+	}
+
+	regionStart := int(idx.seqOffsets[si][0])
+	// Copy-on-write: a snapshot taken after the last sequence was appended
+	// still reads the arena region, headers and counters we are about to
+	// rewrite, so divert those onto fresh backing first.
+	if si < idx.frozenSeqs {
+		idx.seqEvents = append([][]EventID(nil), idx.seqEvents...)
+		idx.seqOffsets = append([][]int32(nil), idx.seqOffsets...)
+		idx.prevOcc = append([][]int32(nil), idx.prevOcc...)
+		idx.frozenSeqs = si
+	}
+	if regionStart < idx.frozenPos {
+		idx.posArena = append(make([]int32, 0, len(idx.posArena)+len(extended)), idx.posArena[:regionStart]...)
+		idx.frozenPos = regionStart
+	}
+	idx.instCount = append([]int32(nil), idx.instCount...)
+
+	// Retract the last sequence's contribution — occurrence counts and its
+	// postings entries (as the highest sequence id it sits at the tail of
+	// every per-event segment) — then re-append it extended.
+	offs := idx.seqOffsets[si]
+	removed := idx.seqEvents[si]
+	for k, e := range removed {
+		idx.instCount[e] -= offs[k+1] - offs[k]
+	}
+	idx.dropLastFromPostings(si, removed)
+	idx.posArena = idx.posArena[:regionStart]
+	idx.seqEvents = idx.seqEvents[:si]
+	idx.seqOffsets = idx.seqOffsets[:si]
+	idx.prevOcc = idx.prevOcc[:si]
+
+	idx.AppendSequences([]Sequence{extended}, numEvents)
+}
+
+// dropLastFromPostings rebuilds the postings CSR without sequence si, whose
+// distinct events are given. si must be the highest indexed sequence, so its
+// entry is the tail of each affected per-event segment. Fresh arrays are
+// allocated; postings shared with snapshots are never written.
+func (idx *PositionIndex) dropLastFromPostings(si int, removed []EventID) {
+	numEvents := len(idx.postOffsets) - 1
+	drop := make(map[EventID]bool, len(removed))
+	for _, e := range removed {
+		drop[e] = true
+	}
+	newOffsets := make([]int32, numEvents+1)
+	newSeqs := make([]int32, 0, len(idx.postSeqs)-len(removed))
+	for e := 0; e < numEvents; e++ {
+		newOffsets[e] = int32(len(newSeqs))
+		seg := idx.postSeqs[idx.postOffsets[e]:idx.postOffsets[e+1]]
+		if drop[EventID(e)] {
+			seg = seg[:len(seg)-1]
+		}
+		newSeqs = append(newSeqs, seg...)
+	}
+	newOffsets[numEvents] = int32(len(newSeqs))
+	idx.postOffsets = newOffsets
+	idx.postSeqs = newSeqs
+}
+
+// mergePostings rebuilds the per-event postings CSR after firstNew (the index
+// of the first newly appended sequence), merging the old per-event segments
+// with the new sequences' distinct events. addedSupport[e] is the number of
+// new sequences containing e. It allocates fresh arrays, so postings shared
+// with snapshots are never written.
+func (idx *PositionIndex) mergePostings(firstNew int, addedSupport []int32) {
+	numEvents := idx.numEvents
+	oldOffsets := idx.postOffsets
+	oldSeqs := idx.postSeqs
+	oldNum := len(oldOffsets) - 1
+	if oldNum < 0 {
+		oldNum = 0
+	}
+
+	newOffsets := make([]int32, numEvents+1)
+	total := int32(0)
+	for e := 0; e < numEvents; e++ {
+		newOffsets[e] = total
+		if e < oldNum {
+			total += oldOffsets[e+1] - oldOffsets[e]
+		}
+		total += addedSupport[e]
+	}
+	newOffsets[numEvents] = total
+
+	newSeqs := make([]int32, total)
+	cursor := make([]int32, numEvents)
+	for e := 0; e < numEvents; e++ {
+		cursor[e] = newOffsets[e]
+		if e < oldNum {
+			n := copy(newSeqs[cursor[e]:], oldSeqs[oldOffsets[e]:oldOffsets[e+1]])
+			cursor[e] += int32(n)
+		}
+	}
+	for si := firstNew; si < len(idx.seqEvents); si++ {
+		for _, e := range idx.seqEvents[si] {
+			newSeqs[cursor[e]] = int32(si)
+			cursor[e]++
+		}
+	}
+	idx.postOffsets = newOffsets
+	idx.postSeqs = newSeqs
+}

@@ -1,0 +1,289 @@
+package seqdb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// requireIndexEqual asserts that two indexes hold identical logical state:
+// every header, arena region, posting list and counter matches what the other
+// holds. An incrementally appended index must be indistinguishable from a
+// fresh BuildPositionIndex over the same sequences.
+func requireIndexEqual(t *testing.T, label string, got, want *PositionIndex) {
+	t.Helper()
+	if got.numEvents != want.numEvents {
+		t.Fatalf("%s: numEvents %d want %d", label, got.numEvents, want.numEvents)
+	}
+	if got.NumSequences() != want.NumSequences() {
+		t.Fatalf("%s: NumSequences %d want %d", label, got.NumSequences(), want.NumSequences())
+	}
+	if len(got.posArena) != len(want.posArena) {
+		t.Fatalf("%s: posArena length %d want %d", label, len(got.posArena), len(want.posArena))
+	}
+	for i := range want.posArena {
+		if got.posArena[i] != want.posArena[i] {
+			t.Fatalf("%s: posArena[%d]=%d want %d", label, i, got.posArena[i], want.posArena[i])
+		}
+	}
+	for si := range want.seqEvents {
+		if len(got.seqEvents[si]) != len(want.seqEvents[si]) {
+			t.Fatalf("%s: seq %d: %d distinct events want %d", label, si, len(got.seqEvents[si]), len(want.seqEvents[si]))
+		}
+		for k := range want.seqEvents[si] {
+			if got.seqEvents[si][k] != want.seqEvents[si][k] {
+				t.Fatalf("%s: seq %d: seqEvents[%d]=%d want %d", label, si, k, got.seqEvents[si][k], want.seqEvents[si][k])
+			}
+			if got.seqOffsets[si][k] != want.seqOffsets[si][k] {
+				t.Fatalf("%s: seq %d: seqOffsets[%d]=%d want %d", label, si, k, got.seqOffsets[si][k], want.seqOffsets[si][k])
+			}
+		}
+		if g, w := got.seqOffsets[si][len(got.seqEvents[si])], want.seqOffsets[si][len(want.seqEvents[si])]; g != w {
+			t.Fatalf("%s: seq %d: offset sentinel %d want %d", label, si, g, w)
+		}
+		if len(got.prevOcc[si]) != len(want.prevOcc[si]) {
+			t.Fatalf("%s: seq %d: prevOcc length %d want %d", label, si, len(got.prevOcc[si]), len(want.prevOcc[si]))
+		}
+		for j := range want.prevOcc[si] {
+			if got.prevOcc[si][j] != want.prevOcc[si][j] {
+				t.Fatalf("%s: seq %d: prevOcc[%d]=%d want %d", label, si, j, got.prevOcc[si][j], want.prevOcc[si][j])
+			}
+		}
+	}
+	if len(got.postOffsets) != len(want.postOffsets) {
+		t.Fatalf("%s: postOffsets length %d want %d", label, len(got.postOffsets), len(want.postOffsets))
+	}
+	for e := range want.postOffsets {
+		if got.postOffsets[e] != want.postOffsets[e] {
+			t.Fatalf("%s: postOffsets[%d]=%d want %d", label, e, got.postOffsets[e], want.postOffsets[e])
+		}
+	}
+	for i := range want.postSeqs {
+		if got.postSeqs[i] != want.postSeqs[i] {
+			t.Fatalf("%s: postSeqs[%d]=%d want %d", label, i, got.postSeqs[i], want.postSeqs[i])
+		}
+	}
+	for e := range want.instCount {
+		if got.instCount[e] != want.instCount[e] {
+			t.Fatalf("%s: instCount[%d]=%d want %d", label, e, got.instCount[e], want.instCount[e])
+		}
+	}
+}
+
+func randomSeq(rng *rand.Rand, maxLen, alphabet int) Sequence {
+	s := make(Sequence, rng.Intn(maxLen+1))
+	for j := range s {
+		s[j] = EventID(rng.Intn(alphabet))
+	}
+	return s
+}
+
+func TestAppendSequencesMatchesFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 60; iter++ {
+		alphabet := 1 + rng.Intn(9)
+		var all []Sequence
+		initial := rng.Intn(5)
+		for i := 0; i < initial; i++ {
+			all = append(all, randomSeq(rng, 12, alphabet))
+		}
+		idx := BuildPositionIndex(all, alphabet)
+		if idx.Version() != 0 {
+			t.Fatalf("fresh index version %d want 0", idx.Version())
+		}
+
+		batches := 1 + rng.Intn(4)
+		version := uint64(0)
+		for b := 0; b < batches; b++ {
+			// Occasionally widen the alphabet mid-stream, as a growing
+			// dictionary does.
+			if rng.Intn(3) == 0 {
+				alphabet += rng.Intn(3)
+			}
+			batch := make([]Sequence, 1+rng.Intn(3))
+			for i := range batch {
+				batch[i] = randomSeq(rng, 12, alphabet)
+			}
+			all = append(all, batch...)
+			idx.AppendSequences(batch, alphabet)
+			version++
+			if idx.Version() != version {
+				t.Fatalf("version %d after %d batches", idx.Version(), version)
+			}
+			requireIndexEqual(t, "after batch", idx, BuildPositionIndex(all, alphabet))
+		}
+	}
+}
+
+func TestAppendEventsMatchesFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 60; iter++ {
+		alphabet := 1 + rng.Intn(6)
+		all := []Sequence{randomSeq(rng, 8, alphabet)}
+		idx := BuildPositionIndex(all, alphabet)
+		for step := 0; step < 6; step++ {
+			switch rng.Intn(3) {
+			case 0: // extend the open tail trace
+				ext := randomSeq(rng, 5, alphabet)
+				last := len(all) - 1
+				all[last] = append(all[last], ext...)
+				idx.AppendEvents(all[last], alphabet)
+			case 1: // seal and start a new trace
+				s := randomSeq(rng, 8, alphabet)
+				all = append(all, s)
+				idx.AppendSequence(s, alphabet)
+			default: // extend after a snapshot pinned the tail region
+				snap := idx.Snapshot()
+				before := BuildPositionIndex(append([]Sequence(nil), all...), alphabet)
+				ext := randomSeq(rng, 5, alphabet)
+				last := len(all) - 1
+				all[last] = append(all[last], ext...)
+				idx.AppendEvents(all[last], alphabet)
+				requireIndexEqual(t, "snapshot after tail rewrite", snap, before)
+			}
+			requireIndexEqual(t, "after step", idx, BuildPositionIndex(all, alphabet))
+		}
+	}
+}
+
+// TestSnapshotStableUnderAppends pins snapshots at several points of an
+// append stream and verifies each still matches a fresh build over exactly
+// the prefix it captured, after arbitrarily many further appends.
+func TestSnapshotStableUnderAppends(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for iter := 0; iter < 30; iter++ {
+		alphabet := 2 + rng.Intn(6)
+		var all []Sequence
+		idx := BuildPositionIndex(all, alphabet)
+		type pinned struct {
+			snap   *PositionIndex
+			frozen []Sequence
+		}
+		var pins []pinned
+		for step := 0; step < 10; step++ {
+			if rng.Intn(2) == 0 || len(all) == 0 {
+				s := randomSeq(rng, 10, alphabet)
+				all = append(all, s)
+				idx.AppendSequence(s, alphabet)
+			} else {
+				ext := randomSeq(rng, 6, alphabet)
+				last := len(all) - 1
+				all[last] = append(all[last], ext...)
+				idx.AppendEvents(all[last], alphabet)
+			}
+			if rng.Intn(3) == 0 {
+				frozen := make([]Sequence, len(all))
+				for i, s := range all {
+					frozen[i] = s.Clone()
+				}
+				pins = append(pins, pinned{snap: idx.Snapshot(), frozen: frozen})
+			}
+		}
+		for _, p := range pins {
+			requireIndexEqual(t, "pinned snapshot", p.snap, BuildPositionIndex(p.frozen, alphabet))
+		}
+	}
+}
+
+// TestSnapshotConcurrentReaders exercises the writer-appends/readers-scan
+// protocol under the race detector: a single writer keeps appending and
+// extending while readers verify snapshots they receive over a channel.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	const alphabet = 6
+	type view struct {
+		snap *PositionIndex
+		want *PositionIndex
+	}
+	views := make(chan view, 16)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range views {
+				for si := 0; si < v.want.NumSequences(); si++ {
+					for e := EventID(0); e < EventID(alphabet); e++ {
+						got := v.snap.Positions(si, e)
+						want := v.want.Positions(si, e)
+						if len(got) != len(want) {
+							t.Errorf("seq %d event %d: %d positions want %d", si, e, len(got), len(want))
+							return
+						}
+						for k := range want {
+							if got[k] != want[k] {
+								t.Errorf("seq %d event %d: positions differ", si, e)
+								return
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(53))
+	var all []Sequence
+	idx := BuildPositionIndex(all, alphabet)
+	for step := 0; step < 200; step++ {
+		if rng.Intn(3) > 0 || len(all) == 0 {
+			s := randomSeq(rng, 10, alphabet)
+			all = append(all, s)
+			idx.AppendSequence(s, alphabet)
+		} else {
+			ext := randomSeq(rng, 6, alphabet)
+			last := len(all) - 1
+			all[last] = append(all[last], ext...)
+			idx.AppendEvents(all[last], alphabet)
+		}
+		if step%5 == 0 {
+			frozen := make([]Sequence, len(all))
+			for i, s := range all {
+				frozen[i] = s.Clone()
+			}
+			views <- view{snap: idx.Snapshot(), want: BuildPositionIndex(frozen, alphabet)}
+		}
+	}
+	close(views)
+	wg.Wait()
+}
+
+// TestDatabaseIncrementalFlatIndex drives the incremental path through the
+// Database wrapper, interleaving Append/ExtendLast with FlatIndex calls and
+// dictionary growth.
+func TestDatabaseIncrementalFlatIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for iter := 0; iter < 40; iter++ {
+		db := NewDatabase()
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		emit := func(n int) []string {
+			out := make([]string, n)
+			for i := range out {
+				out[i] = names[rng.Intn(len(names))]
+			}
+			return out
+		}
+		db.AppendNames(emit(1 + rng.Intn(6))...)
+		lastVersion := uint64(0)
+		for step := 0; step < 8; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				db.AppendNames(emit(rng.Intn(8))...)
+			case 1:
+				evs := make([]EventID, 1+rng.Intn(4))
+				for i := range evs {
+					evs[i] = db.Dict.Intern(names[rng.Intn(len(names))])
+				}
+				db.ExtendLast(evs...)
+			default:
+				idx := db.FlatIndex()
+				requireIndexEqual(t, "database flat index", idx, BuildPositionIndex(db.Sequences, db.Dict.Size()))
+				if idx.Version() < lastVersion {
+					t.Fatalf("version went backwards: %d -> %d", lastVersion, idx.Version())
+				}
+				lastVersion = idx.Version()
+			}
+		}
+		idx := db.FlatIndex()
+		requireIndexEqual(t, "final flat index", idx, BuildPositionIndex(db.Sequences, db.Dict.Size()))
+	}
+}

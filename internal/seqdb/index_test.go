@@ -172,12 +172,18 @@ func TestFlatIndexCacheInvalidation(t *testing.T) {
 	if idx1 != db.FlatIndex() {
 		t.Errorf("FlatIndex not cached")
 	}
+	if idx1.Version() != 0 {
+		t.Errorf("fresh index version %d want 0", idx1.Version())
+	}
 	db.AppendNames("c")
 	idx2 := db.FlatIndex()
-	if idx1 == idx2 {
-		t.Errorf("FlatIndex cache not invalidated by Append")
+	if idx2.Version() == 0 {
+		t.Errorf("appending did not bump the index version")
 	}
 	if idx2.NumSequences() != 2 {
-		t.Errorf("rebuilt index has %d sequences want 2", idx2.NumSequences())
+		t.Errorf("extended index has %d sequences want 2", idx2.NumSequences())
+	}
+	if got := idx2.Positions(1, db.Dict.Lookup("c")); len(got) != 1 || got[0] != 0 {
+		t.Errorf("extended index misses the appended sequence: %v", got)
 	}
 }

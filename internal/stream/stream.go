@@ -1,0 +1,364 @@
+// Package stream is the online ingestion layer: it turns the batch-oriented
+// mining and verification core into a system that absorbs live traces. An
+// Ingester fans incoming trace events out to N shards (hashed by trace id);
+// each shard is a single goroutine behind a bounded channel that buffers the
+// still-open traces, advances an online conformance Checker per trace as
+// events arrive, seals terminated traces into the shard's Database, and
+// extends the shard's flat positional index incrementally in batched
+// flushes — the LogBase-style append-only regime, never a full rebuild.
+//
+// Snapshot is the bridge back to the batch world: a barrier across all
+// shards yields a consistent Database view (sealed traces only) over which
+// MinePatterns/MineRules/CheckRules run as usual, plus — when an Engine is
+// configured — the accumulated online conformance reports, rebased to the
+// view's sequence numbering so they are indistinguishable from a batch
+// CheckRules run over the same view.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"specmine/internal/seqdb"
+	"specmine/internal/verify"
+)
+
+// Config parameterises an Ingester.
+type Config struct {
+	// Shards is the number of ingestion shards (trace-id hash partitions);
+	// default 4. Traces never span shards, so per-trace event order is
+	// preserved while independent traces proceed in parallel.
+	Shards int
+	// Buffer is the per-shard operation channel capacity; default 256.
+	// Ingest blocks (backpressure) when a shard's buffer is full.
+	Buffer int
+	// FlushBatch is how many sealed traces a shard buffers before extending
+	// its positional index incrementally; default 32. A Snapshot always
+	// flushes first, so the value only trades index freshness for batching.
+	FlushBatch int
+	// Dict supplies the event-name dictionary, which must be the one the
+	// rule set was mined against when Engine is set. Nil creates a fresh
+	// dictionary.
+	Dict *seqdb.Dictionary
+	// Engine, when non-nil, checks every trace online as its events arrive;
+	// Snapshot then carries the accumulated conformance reports.
+	Engine *verify.Engine
+}
+
+// View is a consistent cut of the streamed state, produced by Snapshot.
+type View struct {
+	// DB holds every sealed trace across all shards (shard-major, in seal
+	// order within a shard), sharing the ingester's dictionary. It is a
+	// private copy: safe to mine while ingestion continues.
+	DB *seqdb.Database
+	// ShardDBs are the per-shard snapshot views backing DB, each carrying
+	// its shard's incrementally maintained positional index.
+	ShardDBs []*seqdb.Database
+	// Reports are the online conformance reports accumulated so far, in rule
+	// order with violation sequence numbers rebased to DB's numbering —
+	// identical to verify.CheckRules(DB, rules). Nil without an Engine.
+	Reports []verify.RuleReport
+}
+
+type opKind uint8
+
+const (
+	opEvents opKind = iota
+	opSeal
+	opSnapshot
+)
+
+type op struct {
+	kind   opKind
+	id     string
+	events []seqdb.EventID
+	reply  chan shardView
+}
+
+type shardView struct {
+	db      *seqdb.Database
+	reports []verify.RuleReport
+}
+
+// Ingester is the sharded streaming front end. All methods are safe for
+// concurrent use by any number of producer goroutines.
+type Ingester struct {
+	cfg    Config
+	dict   *seqdb.Dictionary
+	shards []*shard
+
+	// lifeMu guards closed: sends hold the read side so Close (write side)
+	// cannot close the shard channels while a send is in flight.
+	lifeMu sync.RWMutex
+	closed bool
+}
+
+// NewIngester starts the shard goroutines and returns a ready ingester.
+func NewIngester(cfg Config) *Ingester {
+	if cfg.Shards < 1 {
+		cfg.Shards = 4
+	}
+	if cfg.Buffer < 1 {
+		cfg.Buffer = 256
+	}
+	if cfg.FlushBatch < 1 {
+		cfg.FlushBatch = 32
+	}
+	if cfg.Dict == nil {
+		cfg.Dict = seqdb.NewDictionary()
+	}
+	ing := &Ingester{cfg: cfg, dict: cfg.Dict, shards: make([]*shard, cfg.Shards)}
+	for i := range ing.shards {
+		sh := &shard{
+			ops:        make(chan op, cfg.Buffer),
+			done:       make(chan struct{}),
+			db:         seqdb.NewDatabaseWithDict(cfg.Dict),
+			engine:     cfg.Engine,
+			flushBatch: cfg.FlushBatch,
+			open:       make(map[string]*openTrace),
+		}
+		if cfg.Engine != nil {
+			sh.reports = cfg.Engine.NewReports()
+		}
+		ing.shards[i] = sh
+		go sh.run()
+	}
+	return ing
+}
+
+// Dict returns the ingester's event dictionary.
+func (ing *Ingester) Dict() *seqdb.Dictionary { return ing.dict }
+
+// ErrClosed is returned by operations on a closed ingester.
+var ErrClosed = errors.New("stream: ingester is closed")
+
+// Ingest appends events to the trace identified by traceID, opening it if
+// necessary. Events of one trace must be ingested from a single goroutine
+// (or otherwise ordered); distinct traces are fully independent. Blocks when
+// the owning shard's buffer is full.
+func (ing *Ingester) Ingest(traceID string, events ...string) error {
+	ids := make([]seqdb.EventID, len(events))
+	for i, n := range events {
+		ids[i] = ing.dict.Intern(n)
+	}
+	return ing.send(traceID, op{kind: opEvents, id: traceID, events: ids})
+}
+
+// IngestIDs is Ingest for already-interned events. The slice is copied, so
+// callers may reuse their buffer immediately (the shard consumes the op
+// asynchronously).
+func (ing *Ingester) IngestIDs(traceID string, events ...seqdb.EventID) error {
+	return ing.send(traceID, op{kind: opEvents, id: traceID, events: append([]seqdb.EventID(nil), events...)})
+}
+
+// CloseTrace terminates the trace: it is sealed into its shard's database
+// (an empty trace when nothing was ingested under the id), its online
+// conformance outcome is folded into the shard's reports, and the id becomes
+// free for reuse.
+func (ing *Ingester) CloseTrace(traceID string) error {
+	return ing.send(traceID, op{kind: opSeal, id: traceID})
+}
+
+func (ing *Ingester) send(traceID string, o op) error {
+	ing.lifeMu.RLock()
+	defer ing.lifeMu.RUnlock()
+	if ing.closed {
+		return ErrClosed
+	}
+	ing.shards[ing.shardFor(traceID)].ops <- o
+	return nil
+}
+
+// shardFor hashes a trace id onto a shard (FNV-1a, deterministic across
+// processes so replayed workloads land identically).
+func (ing *Ingester) shardFor(id string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * 1099511628211
+	}
+	return int(h % uint64(len(ing.shards)))
+}
+
+// Snapshot produces a consistent View: every shard flushes its sealed
+// traces into its database and index, and the merged result is returned.
+// Traces still open at the barrier are not included — they surface in the
+// first Snapshot after their CloseTrace.
+func (ing *Ingester) Snapshot() (*View, error) {
+	ing.lifeMu.RLock()
+	if ing.closed {
+		ing.lifeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	chans := make([]chan shardView, len(ing.shards))
+	for i, sh := range ing.shards {
+		chans[i] = make(chan shardView, 1)
+		sh.ops <- op{kind: opSnapshot, reply: chans[i]}
+	}
+	ing.lifeMu.RUnlock()
+
+	views := make([]shardView, len(chans))
+	for i, ch := range chans {
+		views[i] = <-ch
+	}
+	return ing.merge(views), nil
+}
+
+func (ing *Ingester) merge(views []shardView) *View {
+	v := &View{ShardDBs: make([]*seqdb.Database, len(views))}
+	for i, sv := range views {
+		v.ShardDBs[i] = sv.db
+	}
+	if len(views) == 1 {
+		// Single shard: the snapshot view — incremental index included — is
+		// already the consistent whole.
+		v.DB = views[0].db
+	} else {
+		v.DB = seqdb.NewDatabaseWithDict(ing.dict)
+		for _, sv := range views {
+			v.DB.Sequences = append(v.DB.Sequences, sv.db.Sequences...)
+		}
+	}
+	if ing.cfg.Engine != nil {
+		reports := ing.cfg.Engine.NewReports()
+		base := 0
+		for _, sv := range views {
+			for i := range reports {
+				r := &reports[i]
+				sr := &sv.reports[i]
+				r.SatisfiedTraces += sr.SatisfiedTraces
+				r.ViolatedTraces += sr.ViolatedTraces
+				r.TotalTemporalPoints += sr.TotalTemporalPoints
+				r.SatisfiedTemporalPoints += sr.SatisfiedTemporalPoints
+				for _, viol := range sr.Violations {
+					viol.Seq += base
+					r.Violations = append(r.Violations, viol)
+				}
+			}
+			base += sv.db.NumSequences()
+		}
+		v.Reports = reports
+	}
+	return v
+}
+
+// Close shuts the ingester down: shard goroutines drain their buffers and
+// exit. Traces still open are discarded — their outcome is undeterminable
+// without termination. Close is idempotent; operations after Close return
+// ErrClosed.
+func (ing *Ingester) Close() error {
+	ing.lifeMu.Lock()
+	if ing.closed {
+		ing.lifeMu.Unlock()
+		return nil
+	}
+	ing.closed = true
+	for _, sh := range ing.shards {
+		close(sh.ops)
+	}
+	ing.lifeMu.Unlock()
+	for _, sh := range ing.shards {
+		<-sh.done
+	}
+	return nil
+}
+
+// shard is one ingestion partition: a goroutine draining ops, the open
+// traces it is buffering, and the database of sealed traces whose flat index
+// it maintains incrementally.
+type shard struct {
+	ops        chan op
+	done       chan struct{}
+	db         *seqdb.Database
+	engine     *verify.Engine
+	flushBatch int
+
+	open     map[string]*openTrace
+	reports  []verify.RuleReport
+	free     []*verify.Checker
+	unsynced int // sealed traces not yet flushed into the index
+}
+
+type openTrace struct {
+	events  seqdb.Sequence
+	checker *verify.Checker
+}
+
+func (sh *shard) run() {
+	defer close(sh.done)
+	for o := range sh.ops {
+		switch o.kind {
+		case opEvents:
+			tr := sh.open[o.id]
+			if tr == nil {
+				tr = &openTrace{}
+				if sh.engine != nil {
+					if n := len(sh.free); n > 0 {
+						tr.checker = sh.free[n-1]
+						sh.free = sh.free[:n-1]
+					} else {
+						tr.checker = sh.engine.NewChecker()
+					}
+				}
+				sh.open[o.id] = tr
+			}
+			tr.events = append(tr.events, o.events...)
+			if tr.checker != nil {
+				for _, ev := range o.events {
+					tr.checker.Advance(ev)
+				}
+			}
+		case opSeal:
+			tr := sh.open[o.id]
+			if tr == nil {
+				tr = &openTrace{}
+				if sh.engine != nil {
+					tr.checker = sh.engine.NewChecker()
+				}
+			}
+			delete(sh.open, o.id)
+			sh.db.Append(tr.events)
+			if tr.checker != nil {
+				tr.checker.Close(sh.db.NumSequences()-1, sh.reports)
+				sh.free = append(sh.free, tr.checker)
+			}
+			sh.unsynced++
+			if sh.unsynced >= sh.flushBatch {
+				sh.flush()
+			}
+		case opSnapshot:
+			sh.flush()
+			sv := shardView{db: sh.db.SnapshotView()}
+			if sh.reports != nil {
+				sv.reports = cloneReports(sh.reports)
+			}
+			o.reply <- sv
+		}
+	}
+}
+
+// flush extends the shard's positional index with the traces sealed since
+// the last flush (incremental append, not a rebuild).
+func (sh *shard) flush() {
+	if sh.unsynced == 0 {
+		return
+	}
+	sh.db.FlatIndex()
+	sh.unsynced = 0
+}
+
+// cloneReports deep-copies the violation lists so the snapshot's reports
+// stay frozen while the shard keeps appending to its own.
+func cloneReports(reports []verify.RuleReport) []verify.RuleReport {
+	out := make([]verify.RuleReport, len(reports))
+	copy(out, reports)
+	for i := range out {
+		out[i].Violations = append([]verify.RuleViolation(nil), out[i].Violations...)
+	}
+	return out
+}
+
+// String renders a shard count summary for diagnostics.
+func (ing *Ingester) String() string {
+	return fmt.Sprintf("stream.Ingester{shards: %d}", len(ing.shards))
+}

@@ -1,0 +1,345 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+	"specmine/internal/tracesim"
+	"specmine/internal/verify"
+)
+
+// ingestWorkload streams a tracesim workload into an ingester, chunk by
+// chunk, from a single producer.
+func ingestWorkload(t *testing.T, ing *Ingester, w tracesim.Workload, traces int, seed int64) {
+	t.Helper()
+	err := w.Stream(traces, seed, 8, func(c tracesim.StreamChunk) error {
+		if len(c.Events) > 0 {
+			if err := ing.Ingest(c.TraceID, c.Events...); err != nil {
+				return err
+			}
+		}
+		if c.Final {
+			return ing.CloseTrace(c.TraceID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("streaming workload: %v", err)
+	}
+}
+
+// traceKeys maps each sequence of db to a canonical content key, counting
+// duplicates, so two databases can be compared as multisets of traces
+// regardless of ordering (shards permute trace order).
+func traceKeys(db *seqdb.Database) map[string]int {
+	keys := make(map[string]int)
+	for _, s := range db.Sequences {
+		key := ""
+		for _, ev := range s {
+			key += db.Dict.Name(ev) + "\x00"
+		}
+		keys[key]++
+	}
+	return keys
+}
+
+func TestSnapshotHoldsExactlyTheSealedTraces(t *testing.T) {
+	w := tracesim.Workloads()["transaction"]
+	const traces, seed = 40, 7
+	want := traceKeys(w.MustGenerate(traces, seed))
+
+	for _, shards := range []int{1, 4} {
+		ing := NewIngester(Config{Shards: shards, FlushBatch: 5})
+		ingestWorkload(t, ing, w, traces, seed)
+		v, err := ing.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.DB.NumSequences() != traces {
+			t.Fatalf("shards=%d: snapshot has %d traces want %d", shards, v.DB.NumSequences(), traces)
+		}
+		got := traceKeys(v.DB)
+		for key, n := range want {
+			if got[key] != n {
+				t.Fatalf("shards=%d: trace multiplicity %d want %d for one generated trace", shards, got[key], n)
+			}
+		}
+		if len(v.ShardDBs) != shards {
+			t.Fatalf("shards=%d: %d shard views", shards, len(v.ShardDBs))
+		}
+		total := 0
+		for _, sdb := range v.ShardDBs {
+			total += sdb.NumSequences()
+		}
+		if total != traces {
+			t.Fatalf("shards=%d: shard views hold %d traces want %d", shards, total, traces)
+		}
+		if err := ing.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardIndexesAreIncrementalAndExact verifies the acceptance criterion
+// on the ingestion path: every shard's incrementally extended index is
+// byte-identical in content to a fresh build over the shard's sequences, and
+// its version shows it was appended to, not rebuilt.
+func TestShardIndexesAreIncrementalAndExact(t *testing.T) {
+	w := tracesim.Workloads()["security"]
+	ing := NewIngester(Config{Shards: 3, FlushBatch: 4})
+	ingestWorkload(t, ing, w, 50, 11)
+	v, err := ing.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+
+	sawIncrement := false
+	for si, sdb := range v.ShardDBs {
+		idx := sdb.FlatIndex() // snapshot view: already built, just returned
+		if idx.Version() > 0 {
+			sawIncrement = true
+		}
+		fresh := seqdb.BuildPositionIndex(sdb.Sequences, sdb.Dict.Size())
+		if idx.NumSequences() != fresh.NumSequences() {
+			t.Fatalf("shard %d: %d sequences want %d", si, idx.NumSequences(), fresh.NumSequences())
+		}
+		for s := 0; s < fresh.NumSequences(); s++ {
+			for e := seqdb.EventID(0); int(e) < fresh.NumEvents(); e++ {
+				got, want := idx.Positions(s, e), fresh.Positions(s, e)
+				if len(got) != len(want) {
+					t.Fatalf("shard %d seq %d event %d: %d positions want %d", si, s, e, len(got), len(want))
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("shard %d seq %d event %d: positions differ", si, s, e)
+					}
+				}
+			}
+		}
+	}
+	if !sawIncrement {
+		t.Fatalf("no shard index was extended incrementally (all versions 0)")
+	}
+}
+
+func minedRules(t *testing.T, db *seqdb.Database) []rules.Rule {
+	t.Helper()
+	res, err := rules.MineNonRedundant(db, rules.Options{
+		MinSeqSupportRel: 0.5, MinInstanceSupport: 1, MinConfidence: 0.8,
+		MaxPremiseLength: 2, MaxConsequentLength: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rules
+}
+
+// TestOnlineConformanceMatchesBatchOverSnapshot is the end-to-end
+// equivalence: rules mined from a training batch, fresh violating traffic
+// streamed in chunk by chunk, and the accumulated online reports must be
+// identical to a batch CheckRules over the snapshot the reports came with.
+func TestOnlineConformanceMatchesBatchOverSnapshot(t *testing.T) {
+	for name, w := range tracesim.Workloads() {
+		train := w.MustGenerate(30, 7)
+		ruleSet := minedRules(t, train)
+		if len(ruleSet) == 0 {
+			t.Fatalf("%s: no rules mined", name)
+		}
+		engine, err := verify.NewEngine(ruleSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fresh := w
+		fresh.ViolationRate = 0.25
+		for _, shards := range []int{1, 3} {
+			ing := NewIngester(Config{Shards: shards, FlushBatch: 4, Dict: train.Dict, Engine: engine})
+			ingestWorkload(t, ing, fresh, 60, 99)
+			v, err := ing.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			batch, err := verify.CheckRules(v.DB, ruleSet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(v.Reports) != len(batch) {
+				t.Fatalf("%s shards=%d: %d online reports want %d", name, shards, len(v.Reports), len(batch))
+			}
+			for i := range batch {
+				g, wnt := v.Reports[i], batch[i]
+				if g.TotalTemporalPoints != wnt.TotalTemporalPoints ||
+					g.SatisfiedTemporalPoints != wnt.SatisfiedTemporalPoints ||
+					g.SatisfiedTraces != wnt.SatisfiedTraces ||
+					g.ViolatedTraces != wnt.ViolatedTraces {
+					t.Fatalf("%s shards=%d rule %d: counters differ\n got %+v\nwant %+v", name, shards, i, g, wnt)
+				}
+				if len(g.Violations) != len(wnt.Violations) {
+					t.Fatalf("%s shards=%d rule %d: %d violations want %d", name, shards, i, len(g.Violations), len(wnt.Violations))
+				}
+				for k := range wnt.Violations {
+					if g.Violations[k].Seq != wnt.Violations[k].Seq ||
+						g.Violations[k].TemporalPoint != wnt.Violations[k].TemporalPoint {
+						t.Fatalf("%s shards=%d rule %d violation %d: got %+v want %+v",
+							name, shards, i, k, g.Violations[k], wnt.Violations[k])
+					}
+				}
+			}
+			gs, ws := verify.NewSummary(v.Reports), verify.NewSummary(batch)
+			if gs.Render(v.DB.Dict, 2) != ws.Render(v.DB.Dict, 2) {
+				t.Fatalf("%s shards=%d: summaries differ", name, shards)
+			}
+			if err := ing.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestConcurrentProducersAndSnapshots hammers one ingester from several
+// producer goroutines while another keeps taking snapshots and checking
+// them — the -race exercise for the whole subsystem.
+func TestConcurrentProducersAndSnapshots(t *testing.T) {
+	w := tracesim.Workloads()["locking"]
+	train := w.MustGenerate(30, 7)
+	ruleSet := minedRules(t, train)
+	if len(ruleSet) == 0 {
+		t.Skip("no rules mined")
+	}
+	engine, err := verify.NewEngine(ruleSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := NewIngester(Config{Shards: 4, FlushBatch: 3, Dict: train.Dict, Engine: engine})
+
+	const producers = 4
+	const tracesPerProducer = 25
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			fresh := w
+			fresh.ViolationRate = 0.2
+			db := fresh.MustGenerate(tracesPerProducer, int64(100+p))
+			for i, s := range db.Sequences {
+				id := tracesim.TraceID(p*tracesPerProducer + i)
+				for j := 0; j < len(s); j += 3 {
+					hi := j + 3
+					if hi > len(s) {
+						hi = len(s)
+					}
+					names := make([]string, 0, 3)
+					for _, ev := range s[j:hi] {
+						names = append(names, db.Dict.Name(ev))
+					}
+					if err := ing.Ingest(id, names...); err != nil {
+						t.Errorf("ingest: %v", err)
+						return
+					}
+				}
+				if err := ing.CloseTrace(id); err != nil {
+					t.Errorf("close trace: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v, err := ing.Snapshot()
+			if err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+			// Every snapshot must be internally consistent: batch-checking
+			// its DB reproduces the online reports it carried.
+			batch, err := verify.CheckRules(v.DB, ruleSet)
+			if err != nil {
+				t.Errorf("check: %v", err)
+				return
+			}
+			for i := range batch {
+				if v.Reports[i].TotalTemporalPoints != batch[i].TotalTemporalPoints ||
+					len(v.Reports[i].Violations) != len(batch[i].Violations) {
+					t.Errorf("snapshot inconsistent with its own online reports (rule %d)", i)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	v, err := ing.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.DB.NumSequences() != producers*tracesPerProducer {
+		t.Fatalf("final snapshot has %d traces want %d", v.DB.NumSequences(), producers*tracesPerProducer)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Ingest("late", "a"); err != ErrClosed {
+		t.Fatalf("ingest after close: %v want ErrClosed", err)
+	}
+	if _, err := ing.Snapshot(); err != ErrClosed {
+		t.Fatalf("snapshot after close: %v want ErrClosed", err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestEmptyAndUnknownTraces(t *testing.T) {
+	ing := NewIngester(Config{Shards: 2})
+	// Sealing an id that never ingested events produces an empty trace.
+	if err := ing.CloseTrace("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	// A trace id becomes reusable after sealing.
+	if err := ing.Ingest("t", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.CloseTrace("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Ingest("t", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.CloseTrace("t"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ing.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.DB.NumSequences() != 3 {
+		t.Fatalf("snapshot has %d traces want 3", v.DB.NumSequences())
+	}
+	lens := map[int]int{}
+	for _, s := range v.DB.Sequences {
+		lens[len(s)]++
+	}
+	if lens[0] != 1 || lens[2] != 1 || lens[1] != 1 {
+		t.Fatalf("unexpected trace lengths: %v", lens)
+	}
+	ing.Close()
+}

@@ -1,0 +1,77 @@
+package tracesim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamReassemblesToGenerate verifies the streaming contract: the
+// chunks of each trace, concatenated in delivery order, are exactly the
+// trace Generate produces, for any concurrency level.
+func TestStreamReassemblesToGenerate(t *testing.T) {
+	for name, w := range Workloads() {
+		const traces, seed = 25, 13
+		want := w.MustGenerate(traces, seed)
+		for _, concurrency := range []int{1, 4, 16} {
+			rebuilt := make(map[string][]string)
+			finals := make(map[string]int)
+			chunks := 0
+			err := w.Stream(traces, seed, concurrency, func(c StreamChunk) error {
+				chunks++
+				if finals[c.TraceID] > 0 {
+					t.Fatalf("%s: chunk after final for %s", name, c.TraceID)
+				}
+				rebuilt[c.TraceID] = append(rebuilt[c.TraceID], c.Events...)
+				if c.Final {
+					finals[c.TraceID]++
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s: Stream: %v", name, err)
+			}
+			if len(rebuilt) != traces || len(finals) != traces {
+				t.Fatalf("%s conc=%d: %d traces (%d finals) want %d", name, concurrency, len(rebuilt), len(finals), traces)
+			}
+			if chunks <= traces && concurrency > 1 {
+				t.Fatalf("%s conc=%d: only %d chunks for %d traces — not actually chunked", name, concurrency, chunks, traces)
+			}
+			for i, s := range want.Sequences {
+				got := rebuilt[TraceID(i)]
+				if len(got) != len(s) {
+					t.Fatalf("%s conc=%d trace %d: %d events want %d", name, concurrency, i, len(got), len(s))
+				}
+				for j, ev := range s {
+					if got[j] != want.Dict.Name(ev) {
+						t.Fatalf("%s conc=%d trace %d: event %d is %q want %q",
+							name, concurrency, i, j, got[j], want.Dict.Name(ev))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamInterleavesTraces checks that with concurrency > 1 chunks of
+// different traces actually interleave (the property the stream ingester's
+// open-trace buffering exists for).
+func TestStreamInterleavesTraces(t *testing.T) {
+	w := Workloads()["transaction"]
+	var order []string
+	err := w.Stream(10, 7, 4, func(c StreamChunk) error {
+		order = append(order, c.TraceID)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switches := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] != order[i-1] {
+			switches++
+		}
+	}
+	if switches < 10 {
+		t.Fatalf("only %d trace switches across %d chunks: %s", switches, len(order), strings.Join(order[:min(20, len(order))], ","))
+	}
+}

@@ -6,36 +6,58 @@ import (
 	"specmine/internal/seqdb"
 )
 
-// Engine is a rule set compiled for batched conformance checking: the
-// serving path for checking fresh traffic against a mined specification.
-// CheckRule walks every trace once per rule; a production rule set has
-// hundreds of rules sharing a handful of premise prefixes and consequents,
-// so the engine compiles the whole set once — premises into a shared prefix
-// trie, consequents into a deduplicated table — and then answers all rules
-// in a single pass per trace over the flat positional index.
+// Engine is a rule set compiled for conformance checking: the serving path
+// for checking fresh traffic against a mined specification. CheckRule walks
+// every trace once per rule; a production rule set has hundreds of rules
+// sharing a handful of premise prefixes and consequents, so the engine
+// compiles the whole set once — premises into a shared prefix trie,
+// consequents into a deduplicated table, plus event-keyed dispatch lists —
+// and then answers all rules in a single pass over each trace.
 //
-// Compile once with NewEngine, then call Check against any number of
-// databases. The engine is immutable after compilation and safe for
-// concurrent Check calls; each call allocates its own scratch.
+// Compile once with NewEngine, then either batch-check whole databases with
+// Check, or feed live traces event by event through NewChecker (see
+// online.go; Check itself is a thin driver over that path). The engine is
+// immutable after compilation and safe for concurrent use; each Check call
+// and each Checker owns its scratch.
 type Engine struct {
 	ruleSet  []rules.Rule
 	formulas []ltl.Formula
 
 	// Premise-prefix trie. Node 0 is the root (empty prefix); children carry
 	// the event extending their parent's prefix. Nodes are stored in
-	// insertion order, so every parent precedes its children and one forward
-	// sweep evaluates the whole trie.
+	// insertion order, so every parent precedes its children.
 	trieEvent  []seqdb.EventID
 	trieParent []int32
 
-	// posts holds the distinct consequents of the rule set.
-	posts []seqdb.Pattern
+	// posts holds the distinct consequents of the rule set; post pi's online
+	// DP state occupies postState[postStateOff[pi]:postStateOff[pi+1]].
+	posts        []seqdb.Pattern
+	postStateOff []int32
+	postStates   int
 
 	// Per rule: the trie node of its premise prefix (pre minus the last
 	// event), the premise's last event, and its consequent's index in posts.
 	rulePreNode []int32
 	ruleLast    []seqdb.EventID
 	rulePost    []int32
+
+	// Premise groups: rules sharing a whole premise — prefix trie node plus
+	// final event — share one temporal-point stream. Mined rule sets have
+	// orders of magnitude fewer groups than rules, so the online automaton
+	// dispatches per group and only fans out to rules at trace close.
+	ruleGroup    []int32
+	groupPreNode []int32
+
+	// Event-keyed dispatch CSRs for the online automaton. alphabet bounds the
+	// event ids referenced by the rule set; events outside it are no-ops.
+	alphabet     int
+	nodesByEvent []int32 // trie nodes labelled with the event, id-ascending
+	nodesOff     []int32
+	stepPost     []int32 // consequent DP steps: post index and position j,
+	stepJ        []int32 // descending j within each post
+	stepsOff     []int32
+	groupsByLast []int32 // premise groups whose final event this is
+	groupsOff    []int32
 }
 
 // NewEngine compiles a rule set. Rules are validated (via their LTL
@@ -88,8 +110,115 @@ func NewEngine(ruleSet []rules.Rule) (*Engine, error) {
 		}
 		e.rulePost[i] = pi
 	}
+	e.compileDispatch()
 	return e, nil
 }
+
+// compileDispatch builds the premise groups, the event-keyed CSR lists the
+// online automaton dispatches on, and the flattened consequent DP layout.
+func (e *Engine) compileDispatch() {
+	e.postStateOff = make([]int32, len(e.posts)+1)
+	for pi, post := range e.posts {
+		e.postStateOff[pi+1] = e.postStateOff[pi] + int32(len(post))
+	}
+	e.postStates = int(e.postStateOff[len(e.posts)])
+
+	// Premise groups: one per distinct (prefix node, final event) pair.
+	type preKey struct {
+		node int32
+		last seqdb.EventID
+	}
+	groupIndex := make(map[preKey]int32)
+	e.ruleGroup = make([]int32, len(e.ruleSet))
+	var groupLast []seqdb.EventID
+	for i := range e.ruleSet {
+		key := preKey{e.rulePreNode[i], e.ruleLast[i]}
+		grp, ok := groupIndex[key]
+		if !ok {
+			grp = int32(len(e.groupPreNode))
+			groupIndex[key] = grp
+			e.groupPreNode = append(e.groupPreNode, key.node)
+			groupLast = append(groupLast, key.last)
+		}
+		e.ruleGroup[i] = grp
+	}
+
+	maxEv := seqdb.EventID(-1)
+	for _, ev := range e.trieEvent[1:] {
+		if ev > maxEv {
+			maxEv = ev
+		}
+	}
+	for _, ev := range e.ruleLast {
+		if ev > maxEv {
+			maxEv = ev
+		}
+	}
+	for _, post := range e.posts {
+		for _, ev := range post {
+			if ev > maxEv {
+				maxEv = ev
+			}
+		}
+	}
+	e.alphabet = int(maxEv) + 1
+
+	counts := make([]int32, e.alphabet)
+	fillCSR := func(n int, eventOf func(k int) seqdb.EventID, emit func(k int, at int32)) (off []int32) {
+		clear(counts)
+		for k := 0; k < n; k++ {
+			counts[eventOf(k)]++
+		}
+		off = make([]int32, e.alphabet+1)
+		for ev := 0; ev < e.alphabet; ev++ {
+			off[ev+1] = off[ev] + counts[ev]
+		}
+		cursor := make([]int32, e.alphabet)
+		copy(cursor, off[:e.alphabet])
+		for k := 0; k < n; k++ {
+			ev := eventOf(k)
+			emit(k, cursor[ev])
+			cursor[ev]++
+		}
+		return off
+	}
+
+	// Trie nodes (excluding the root), in ascending node id so parents come
+	// before children within one event's list.
+	e.nodesByEvent = make([]int32, len(e.trieEvent)-1)
+	e.nodesOff = fillCSR(len(e.trieEvent)-1,
+		func(k int) seqdb.EventID { return e.trieEvent[k+1] },
+		func(k int, at int32) { e.nodesByEvent[at] = int32(k + 1) })
+
+	// Consequent DP steps, enumerated per post with descending j.
+	type step struct {
+		post, j int32
+	}
+	var steps []step
+	for pi, post := range e.posts {
+		for j := len(post) - 1; j >= 0; j-- {
+			steps = append(steps, step{int32(pi), int32(j)})
+		}
+	}
+	e.stepPost = make([]int32, len(steps))
+	e.stepJ = make([]int32, len(steps))
+	e.stepsOff = fillCSR(len(steps),
+		func(k int) seqdb.EventID { return e.posts[steps[k].post][steps[k].j] },
+		func(k int, at int32) { e.stepPost[at], e.stepJ[at] = steps[k].post, steps[k].j })
+
+	// Premise groups keyed by their final event, id-ascending.
+	e.groupsByLast = make([]int32, len(e.groupPreNode))
+	e.groupsOff = fillCSR(len(e.groupPreNode),
+		func(k int) seqdb.EventID { return groupLast[k] },
+		func(k int, at int32) { e.groupsByLast[at] = int32(k) })
+}
+
+// NumPremiseGroups reports the number of distinct whole premises (prefix
+// plus final event) across the rule set.
+func (e *Engine) NumPremiseGroups() int { return len(e.groupPreNode) }
+
+// NumRules reports the number of compiled rules.
+func (e *Engine) NumRules() int { return len(e.ruleSet) }
 
 // NumTrieNodes reports the size of the compiled premise trie (including the
 // root); with shared prefixes it is at most 1 + sum of premise lengths.
@@ -98,104 +227,29 @@ func (e *Engine) NumTrieNodes() int { return len(e.trieEvent) }
 // NumDistinctPosts reports the number of deduplicated consequents.
 func (e *Engine) NumDistinctPosts() int { return len(e.posts) }
 
-// trieDead marks a trie node whose prefix does not embed in the current
-// trace. The root uses -1 ("completes before position 0"), so the dead
-// sentinel must be distinct.
-const trieDead = int32(-2)
-
-// Check evaluates every compiled rule against every trace of db and returns
-// one report per rule, in rule order — byte-identical to calling CheckRule
-// per rule, but in one pass per trace.
-//
-// Per trace the engine computes, in one forward sweep over the trie, the
-// position at which each premise prefix first completes (one NextAfter index
-// query per node); a premise's temporal points are then exactly the
-// occurrences of its last event after that position, read straight off the
-// index. Satisfaction is monotone — if the consequent follows one temporal
-// point it follows every earlier one — so one backward embedding per
-// distinct consequent (PrevBefore queries) yields the latest start position
-// from which it still embeds, and a binary search splits each rule's
-// temporal points into satisfied and violated.
-func (e *Engine) Check(db *seqdb.Database) []RuleReport {
-	idx := db.FlatIndex()
+// NewReports returns a report slice initialised for the engine's rules, in
+// rule order, ready to accumulate Checker.Close outcomes across traces.
+func (e *Engine) NewReports() []RuleReport {
 	reports := make([]RuleReport, len(e.ruleSet))
 	for i := range reports {
 		reports[i] = RuleReport{Rule: e.ruleSet[i], Formula: e.formulas[i]}
 	}
-	g := make([]int32, len(e.trieEvent))
-	late := make([]int32, len(e.posts))
-
-	for si := range db.Sequences {
-		// First-completion position of every premise prefix.
-		g[0] = -1
-		for n := 1; n < len(g); n++ {
-			pg := g[e.trieParent[n]]
-			if pg == trieDead {
-				g[n] = trieDead
-				continue
-			}
-			p := idx.NextAfter(si, e.trieEvent[n], int(pg)+1)
-			if p < 0 {
-				g[n] = trieDead
-			} else {
-				g[n] = p
-			}
-		}
-		// Latest start from which each distinct consequent still embeds
-		// (-1 when it does not embed at all).
-		for pi, post := range e.posts {
-			pos := int32(len(db.Sequences[si]))
-			for k := len(post) - 1; k >= 0; k-- {
-				pos = idx.PrevBefore(si, post[k], int(pos))
-				if pos < 0 {
-					break
-				}
-			}
-			late[pi] = pos
-		}
-
-		for i := range e.ruleSet {
-			rep := &reports[i]
-			pg := g[e.rulePreNode[i]]
-			if pg == trieDead {
-				rep.SatisfiedTraces++
-				continue
-			}
-			tps := idx.PositionsFrom(si, e.ruleLast[i], int(pg)+1)
-			if len(tps) == 0 {
-				rep.SatisfiedTraces++
-				continue
-			}
-			rep.TotalTemporalPoints += len(tps)
-			// A temporal point tp is satisfied iff the consequent embeds in
-			// s[tp+1:], i.e. iff tp+1 <= late, i.e. tp < late.
-			sat := lowerBound(tps, late[e.rulePost[i]])
-			rep.SatisfiedTemporalPoints += sat
-			if sat == len(tps) {
-				rep.SatisfiedTraces++
-				continue
-			}
-			rep.ViolatedTraces++
-			for _, tp := range tps[sat:] {
-				rep.Violations = append(rep.Violations, RuleViolation{
-					Rule: e.ruleSet[i], Seq: si, TemporalPoint: int(tp),
-				})
-			}
-		}
-	}
 	return reports
 }
 
-// lowerBound returns the number of entries in sorted that are < limit.
-func lowerBound(sorted []int32, limit int32) int {
-	lo, hi := 0, len(sorted)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if sorted[mid] < limit {
-			lo = mid + 1
-		} else {
-			hi = mid
+// Check evaluates every compiled rule against every trace of db and returns
+// one report per rule, in rule order — byte-identical to calling CheckRule
+// per rule. It is a thin driver over the online path: one Checker consumes
+// each trace event by event, so batch and streaming verification cannot
+// drift apart.
+func (e *Engine) Check(db *seqdb.Database) []RuleReport {
+	reports := e.NewReports()
+	c := e.NewChecker()
+	for si, s := range db.Sequences {
+		for _, ev := range s {
+			c.Advance(ev)
 		}
+		c.Close(si, reports)
 	}
-	return lo
+	return reports
 }

@@ -1,0 +1,186 @@
+package verify
+
+import "specmine/internal/seqdb"
+
+// Checker is the online conformance automaton for one trace: events are fed
+// one at a time with Advance, and Close finalises the trace, folding its
+// outcome into a report slice. It evaluates the same compiled rule set as
+// Engine.Check — which is a thin driver over this path — but requires
+// neither the whole trace nor a positional index up front, so conformance is
+// tracked as traffic arrives.
+//
+// The per-trace state is NFA-like over the engine's shared structures:
+//
+//   - g[node] is the position at which the premise prefix of a trie node
+//     first completed (notYet until it does). An arriving event can only
+//     complete nodes labelled with it, found through an event-keyed CSR.
+//   - For each distinct consequent <p1..pk>, postState tracks, per prefix
+//     length j, the latest position from which p1..pj embeds into the trace
+//     seen so far. An arriving event pj can only improve state j from state
+//     j-1; entries are visited in descending j so one event never chains two
+//     steps. The full-pattern entry equals the "latest embedding start" the
+//     batched PR 2 engine computed backwards over the index.
+//   - Each occurrence of a premise group's final event after its prefix
+//     completion is a temporal point, recorded once per group — rules
+//     sharing a whole premise (thousands do in mined rule sets, differing
+//     only in consequent) share the list. At Close, a rule's satisfied
+//     temporal points are exactly those below its consequent's latest
+//     embedding start (satisfaction is monotone), found by binary search —
+//     the same split the batched engine performed per rule.
+//
+// A Checker is not safe for concurrent use; create one per goroutine (they
+// all share the immutable engine). Close resets the checker, so one checker
+// serves any number of traces in sequence without further allocation.
+type Checker struct {
+	e   *Engine
+	pos int32
+
+	g         []int32   // first-completion position per trie node
+	postState []int32   // flattened latest-embedding-start DP, -1 = none
+	groupTps  [][]int32 // temporal points per premise group, ascending
+}
+
+// notYet marks a trie node whose premise prefix has not completed yet (and,
+// at Close, one that never did — a premise that cannot fire). The root uses
+// -1 ("completes before position 0"), so the marker must be distinct.
+const notYet = int32(-2)
+
+// NewChecker returns a fresh online checker for the engine's rule set.
+func (e *Engine) NewChecker() *Checker {
+	c := &Checker{
+		e:         e,
+		g:         make([]int32, len(e.trieEvent)),
+		postState: make([]int32, e.postStates),
+		groupTps:  make([][]int32, len(e.groupPreNode)),
+	}
+	c.Reset()
+	return c
+}
+
+// Reset discards the current trace's state, making the checker ready for the
+// next trace. Close calls it implicitly.
+func (c *Checker) Reset() {
+	c.pos = 0
+	c.g[0] = -1
+	for i := 1; i < len(c.g); i++ {
+		c.g[i] = notYet
+	}
+	for i := range c.postState {
+		c.postState[i] = -1
+	}
+	for i := range c.groupTps {
+		c.groupTps[i] = c.groupTps[i][:0]
+	}
+}
+
+// Events returns the number of events consumed since the last Reset.
+func (c *Checker) Events() int { return int(c.pos) }
+
+// Unresolved returns the number of (rule, temporal point) pairs whose
+// outcome is still open: each will either turn satisfied when its rule's
+// consequent completes once more, or surface as a violation at Close.
+func (c *Checker) Unresolved() int {
+	n := 0
+	for r := range c.e.ruleSet {
+		tps := c.groupTps[c.e.ruleGroup[r]]
+		n += len(tps) - lowerBound(tps, c.late(r))
+	}
+	return n
+}
+
+// late returns the latest position from which rule r's consequent embeds
+// into the trace seen so far, or -1 when it does not embed at all. A
+// temporal point tp is satisfied exactly when tp < late: the consequent then
+// embeds entirely within s[tp+1:].
+func (c *Checker) late(r int) int32 {
+	e := c.e
+	pi := e.rulePost[r]
+	return c.postState[e.postStateOff[pi+1]-1]
+}
+
+// Advance feeds the next event of the current trace.
+func (c *Checker) Advance(ev seqdb.EventID) {
+	p := c.pos
+	c.pos++
+	e := c.e
+	if ev < 0 || int(ev) >= e.alphabet {
+		return
+	}
+
+	// Premise-prefix completions. Node ids ascend within the list, so a
+	// parent completing at p is seen before its children, and the strict
+	// pg < p guard keeps a child from consuming the same occurrence.
+	for _, n := range e.nodesByEvent[e.nodesOff[ev]:e.nodesOff[ev+1]] {
+		if c.g[n] == notYet {
+			pg := c.g[e.trieParent[n]]
+			if pg != notYet && pg < p {
+				c.g[n] = p
+			}
+		}
+	}
+
+	// Latest-embedding DP for the distinct consequents (descending j per
+	// post, so this occurrence extends at most one step per chain).
+	for i := e.stepsOff[ev]; i < e.stepsOff[ev+1]; i++ {
+		base := e.postStateOff[e.stepPost[i]]
+		j := e.stepJ[i]
+		if j == 0 {
+			c.postState[base] = p
+		} else if s := c.postState[base+j-1]; s >= 0 {
+			c.postState[base+j] = s
+		}
+	}
+
+	// New temporal points: premise groups whose final event this is, with
+	// the prefix completed strictly earlier.
+	for _, grp := range e.groupsByLast[e.groupsOff[ev]:e.groupsOff[ev+1]] {
+		pg := c.g[e.groupPreNode[grp]]
+		if pg != notYet && pg < p {
+			c.groupTps[grp] = append(c.groupTps[grp], p)
+		}
+	}
+}
+
+// Close finalises the current trace as sequence seq: every rule's counters
+// are folded into reports (which must come from Engine.NewReports or have
+// len equal to NumRules), violations are appended in ascending temporal
+// point order, and the checker resets for the next trace.
+func (c *Checker) Close(seq int, reports []RuleReport) {
+	e := c.e
+	for r := range e.ruleSet {
+		tps := c.groupTps[e.ruleGroup[r]]
+		rep := &reports[r]
+		if len(tps) == 0 {
+			rep.SatisfiedTraces++
+			continue
+		}
+		rep.TotalTemporalPoints += len(tps)
+		sat := lowerBound(tps, c.late(r))
+		rep.SatisfiedTemporalPoints += sat
+		if sat == len(tps) {
+			rep.SatisfiedTraces++
+			continue
+		}
+		rep.ViolatedTraces++
+		for _, tp := range tps[sat:] {
+			rep.Violations = append(rep.Violations, RuleViolation{
+				Rule: e.ruleSet[r], Seq: seq, TemporalPoint: int(tp),
+			})
+		}
+	}
+	c.Reset()
+}
+
+// lowerBound returns the number of entries in sorted that are < limit.
+func lowerBound(sorted []int32, limit int32) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sorted[mid] < limit {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
