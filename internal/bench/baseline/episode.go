@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"specmine/internal/episode"
+	"specmine/internal/seqdb"
+)
+
+// MineEpisodes preserves the seed's WINEPI miner: level-wise candidate
+// generation with every candidate counted by rescanning all sliding windows
+// of the trace. It is the comparison point (and the equivalence oracle) for
+// the posting-driven rewrite in package episode.
+func MineEpisodes(s seqdb.Sequence, opts episode.Options) (*episode.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	totalWindows := len(s) + opts.WindowWidth - 1
+	if len(s) == 0 {
+		return &episode.Result{TotalWindows: 0, Duration: time.Since(start)}, nil
+	}
+	minWindows := int(opts.MinFrequency*float64(totalWindows) + 0.999999)
+	if minWindows < 1 {
+		minWindows = 1
+	}
+
+	maxLen := opts.WindowWidth
+	if opts.MaxEpisodeLength > 0 && opts.MaxEpisodeLength < maxLen {
+		maxLen = opts.MaxEpisodeLength
+	}
+
+	m := &epiMiner{s: s, width: opts.WindowWidth, minWindows: minWindows, maxLen: maxLen, total: totalWindows}
+	m.run()
+	res := &episode.Result{Episodes: m.out, TotalWindows: totalWindows, Duration: time.Since(start)}
+	res.Sort()
+	return res, nil
+}
+
+// MineEpisodeDatabase preserves the seed's database-level episode view: each
+// sequence is mined separately with a one-window floor and the window counts
+// are merged before the global frequency filter.
+func MineEpisodeDatabase(db *seqdb.Database, opts episode.Options) (*episode.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	merged := make(map[string]*episode.Episode)
+	totalWindows := 0
+	for _, s := range db.Sequences {
+		res, err := MineEpisodes(s, episode.Options{WindowWidth: opts.WindowWidth, MinFrequency: 1.0 / float64(len(s)+opts.WindowWidth), MaxEpisodeLength: opts.MaxEpisodeLength})
+		if err != nil {
+			return nil, err
+		}
+		totalWindows += res.TotalWindows
+		for _, ep := range res.Episodes {
+			key := ep.Pattern.Key()
+			if cur, ok := merged[key]; ok {
+				cur.Windows += ep.Windows
+			} else {
+				cp := ep
+				merged[key] = &cp
+			}
+		}
+	}
+	out := &episode.Result{TotalWindows: totalWindows}
+	minWindows := int(opts.MinFrequency*float64(totalWindows) + 0.999999)
+	if minWindows < 1 {
+		minWindows = 1
+	}
+	for _, ep := range merged {
+		if ep.Windows >= minWindows {
+			ep.Frequency = float64(ep.Windows) / float64(totalWindows)
+			out.Episodes = append(out.Episodes, *ep)
+		}
+	}
+	out.Duration = time.Since(start)
+	out.Sort()
+	return out, nil
+}
+
+type epiMiner struct {
+	s          seqdb.Sequence
+	width      int
+	minWindows int
+	maxLen     int
+	total      int
+	out        []episode.Episode
+}
+
+func (m *epiMiner) run() {
+	// Level-wise (apriori) search: candidate episodes of length k are built
+	// from frequent episodes of length k-1, then counted against all windows.
+	seen := make(map[seqdb.EventID]struct{})
+	var singles []seqdb.Pattern
+	for _, e := range m.s {
+		if _, ok := seen[e]; ok {
+			continue
+		}
+		seen[e] = struct{}{}
+		singles = append(singles, seqdb.Pattern{e})
+	}
+	sort.Slice(singles, func(i, j int) bool { return singles[i][0] < singles[j][0] })
+	level := m.countAndFilter(singles)
+
+	for k := 2; k <= m.maxLen && len(level) > 0; k++ {
+		var candidates []seqdb.Pattern
+		for _, p := range level {
+			for _, s := range singles {
+				candidates = append(candidates, p.Append(s[0]))
+			}
+		}
+		level = m.countAndFilter(candidates)
+	}
+}
+
+func (m *epiMiner) countAndFilter(candidates []seqdb.Pattern) []seqdb.Pattern {
+	var kept []seqdb.Pattern
+	for _, p := range candidates {
+		w := m.countWindows(p)
+		if w >= m.minWindows {
+			kept = append(kept, p)
+			m.out = append(m.out, episode.Episode{Pattern: p, Windows: w, Frequency: float64(w) / float64(m.total)})
+		}
+	}
+	return kept
+}
+
+// countWindows rescans every sliding window of width m.width and counts the
+// ones containing p as a subsequence — the per-candidate full-trace pass the
+// posting-driven miner exists to avoid.
+func (m *epiMiner) countWindows(p seqdb.Pattern) int {
+	count := 0
+	for start := -(m.width - 1); start < len(m.s); start++ {
+		lo := start
+		if lo < 0 {
+			lo = 0
+		}
+		hi := start + m.width
+		if hi > len(m.s) {
+			hi = len(m.s)
+		}
+		if hi <= lo {
+			continue
+		}
+		if seqdb.Sequence(m.s[lo:hi]).ContainsSubsequence(p) {
+			count++
+		}
+	}
+	return count
+}

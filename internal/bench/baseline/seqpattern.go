@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"specmine/internal/seqdb"
+	"specmine/internal/seqpattern"
+)
+
+// MineSeqPatterns preserves the seed's sequential-pattern miner: classic
+// PrefixSpan-style pseudo-projection with per-node candidate maps and a
+// per-sequence suffix rescan at every search node. It is the comparison
+// point (and the equivalence oracle) for the index-backed rewrite in
+// package seqpattern.
+func MineSeqPatterns(db *seqdb.Database, opts seqpattern.Options) (*seqpattern.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := &seqMiner{
+		db:     db,
+		opts:   opts,
+		minSup: seqAbsoluteSupport(opts, db.NumSequences()),
+	}
+	m.run()
+	res := &seqpattern.Result{Patterns: m.out, MinSupport: m.minSup}
+	if opts.ClosedOnly {
+		res.Patterns = filterClosedQuadratic(res.Patterns)
+	}
+	res.Duration = time.Since(start)
+	res.Sort()
+	return res, nil
+}
+
+func seqAbsoluteSupport(o seqpattern.Options, numSequences int) int {
+	if o.MinSupportRel > 0 {
+		n := int(o.MinSupportRel*float64(numSequences) + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return o.MinSeqSupport
+}
+
+// seqProjection records, per sequence that still matches the current prefix,
+// the position right after the last matched event.
+type seqProjection struct {
+	seq  int
+	next int
+}
+
+type seqMiner struct {
+	db     *seqdb.Database
+	opts   seqpattern.Options
+	minSup int
+	out    []seqpattern.MinedPattern
+}
+
+func (m *seqMiner) run() {
+	initial := make([]seqProjection, 0, m.db.NumSequences())
+	for i := range m.db.Sequences {
+		initial = append(initial, seqProjection{seq: i, next: 0})
+	}
+	m.grow(nil, initial)
+}
+
+// grow extends the current prefix pattern using the projected database proj.
+func (m *seqMiner) grow(prefix seqdb.Pattern, proj []seqProjection) {
+	if m.opts.MaxPatternLength > 0 && len(prefix) >= m.opts.MaxPatternLength {
+		return
+	}
+	type occ struct {
+		proj []seqProjection
+	}
+	counts := make(map[seqdb.EventID]*occ)
+	for _, pr := range proj {
+		s := m.db.Sequences[pr.seq]
+		seen := make(map[seqdb.EventID]bool)
+		for j := pr.next; j < len(s); j++ {
+			ev := s[j]
+			if seen[ev] {
+				continue
+			}
+			seen[ev] = true
+			o := counts[ev]
+			if o == nil {
+				o = &occ{}
+				counts[ev] = o
+			}
+			o.proj = append(o.proj, seqProjection{seq: pr.seq, next: j + 1})
+		}
+	}
+	events := make([]seqdb.EventID, 0, len(counts))
+	for ev, o := range counts {
+		if len(o.proj) >= m.minSup {
+			events = append(events, ev)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+	for _, ev := range events {
+		o := counts[ev]
+		p := prefix.Append(ev)
+		m.out = append(m.out, seqpattern.MinedPattern{Pattern: p, SeqSupport: len(o.proj)})
+		m.grow(p, o.proj)
+	}
+}
+
+// filterClosedQuadratic is the seed closedness filter: all-pairs subsumption
+// within equal-support groups.
+func filterClosedQuadratic(patterns []seqpattern.MinedPattern) []seqpattern.MinedPattern {
+	bySupport := make(map[int][]seqpattern.MinedPattern)
+	for _, p := range patterns {
+		bySupport[p.SeqSupport] = append(bySupport[p.SeqSupport], p)
+	}
+	keep := patterns[:0]
+	for _, p := range patterns {
+		closed := true
+		for _, q := range bySupport[p.SeqSupport] {
+			if len(q.Pattern) > len(p.Pattern) && p.Pattern.IsSubsequenceOf(q.Pattern) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			keep = append(keep, p)
+		}
+	}
+	return keep
+}

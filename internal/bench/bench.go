@@ -23,9 +23,11 @@
 package bench
 
 import (
+	"specmine/internal/episode"
 	"specmine/internal/iterpattern"
 	"specmine/internal/rules"
 	"specmine/internal/seqdb"
+	"specmine/internal/seqpattern"
 	"specmine/internal/synth"
 	"specmine/internal/tracesim"
 	"specmine/internal/verify"
@@ -96,6 +98,89 @@ func ClosedCases() []ClosedCase {
 	cases[3].Parallel = true     // dense looping target of the overhaul
 	cases[6].SkipBaseline = true // seed miner needs minutes per op here
 	cases[6].Parallel = true
+	return cases
+}
+
+// ComparatorWorkerCounts are the worker-pool sizes measured for the
+// comparator miners' Parallel cases (sequential row plus one mid-size pool).
+var ComparatorWorkerCounts = []int{1, 4}
+
+// SeqPatternCase is one sequential-pattern (PrefixSpan comparator) benchmark
+// configuration, measured for the unified-kernel miner and the seed
+// implementation preserved in bench/baseline.
+type SeqPatternCase struct {
+	Name      string
+	Sequences int
+	Density   string
+	Gen       func() *seqdb.Database
+	Opts      seqpattern.Options
+	// Parallel marks the cases with worker-scaling rows (workers 1/4).
+	Parallel bool
+}
+
+// SeqPatternCases returns the sequential-pattern benchmark matrix. The first
+// case is the comparator headline gated by benchguard: dense looping traces,
+// the regime where the seed's per-node maps and quadratic closedness filter
+// collapse.
+func SeqPatternCases() []SeqPatternCase {
+	traceCase := func(name, workload string, traces int, opts seqpattern.Options, density string) SeqPatternCase {
+		w := tracesim.Workloads()[workload]
+		return SeqPatternCase{
+			Name:      name,
+			Sequences: traces,
+			Density:   density,
+			Gen:       func() *seqdb.Database { return w.MustGenerate(traces, 7) },
+			Opts:      opts,
+		}
+	}
+	cases := []SeqPatternCase{
+		traceCase("seqpattern-transaction-x50-len4-closed", "transaction", 50,
+			seqpattern.Options{MinSupportRel: 0.9, MaxPatternLength: 4, ClosedOnly: true}, "dense-looping"),
+		{
+			Name:      "seqpattern-quest-D0.05C30N0.1S8-sup15-closed",
+			Sequences: 50,
+			Density:   "quest-default",
+			Gen: func() *seqdb.Database {
+				return synth.MustGenerate(synth.Config{NumSequences: 50, AvgSequenceLength: 30, NumEvents: 100, AvgPatternLength: 8, Seed: 1})
+			},
+			Opts: seqpattern.Options{MinSeqSupport: 15, ClosedOnly: true},
+		},
+		traceCase("seqpattern-security-x50-len4-full", "security", 50,
+			seqpattern.Options{MinSupportRel: 0.5, MaxPatternLength: 4}, "medium"),
+	}
+	cases[0].Parallel = true
+	return cases
+}
+
+// EpisodeCase is one episode-mining (WINEPI comparator) benchmark
+// configuration over a trace database, measured for the posting-driven miner
+// and the seed's window-rescan implementation in bench/baseline.
+type EpisodeCase struct {
+	Name     string
+	Gen      func() *seqdb.Database
+	Opts     episode.Options
+	Parallel bool
+}
+
+// EpisodeCases returns the episode benchmark matrix.
+func EpisodeCases() []EpisodeCase {
+	traceCase := func(name, workload string, traces int, opts episode.Options) EpisodeCase {
+		w := tracesim.Workloads()[workload]
+		return EpisodeCase{
+			Name: name,
+			Gen:  func() *seqdb.Database { return w.MustGenerate(traces, 7) },
+			Opts: opts,
+		}
+	}
+	cases := []EpisodeCase{
+		traceCase("episode-transaction-x50-w6-len3", "transaction", 50,
+			episode.Options{WindowWidth: 6, MinFrequency: 0.3, MaxEpisodeLength: 3}),
+		traceCase("episode-locking-x100-w8-len4", "locking", 100,
+			episode.Options{WindowWidth: 8, MinFrequency: 0.1, MaxEpisodeLength: 4}),
+		traceCase("episode-security-x50-w6-len3", "security", 50,
+			episode.Options{WindowWidth: 6, MinFrequency: 0.05, MaxEpisodeLength: 3}),
+	}
+	cases[0].Parallel = true
 	return cases
 }
 

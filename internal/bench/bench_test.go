@@ -9,8 +9,10 @@ import (
 	"testing"
 
 	"specmine/internal/bench/baseline"
+	"specmine/internal/episode"
 	"specmine/internal/iterpattern"
 	"specmine/internal/rules"
+	"specmine/internal/seqpattern"
 	"specmine/internal/stream"
 	"specmine/internal/verify"
 )
@@ -62,6 +64,104 @@ func BenchmarkMineClosedWorkers(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := iterpattern.MineClosed(db, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMineSeqPatterns compares the unified-kernel sequential-pattern
+// miner against the seed's map-based PrefixSpan on the comparator matrix.
+func BenchmarkMineSeqPatterns(b *testing.B) {
+	for _, c := range SeqPatternCases() {
+		db := c.Gen()
+		db.FlatIndex()
+		b.Run(c.Name+"/flat", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := seqpattern.Mine(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.Name+"/baseline", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.MineSeqPatterns(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMineSeqPatternsWorkers measures the comparator's worker scaling
+// on the Parallel cases (workers 1/4).
+func BenchmarkMineSeqPatternsWorkers(b *testing.B) {
+	for _, c := range SeqPatternCases() {
+		if !c.Parallel {
+			continue
+		}
+		db := c.Gen()
+		db.FlatIndex()
+		for _, workers := range ComparatorWorkerCounts {
+			opts := c.Opts
+			opts.Workers = workers
+			b.Run(fmt.Sprintf("%s/workers=%d", c.Name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := seqpattern.Mine(db, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMineEpisodes compares the posting-driven episode miner against
+// the seed's per-candidate window rescan on the comparator matrix.
+func BenchmarkMineEpisodes(b *testing.B) {
+	for _, c := range EpisodeCases() {
+		db := c.Gen()
+		db.FlatIndex()
+		b.Run(c.Name+"/flat", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := episode.MineDatabase(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.Name+"/baseline", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.MineEpisodeDatabase(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMineEpisodesWorkers measures episode-mining worker scaling on the
+// Parallel cases (workers 1/4).
+func BenchmarkMineEpisodesWorkers(b *testing.B) {
+	for _, c := range EpisodeCases() {
+		if !c.Parallel {
+			continue
+		}
+		db := c.Gen()
+		db.FlatIndex()
+		for _, workers := range ComparatorWorkerCounts {
+			opts := c.Opts
+			opts.Workers = workers
+			b.Run(fmt.Sprintf("%s/workers=%d", c.Name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := episode.MineDatabase(db, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -190,6 +290,21 @@ type trajectoryCase struct {
 	Parallel        []parallelRow `json:"parallel,omitempty"`
 }
 
+// comparatorTrajectoryCase is one comparator-miner (seqpattern / episode)
+// row: unified-kernel numbers against the retained seed implementation.
+type comparatorTrajectoryCase struct {
+	Name            string        `json:"name"`
+	Results         int           `json:"results"`
+	FlatNsPerOp     int64         `json:"flat_ns_per_op"`
+	FlatAllocsPerOp int64         `json:"flat_allocs_per_op"`
+	FlatBytesPerOp  int64         `json:"flat_bytes_per_op"`
+	BaseNsPerOp     int64         `json:"baseline_ns_per_op"`
+	BaseAllocsPerOp int64         `json:"baseline_allocs_per_op"`
+	BaseBytesPerOp  int64         `json:"baseline_bytes_per_op"`
+	Speedup         float64       `json:"speedup"`
+	Parallel        []parallelRow `json:"parallel,omitempty"`
+}
+
 // ruleTrajectoryCase is one rule-mining row.
 type ruleTrajectoryCase struct {
 	Name        string        `json:"name"`
@@ -234,13 +349,15 @@ type streamTrajectoryCase struct {
 }
 
 type trajectory struct {
-	Schema      string                 `json:"schema"`
-	Generator   string                 `json:"generator"`
-	GoVersion   string                 `json:"go_version"`
-	Cases       []trajectoryCase       `json:"cases"`
-	RuleCases   []ruleTrajectoryCase   `json:"rule_cases"`
-	VerifyCases []verifyTrajectoryCase `json:"verify_cases"`
-	StreamCases []streamTrajectoryCase `json:"stream_cases"`
+	Schema          string                     `json:"schema"`
+	Generator       string                     `json:"generator"`
+	GoVersion       string                     `json:"go_version"`
+	Cases           []trajectoryCase           `json:"cases"`
+	SeqPatternCases []comparatorTrajectoryCase `json:"seqpattern_cases"`
+	EpisodeCases    []comparatorTrajectoryCase `json:"episode_cases"`
+	RuleCases       []ruleTrajectoryCase       `json:"rule_cases"`
+	VerifyCases     []verifyTrajectoryCase     `json:"verify_cases"`
+	StreamCases     []streamTrajectoryCase     `json:"stream_cases"`
 }
 
 func benchOnce(f func(b *testing.B)) testing.BenchmarkResult {
@@ -262,7 +379,7 @@ func TestWriteBenchTrajectory(t *testing.T) {
 		t.Skip("set SPECMINE_WRITE_BENCH=1 to regenerate BENCH_mining.json")
 	}
 	out := trajectory{
-		Schema:    "specmine/bench-mining/v3",
+		Schema:    "specmine/bench-mining/v4",
 		Generator: "SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory",
 		GoVersion: runtime.Version(),
 	}
@@ -324,6 +441,112 @@ func TestWriteBenchTrajectory(t *testing.T) {
 		}
 		out.Cases = append(out.Cases, tc)
 		t.Logf("%s: flat %v ns/op (%d allocs), speedup %.2fx", c.Name, tc.FlatNsPerOp, tc.FlatAllocsPerOp, tc.Speedup)
+	}
+
+	for _, c := range SeqPatternCases() {
+		db := c.Gen()
+		db.FlatIndex()
+		res, err := seqpattern.Mine(db, c.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := seqpattern.Mine(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		base := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.MineSeqPatterns(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		tc := comparatorTrajectoryCase{
+			Name:            c.Name,
+			Results:         len(res.Patterns),
+			FlatNsPerOp:     flat.NsPerOp(),
+			FlatAllocsPerOp: flat.AllocsPerOp(),
+			FlatBytesPerOp:  flat.AllocedBytesPerOp(),
+			BaseNsPerOp:     base.NsPerOp(),
+			BaseAllocsPerOp: base.AllocsPerOp(),
+			BaseBytesPerOp:  base.AllocedBytesPerOp(),
+			Speedup:         round2(float64(base.NsPerOp()) / float64(flat.NsPerOp())),
+		}
+		if c.Parallel {
+			for _, workers := range ComparatorWorkerCounts {
+				opts := c.Opts
+				opts.Workers = workers
+				par := benchOnce(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := seqpattern.Mine(db, opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				tc.Parallel = append(tc.Parallel, parallelRow{
+					Workers: workers, NsPerOp: par.NsPerOp(), Gomaxprocs: runtime.GOMAXPROCS(0),
+				})
+			}
+		}
+		out.SeqPatternCases = append(out.SeqPatternCases, tc)
+		t.Logf("%s: flat %v ns/op vs seed %v ns/op (%.2fx), %d patterns",
+			c.Name, tc.FlatNsPerOp, tc.BaseNsPerOp, tc.Speedup, tc.Results)
+	}
+
+	for _, c := range EpisodeCases() {
+		db := c.Gen()
+		db.FlatIndex()
+		res, err := episode.MineDatabase(db, c.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := episode.MineDatabase(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		base := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.MineEpisodeDatabase(db, c.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		tc := comparatorTrajectoryCase{
+			Name:            c.Name,
+			Results:         len(res.Episodes),
+			FlatNsPerOp:     flat.NsPerOp(),
+			FlatAllocsPerOp: flat.AllocsPerOp(),
+			FlatBytesPerOp:  flat.AllocedBytesPerOp(),
+			BaseNsPerOp:     base.NsPerOp(),
+			BaseAllocsPerOp: base.AllocsPerOp(),
+			BaseBytesPerOp:  base.AllocedBytesPerOp(),
+			Speedup:         round2(float64(base.NsPerOp()) / float64(flat.NsPerOp())),
+		}
+		if c.Parallel {
+			for _, workers := range ComparatorWorkerCounts {
+				opts := c.Opts
+				opts.Workers = workers
+				par := benchOnce(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := episode.MineDatabase(db, opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				tc.Parallel = append(tc.Parallel, parallelRow{
+					Workers: workers, NsPerOp: par.NsPerOp(), Gomaxprocs: runtime.GOMAXPROCS(0),
+				})
+			}
+		}
+		out.EpisodeCases = append(out.EpisodeCases, tc)
+		t.Logf("%s: flat %v ns/op vs seed %v ns/op (%.2fx), %d episodes",
+			c.Name, tc.FlatNsPerOp, tc.BaseNsPerOp, tc.Speedup, tc.Results)
 	}
 
 	for _, c := range RuleCases() {

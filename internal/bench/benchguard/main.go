@@ -1,9 +1,10 @@
 // Command benchguard is the CI benchmark-regression gate. It re-measures the
-// headline cases — synth closed mining and the batched conformance check —
-// writes benchstat-compatible sample files (old.txt holding the checked-in
-// BENCH_mining.json trajectory values, new.txt the live measurements), and
-// exits non-zero when any case's best live run is more than the allowed
-// factor slower than its trajectory value. Every case is measured and
+// headline cases — synth closed mining, the batched conformance check, and
+// dense sequential-pattern (comparator) mining — writes benchstat-compatible
+// sample files (old.txt holding the checked-in BENCH_mining.json trajectory
+// values, new.txt the live measurements), and exits non-zero when any case's
+// best live run is more than the allowed factor slower than its trajectory
+// value. Every case is measured and
 // reported in one table before the verdict, so a regression in one case
 // never hides another.
 //
@@ -28,6 +29,7 @@ import (
 
 	"specmine/internal/bench"
 	"specmine/internal/iterpattern"
+	"specmine/internal/seqpattern"
 	"specmine/internal/verify"
 )
 
@@ -42,9 +44,10 @@ type verifyTrajectoryCase struct {
 }
 
 type trajectory struct {
-	Schema      string                 `json:"schema"`
-	Cases       []trajectoryCase       `json:"cases"`
-	VerifyCases []verifyTrajectoryCase `json:"verify_cases"`
+	Schema          string                 `json:"schema"`
+	Cases           []trajectoryCase       `json:"cases"`
+	SeqPatternCases []trajectoryCase       `json:"seqpattern_cases"`
+	VerifyCases     []verifyTrajectoryCase `json:"verify_cases"`
 }
 
 // gate is one benchmark case the guard re-measures against its trajectory
@@ -74,7 +77,7 @@ func main() {
 		fatalf("parsing trajectory: %v", err)
 	}
 
-	gates := []*gate{miningGate(traj), verifyGate(traj)}
+	gates := []*gate{miningGate(traj), verifyGate(traj), seqPatternGate(traj)}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatalf("creating output directory: %v", err)
@@ -178,6 +181,35 @@ func verifyGate(traj trajectory) *gate {
 	g.run = func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = engine.Check(db)
+		}
+	}
+	return g
+}
+
+// seqPatternGate re-measures the dense sequential-pattern comparator
+// headline (the unified-kernel miner over the flat index).
+func seqPatternGate(traj trajectory) *gate {
+	c := bench.SeqPatternCases()[0]
+	g := &gate{
+		label:     "mine-seqpattern/" + c.Name,
+		benchName: "BenchmarkMineSeqPatterns/" + c.Name + "/flat",
+	}
+	for _, tc := range traj.SeqPatternCases {
+		if tc.Name == c.Name {
+			g.oldNs = tc.FlatNsPerOp
+			break
+		}
+	}
+	if g.oldNs == 0 {
+		fatalf("seqpattern headline case %s not found in trajectory", c.Name)
+	}
+	db := c.Gen()
+	db.FlatIndex()
+	g.run = func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := seqpattern.Mine(db, c.Opts); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 	return g

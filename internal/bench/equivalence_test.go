@@ -1,13 +1,16 @@
 package bench
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"specmine/internal/bench/baseline"
+	"specmine/internal/episode"
 	"specmine/internal/iterpattern"
 	"specmine/internal/rules"
 	"specmine/internal/seqdb"
+	"specmine/internal/seqpattern"
 	"specmine/internal/tracesim"
 )
 
@@ -153,6 +156,115 @@ func TestParallelPatternsMatchSequential(t *testing.T) {
 		o := iterpattern.Options{MinInstanceSupport: 2 + rng.Intn(2), IncludeInstances: true}
 		check("random/full", db, o, false)
 		check("random/closed", db, o, true)
+	}
+}
+
+func assertSeqPatternResultsEqual(t *testing.T, label string, got, want *seqpattern.Result) {
+	t.Helper()
+	if len(got.Patterns) != len(want.Patterns) {
+		t.Fatalf("%s: %d patterns, want %d", label, len(got.Patterns), len(want.Patterns))
+	}
+	for i := range want.Patterns {
+		g, w := got.Patterns[i], want.Patterns[i]
+		if !g.Pattern.Equal(w.Pattern) || g.SeqSupport != w.SeqSupport {
+			t.Fatalf("%s: pattern %d differs: got %v sup=%d want %v sup=%d",
+				label, i, g.Pattern, g.SeqSupport, w.Pattern, w.SeqSupport)
+		}
+	}
+	if got.MinSupport != want.MinSupport {
+		t.Fatalf("%s: MinSupport %d want %d", label, got.MinSupport, want.MinSupport)
+	}
+}
+
+// TestSeqPatternMatchesBaseline pins the unified-kernel sequential-pattern
+// miner to the seed implementation on Quest synth and tracesim workloads
+// plus random databases, full and closed, and asserts byte-identical results
+// across worker counts (run under -race in CI).
+func TestSeqPatternMatchesBaseline(t *testing.T) {
+	check := func(label string, db *seqdb.Database, opts seqpattern.Options) {
+		t.Helper()
+		want, err := baseline.MineSeqPatterns(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, -1} {
+			opts.Workers = workers
+			got, err := seqpattern.Mine(db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSeqPatternResultsEqual(t, fmt.Sprintf("%s/workers=%d", label, workers), got, want)
+		}
+	}
+	for _, c := range SeqPatternCases() {
+		check(c.Name, c.Gen(), c.Opts)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 20; iter++ {
+		db := randomDB(rng, 3+rng.Intn(5), 12, 3+rng.Intn(3))
+		opts := seqpattern.Options{MinSeqSupport: 2, ClosedOnly: iter%2 == 0}
+		check("random", db, opts)
+	}
+}
+
+func assertEpisodeResultsEqual(t *testing.T, label string, got, want *episode.Result) {
+	t.Helper()
+	if len(got.Episodes) != len(want.Episodes) {
+		t.Fatalf("%s: %d episodes, want %d", label, len(got.Episodes), len(want.Episodes))
+	}
+	for i := range want.Episodes {
+		g, w := got.Episodes[i], want.Episodes[i]
+		if !g.Pattern.Equal(w.Pattern) || g.Windows != w.Windows || g.Frequency != w.Frequency {
+			t.Fatalf("%s: episode %d differs: got %v w=%d f=%v want %v w=%d f=%v",
+				label, i, g.Pattern, g.Windows, g.Frequency, w.Pattern, w.Windows, w.Frequency)
+		}
+	}
+	if got.TotalWindows != want.TotalWindows {
+		t.Fatalf("%s: TotalWindows %d want %d", label, got.TotalWindows, want.TotalWindows)
+	}
+}
+
+// TestEpisodeMatchesBaseline pins the posting-driven episode miner to the
+// seed's window-rescan implementation on tracesim workloads and random
+// databases, single-sequence and database-level, across worker counts.
+func TestEpisodeMatchesBaseline(t *testing.T) {
+	check := func(label string, db *seqdb.Database, opts episode.Options) {
+		t.Helper()
+		want, err := baseline.MineEpisodeDatabase(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, -1} {
+			opts.Workers = workers
+			got, err := episode.MineDatabase(db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEpisodeResultsEqual(t, fmt.Sprintf("%s/workers=%d", label, workers), got, want)
+		}
+	}
+	for _, c := range EpisodeCases() {
+		if c.Name == "episode-transaction-x50-w6-len3" {
+			continue // the seed side alone needs ~300ms; the light cases cover the semantics
+		}
+		check(c.Name, c.Gen(), c.Opts)
+	}
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 15; iter++ {
+		db := randomDB(rng, 2+rng.Intn(4), 14, 3+rng.Intn(3))
+		opts := episode.Options{WindowWidth: 2 + rng.Intn(4), MinFrequency: 0.05 + rng.Float64()*0.3, MaxEpisodeLength: 1 + rng.Intn(3)}
+		check("random", db, opts)
+		// Single-sequence Mine against the seed's level-wise pass.
+		s := db.Sequences[0]
+		want, err := baseline.MineEpisodes(s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := episode.Mine(s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEpisodeResultsEqual(t, "random/single", got, want)
 	}
 }
 

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"io"
 
+	"specmine/internal/episode"
 	"specmine/internal/iterpattern"
 	"specmine/internal/ltl"
 	"specmine/internal/rank"
 	"specmine/internal/rules"
 	"specmine/internal/seqdb"
+	"specmine/internal/seqpattern"
 	"specmine/internal/stream"
 	"specmine/internal/verify"
 )
@@ -33,6 +35,10 @@ type (
 	Rule = rules.Rule
 	// MinedPattern is a mined iterative pattern.
 	MinedPattern = iterpattern.MinedPattern
+	// SeqPattern is a mined sequential pattern (the Section 2 comparator).
+	SeqPattern = seqpattern.MinedPattern
+	// Episode is a mined serial episode (the Sections 1–2 comparator).
+	Episode = episode.Episode
 )
 
 // LoadTraces reads the textual trace format (one trace per line, events
@@ -158,6 +164,89 @@ func MineRules(db *Database, opts RuleOptions) (*RuleResult, error) {
 		return nil, fmt.Errorf("mining recurrent rules: %w", err)
 	}
 	return &RuleResult{Rules: res.Rules, NonRedundant: !opts.Full, Stats: res.Stats}, nil
+}
+
+// SeqPatternOptions configures sequential pattern mining (the PrefixSpan
+// comparator of Section 2) through the facade.
+type SeqPatternOptions struct {
+	// MinSupport is the absolute minimum sequence support; ignored when
+	// MinSupportRel is set.
+	MinSupport int
+	// MinSupportRel is the minimum sequence support as a fraction of the
+	// number of sequences.
+	MinSupportRel float64
+	// Closed keeps only closed sequential patterns.
+	Closed bool
+	// MaxLength bounds pattern length (0 = unlimited).
+	MaxLength int
+	// Workers bounds the parallel worker pool (0/1 sequential, negative =
+	// GOMAXPROCS). Results are identical for any value.
+	Workers int
+}
+
+// SeqPatternResult is the facade view of a sequential pattern mining run.
+type SeqPatternResult struct {
+	// Patterns are the mined patterns, sorted by support.
+	Patterns []SeqPattern
+	// MinSupport is the absolute threshold that was applied.
+	MinSupport int
+}
+
+// MineSequential mines classic sequential patterns from db: support counts
+// the sequences containing a pattern as a subsequence. It runs on the same
+// flat index and count-first search framework as the headline miners, so
+// comparator studies over streamed snapshots run at full speed.
+func MineSequential(db *Database, opts SeqPatternOptions) (*SeqPatternResult, error) {
+	res, err := seqpattern.Mine(db, seqpattern.Options{
+		MinSeqSupport:    opts.MinSupport,
+		MinSupportRel:    opts.MinSupportRel,
+		MaxPatternLength: opts.MaxLength,
+		ClosedOnly:       opts.Closed,
+		Workers:          opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mining sequential patterns: %w", err)
+	}
+	return &SeqPatternResult{Patterns: res.Patterns, MinSupport: res.MinSupport}, nil
+}
+
+// EpisodeOptions configures window-based episode mining (the WINEPI
+// comparator of Sections 1–2) through the facade.
+type EpisodeOptions struct {
+	// WindowWidth is the sliding-window width in events (>= 1).
+	WindowWidth int
+	// MinFrequency is the minimum fraction of windows containing an episode,
+	// in (0, 1].
+	MinFrequency float64
+	// MaxLength bounds episode length (0 = bounded only by the window).
+	MaxLength int
+	// Workers bounds the parallel worker pool (0/1 sequential, negative =
+	// GOMAXPROCS). Results are identical for any value.
+	Workers int
+}
+
+// EpisodeResult is the facade view of an episode mining run.
+type EpisodeResult struct {
+	// Episodes are the mined episodes, sorted by window count.
+	Episodes []Episode
+	// TotalWindows is the number of sliding windows observed.
+	TotalWindows int
+}
+
+// MineEpisodes mines serial episodes across every trace of db, merging
+// window counts per episode (the episode-style view of a trace database the
+// ablation studies compare against).
+func MineEpisodes(db *Database, opts EpisodeOptions) (*EpisodeResult, error) {
+	res, err := episode.MineDatabase(db, episode.Options{
+		WindowWidth:      opts.WindowWidth,
+		MinFrequency:     opts.MinFrequency,
+		MaxEpisodeLength: opts.MaxLength,
+		Workers:          opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mining episodes: %w", err)
+	}
+	return &EpisodeResult{Episodes: res.Episodes, TotalWindows: res.TotalWindows}, nil
 }
 
 // RuleToLTL translates a rule into its LTL formula (Table 2) rendered with
@@ -304,6 +393,18 @@ func RankPatterns(db *Database, patterns []MinedPattern, topN int) []rank.Scored
 // RankRules orders mined rules by interestingness, most interesting first.
 func RankRules(db *Database, ruleSet []Rule, topN int) []rank.ScoredRule {
 	return rank.TopRules(db, ruleSet, rank.Weights{}, topN)
+}
+
+// RankSequential orders mined sequential patterns by interestingness, most
+// interesting first.
+func RankSequential(db *Database, patterns []SeqPattern, topN int) []rank.ScoredSeqPattern {
+	return rank.TopSeqPatterns(db, patterns, rank.Weights{}, topN)
+}
+
+// RankEpisodes orders mined episodes by interestingness, most interesting
+// first.
+func RankEpisodes(db *Database, episodes []Episode, topN int) []rank.ScoredEpisode {
+	return rank.TopEpisodes(db, episodes, rank.Weights{}, topN)
 }
 
 // EvaluateRule scores an arbitrary (for example hand-written) rule against

@@ -196,3 +196,92 @@ func TestEndToEndJBossSecurityRule(t *testing.T) {
 		t.Errorf("mined NR rule set does not cover the Figure 5 rule (%d rules)", len(res.Rules))
 	}
 }
+
+func TestComparatorMinersFacade(t *testing.T) {
+	db := tracesim.LockingComponent().MustGenerate(30, 5)
+
+	seqRes, err := MineSequential(db, SeqPatternOptions{MinSupportRel: 0.8, MaxLength: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRes.Patterns) == 0 || seqRes.MinSupport != 24 {
+		t.Fatalf("MineSequential: %d patterns, minsup %d", len(seqRes.Patterns), seqRes.MinSupport)
+	}
+	closedRes, err := MineSequential(db, SeqPatternOptions{MinSupportRel: 0.8, MaxLength: 3, Closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closedRes.Patterns) == 0 || len(closedRes.Patterns) > len(seqRes.Patterns) {
+		t.Fatalf("closed set size %d vs full %d", len(closedRes.Patterns), len(seqRes.Patterns))
+	}
+
+	epiRes, err := MineEpisodes(db, EpisodeOptions{WindowWidth: 4, MinFrequency: 0.05, MaxLength: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epiRes.Episodes) == 0 || epiRes.TotalWindows == 0 {
+		t.Fatalf("MineEpisodes: %d episodes, %d windows", len(epiRes.Episodes), epiRes.TotalWindows)
+	}
+
+	rankedSeq := RankSequential(db, seqRes.Patterns, 5)
+	if len(rankedSeq) == 0 || len(rankedSeq) > 5 {
+		t.Errorf("RankSequential returned %d", len(rankedSeq))
+	}
+	rankedEpi := RankEpisodes(db, epiRes.Episodes, 5)
+	if len(rankedEpi) == 0 || len(rankedEpi) > 5 {
+		t.Errorf("RankEpisodes returned %d", len(rankedEpi))
+	}
+	for i := 1; i < len(rankedEpi); i++ {
+		if rankedEpi[i-1].Score < rankedEpi[i].Score {
+			t.Errorf("episodes not sorted by score")
+		}
+	}
+}
+
+// TestComparatorMinersOverStreamedSnapshot is the comparator-study flow the
+// unified kernel exists for: traces arrive through the streamer, and a
+// consistent snapshot feeds all three miners — headline and comparators —
+// at full speed.
+func TestComparatorMinersOverStreamedSnapshot(t *testing.T) {
+	w := tracesim.LockingComponent()
+	batch := w.MustGenerate(20, 9)
+	st, err := NewStreamer(StreamOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i, s := range batch.Sequences {
+		names := make([]string, len(s))
+		for j, ev := range s {
+			names[j] = batch.Dict.Name(ev)
+		}
+		id := string(rune('a' + i%8))
+		if err := st.Ingest(id+"-trace", names...); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.CloseTrace(id + "-trace"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinePatterns(snap, PatternOptions{MinSupportRel: 0.9, MaxLength: 3}); err != nil {
+		t.Fatal(err)
+	}
+	seqRes, err := MineSequential(snap, SeqPatternOptions{MinSupportRel: 0.9, MaxLength: 3, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRes.Patterns) == 0 {
+		t.Errorf("no sequential patterns from streamed snapshot")
+	}
+	epiRes, err := MineEpisodes(snap, EpisodeOptions{WindowWidth: 4, MinFrequency: 0.05, MaxLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epiRes.Episodes) == 0 {
+		t.Errorf("no episodes from streamed snapshot")
+	}
+}

@@ -170,6 +170,156 @@ func TestMineAgainstBruteForceQuick(t *testing.T) {
 	}
 }
 
+// enumeratePatterns returns every pattern over alphabet [0, alphabet) of
+// length 1..maxLen.
+func enumeratePatterns(alphabet, maxLen int) []seqdb.Pattern {
+	var out []seqdb.Pattern
+	var rec func(p seqdb.Pattern)
+	rec = func(p seqdb.Pattern) {
+		if len(p) > 0 {
+			out = append(out, p.Clone())
+		}
+		if len(p) >= maxLen {
+			return
+		}
+		for e := 0; e < alphabet; e++ {
+			rec(append(p, seqdb.EventID(e)))
+		}
+	}
+	rec(nil)
+	return out
+}
+
+// TestMineCompleteAgainstEnumeration cross-checks the posting-driven miner
+// against a brute-force enumerator on random traces: every frequent episode
+// must be reported (completeness) with the exact window count of the naive
+// per-window rescan, and nothing else.
+func TestMineCompleteAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for iter := 0; iter < 40; iter++ {
+		alphabet := 2 + rng.Intn(2)
+		n := 3 + rng.Intn(12)
+		s := make(seqdb.Sequence, n)
+		for i := range s {
+			s[i] = seqdb.EventID(rng.Intn(alphabet))
+		}
+		width := 2 + rng.Intn(3)
+		opts := Options{WindowWidth: width, MinFrequency: 0.1 + rng.Float64()*0.4, MaxEpisodeLength: 1 + rng.Intn(3)}
+		res, err := Mine(s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := len(s) + width - 1
+		minWindows := minWindowsFor(opts.MinFrequency, total)
+		maxLen := opts.maxLen()
+		want := make(map[string]int)
+		for _, p := range enumeratePatterns(alphabet, maxLen) {
+			if w := bruteWindows(s, p, width); w >= minWindows {
+				want[p.Key()] = w
+			}
+		}
+		if len(res.Episodes) != len(want) {
+			t.Fatalf("iter %d: %d episodes, brute force %d (opts %+v)", iter, len(res.Episodes), len(want), opts)
+		}
+		for _, e := range res.Episodes {
+			if want[e.Pattern.Key()] != e.Windows {
+				t.Fatalf("iter %d: %v windows=%d brute=%d", iter, e.Pattern, e.Windows, want[e.Pattern.Key()])
+			}
+		}
+	}
+}
+
+// TestMineDatabaseAgainstEnumeration is the database-level analogue on small
+// synthetic trace batches: merged window counts must match summing the naive
+// per-sequence window enumeration, with the frequency threshold applied to
+// the total.
+func TestMineDatabaseAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for iter := 0; iter < 25; iter++ {
+		alphabet := 2 + rng.Intn(2)
+		db := seqdb.NewDatabase()
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			n := rng.Intn(10)
+			names := make([]string, n)
+			for j := range names {
+				names[j] = string(rune('a' + rng.Intn(alphabet)))
+			}
+			db.AppendNames(names...)
+		}
+		width := 2 + rng.Intn(3)
+		opts := Options{WindowWidth: width, MinFrequency: 0.05 + rng.Float64()*0.3, MaxEpisodeLength: 1 + rng.Intn(3)}
+		res, err := MineDatabase(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, s := range db.Sequences {
+			if len(s) > 0 {
+				total += len(s) + width - 1
+			}
+		}
+		if res.TotalWindows != total {
+			t.Fatalf("iter %d: TotalWindows=%d want %d", iter, res.TotalWindows, total)
+		}
+		minWindows := minWindowsFor(opts.MinFrequency, total)
+		want := make(map[string]int)
+		for _, p := range enumeratePatterns(db.Dict.Size(), opts.maxLen()) {
+			w := 0
+			for _, s := range db.Sequences {
+				w += bruteWindows(s, p, width)
+			}
+			if w >= minWindows {
+				want[p.Key()] = w
+			}
+		}
+		if len(res.Episodes) != len(want) {
+			t.Fatalf("iter %d: %d episodes, brute force %d", iter, len(res.Episodes), len(want))
+		}
+		for _, e := range res.Episodes {
+			if want[e.Pattern.Key()] != e.Windows {
+				t.Fatalf("iter %d: %v windows=%d brute=%d", iter, e.Pattern, e.Windows, want[e.Pattern.Key()])
+			}
+		}
+	}
+}
+
+// TestWorkersByteIdentical asserts the parallel episode miner reproduces the
+// sequential result exactly for any worker count.
+func TestWorkersByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	db := seqdb.NewDatabase()
+	for i := 0; i < 8; i++ {
+		n := 5 + rng.Intn(20)
+		names := make([]string, n)
+		for j := range names {
+			names[j] = string(rune('a' + rng.Intn(5)))
+		}
+		db.AppendNames(names...)
+	}
+	opts := Options{WindowWidth: 4, MinFrequency: 0.05, MaxEpisodeLength: 3, Workers: 1}
+	seq, err := MineDatabase(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, -1} {
+		opts.Workers = workers
+		par, err := MineDatabase(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Episodes) != len(seq.Episodes) {
+			t.Fatalf("workers=%d: %d episodes want %d", workers, len(par.Episodes), len(seq.Episodes))
+		}
+		for k := range seq.Episodes {
+			if !par.Episodes[k].Pattern.Equal(seq.Episodes[k].Pattern) ||
+				par.Episodes[k].Windows != seq.Episodes[k].Windows ||
+				par.Episodes[k].Frequency != seq.Episodes[k].Frequency {
+				t.Fatalf("workers=%d: episode %d differs", workers, k)
+			}
+		}
+	}
+}
+
 func TestMineDatabase(t *testing.T) {
 	db := seqdb.NewDatabase()
 	db.AppendNames("a", "b", "a", "b")

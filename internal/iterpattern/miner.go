@@ -4,7 +4,7 @@ import (
 	"slices"
 	"time"
 
-	"specmine/internal/par"
+	"specmine/internal/mine"
 	"specmine/internal/qre"
 	"specmine/internal/seqdb"
 )
@@ -20,7 +20,7 @@ func Mine(db *seqdb.Database, opts Options, closed bool) (*Result, error) {
 
 // MineFull mines the complete set of frequent iterative patterns.
 func MineFull(db *seqdb.Database, opts Options) (*Result, error) {
-	return mine(db, opts, false)
+	return runMiner(db, opts, false)
 }
 
 // MineClosed mines the closed set of frequent iterative patterns
@@ -28,10 +28,10 @@ func MineFull(db *seqdb.Database, opts Options) (*Result, error) {
 // non-closed patterns (see equivalence pruning in grow) and the surviving
 // candidates pass through an exact closedness filter before being reported.
 func MineClosed(db *seqdb.Database, opts Options) (*Result, error) {
-	return mine(db, opts, true)
+	return runMiner(db, opts, true)
 }
 
-func mine(db *seqdb.Database, opts Options, closed bool) (*Result, error) {
+func runMiner(db *seqdb.Database, opts Options, closed bool) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,12 +109,13 @@ type miner struct {
 
 	scratch minerScratch
 
-	// runFree recycles the []SpanRun backing arrays of instance lists whose
-	// node has been fully explored; extFree does the same for extension
-	// slices. Together with run compression this makes instance storage cost
-	// O(live search path), not O(nodes explored).
-	runFree [][]qre.SpanRun
-	extFree [][]extension
+	// runs recycles the []SpanRun backing arrays of instance lists whose
+	// node has been fully explored; exts does the same for extension
+	// slices (free-listed arenas from the shared framework). Together with
+	// run compression this makes instance storage cost O(live search path),
+	// not O(nodes explored).
+	runs mine.Arena[qre.SpanRun]
+	exts mine.Arena[extension]
 
 	// path is the shared pattern buffer for the current search path: the
 	// node for depth d works on path[:d+1], so descending never allocates.
@@ -123,62 +124,26 @@ type miner struct {
 }
 
 // minerScratch holds the reusable per-worker buffers that make the extension
-// passes allocation-free. All per-event arrays are epoch-stamped (see
-// seqdb.BumpEpoch): bumping the epoch invalidates every entry at once, so no
-// clearing pass is ever needed between nodes.
+// passes allocation-free. All per-event sets are epoch-stamped
+// (mine.StampSet over seqdb.BumpEpoch): bumping the epoch invalidates every
+// entry at once, so no clearing pass is ever needed between nodes.
 type minerScratch struct {
 	slots seqdb.EventSlots // extension-event slots and counts per node
 
-	inAlpha    []uint32 // event -> alphaEpoch when in the current pattern's alphabet
-	alphaEpoch uint32
-
-	winStamp []uint32 // event -> winEpoch when seen in some forward window
-	winEpoch uint32
-
-	seenStamp []uint32 // event -> seenEpoch when seen in the current window
-	seenEpoch uint32
+	alpha mine.StampSet // the current pattern's alphabet
+	win   mine.StampSet // events seen in some forward window of the node
+	seen  mine.StampSet // events seen in the current window
 }
 
 func (m *miner) initScratch() {
 	n := m.idx.NumEvents()
 	m.scratch = minerScratch{
-		slots:     seqdb.NewEventSlots(n),
-		inAlpha:   make([]uint32, n),
-		winStamp:  make([]uint32, n),
-		seenStamp: make([]uint32, n),
+		slots: seqdb.NewEventSlots(n),
+		alpha: mine.NewStampSet(n),
+		win:   mine.NewStampSet(n),
+		seen:  mine.NewStampSet(n),
 	}
 	m.path = make(seqdb.Pattern, 0, 64)
-}
-
-func (m *miner) getRuns() []qre.SpanRun {
-	if n := len(m.runFree); n > 0 {
-		r := m.runFree[n-1]
-		m.runFree = m.runFree[:n-1]
-		return r
-	}
-	return nil
-}
-
-func (m *miner) putRuns(backing []qre.SpanRun) {
-	if cap(backing) == 0 {
-		return
-	}
-	m.runFree = append(m.runFree, backing[:0])
-}
-
-func (m *miner) getExts(n int) []extension {
-	if k := len(m.extFree); k > 0 {
-		x := m.extFree[k-1]
-		m.extFree = m.extFree[:k-1]
-		if cap(x) >= n {
-			return x[:n]
-		}
-	}
-	return make([]extension, n)
-}
-
-func (m *miner) putExts(x []extension) {
-	m.extFree = append(m.extFree, x[:0])
 }
 
 func (m *miner) run() {
@@ -202,25 +167,24 @@ func (m *miner) run() {
 	// subtree. Landmark entries can only ever match nodes sharing the seed
 	// event (equal instance lists force equal start events), so per-worker
 	// landmark tables reproduce the sequential pruning decisions exactly, and
-	// merging per-seed outputs in seed order makes the result byte-identical
-	// to the sequential run.
+	// mine.ForSeeds merges the per-seed outputs in seed order, making the
+	// result byte-identical to the sequential run.
 	type seedOut struct {
 		emitted []MinedPattern
 		stats   Stats
 	}
-	outs := make([]seedOut, len(events))
-	par.ForWorker(len(events), workers, func() *miner {
+	outs := mine.ForSeeds(len(events), workers, func() *miner {
 		sub := &miner{db: m.db, idx: m.idx, opts: m.opts, minSup: m.minSup, closed: m.closed}
 		sub.initScratch()
 		if m.closed {
 			sub.landmarks = make(map[uint64][]landmark)
 		}
 		return sub
-	}, func(sub *miner, i int) {
+	}, func(sub *miner, i int) seedOut {
 		sub.emitted = nil
 		sub.stats = Stats{}
 		sub.mineSeed(events[i])
-		outs[i] = seedOut{emitted: sub.emitted, stats: sub.stats}
+		return seedOut{emitted: sub.emitted, stats: sub.stats}
 	})
 	for i := range outs {
 		m.emitted = append(m.emitted, outs[i].emitted...)
@@ -232,12 +196,12 @@ func (m *miner) mineSeed(e seqdb.EventID) {
 	insts := m.singleEventInstances(e)
 	m.path = append(m.path[:0], e)
 	m.grow(m.path, insts)
-	m.putRuns(insts.Runs())
+	m.runs.Put(insts.Runs())
 }
 
 func (m *miner) singleEventInstances(e seqdb.EventID) qre.SpanRuns {
 	var rs qre.SpanRuns
-	rs.Reset(m.getRuns())
+	rs.Reset(m.runs.Get())
 	for _, si := range m.idx.SeqsContaining(e) {
 		for _, p := range m.idx.Positions(int(si), e) {
 			rs.Append(span{Seq: si, Start: p, End: p})
@@ -277,7 +241,7 @@ func (m *miner) grow(p seqdb.Pattern, insts qre.SpanRuns) {
 			if pruneSubtree {
 				m.stats.SubtreesPrunedEquivalent++
 				if exts != nil {
-					m.putExts(exts)
+					m.exts.Put(exts)
 				}
 				return
 			}
@@ -303,7 +267,7 @@ func (m *miner) grow(p seqdb.Pattern, insts qre.SpanRuns) {
 		return
 	}
 	if m.opts.MaxPatternLength > 0 && len(p) >= m.opts.MaxPatternLength {
-		m.putExts(exts)
+		m.exts.Put(exts)
 		return
 	}
 
@@ -324,16 +288,16 @@ func (m *miner) grow(p seqdb.Pattern, insts qre.SpanRuns) {
 		// Sibling iterations overwrite it; anything that retains the child
 		// pattern clones it.
 		m.grow(append(p, exts[i].event), exts[i].insts)
-		m.putRuns(exts[i].insts.Runs())
+		m.runs.Put(exts[i].insts.Runs())
 	}
-	m.putExts(exts)
+	m.exts.Put(exts)
 }
 
 // countExtensions computes, for every candidate extension event of p, the
 // instance count of p ++ <event>, in slot (first-seen) order. It also leaves
 // the set of all events observed in the forward windows of the instances
-// stamped in scratch.winStamp (valid until the next countExtensions call),
-// which checkLandmarks consults.
+// stamped in the scratch win set (valid until the next countExtensions
+// call), which checkLandmarks consults.
 //
 // For each instance the candidate events are exactly the distinct events of
 // the forward window: the run of non-alphabet events following the instance,
@@ -345,31 +309,30 @@ func (m *miner) grow(p seqdb.Pattern, insts qre.SpanRuns) {
 func (m *miner) countExtensions(p seqdb.Pattern, insts qre.SpanRuns) []extension {
 	sc := &m.scratch
 
-	alphaEpoch := seqdb.BumpEpoch(&sc.alphaEpoch, sc.inAlpha)
+	sc.alpha.Begin()
 	for _, e := range p {
-		sc.inAlpha[e] = alphaEpoch
+		sc.alpha.Add(e)
 	}
-	winEpoch := seqdb.BumpEpoch(&sc.winEpoch, sc.winStamp)
+	sc.win.Begin()
 	sc.slots.Begin()
 
 	for _, r := range insts.Runs() {
 		s := m.db.Sequences[r.Seq]
 		start, end := r.Start, r.End
 		for k := int32(0); k < r.Count; k, start, end = k+1, start+r.Stride, end+r.Stride {
-			seenEpoch := seqdb.BumpEpoch(&sc.seenEpoch, sc.seenStamp)
+			sc.seen.Begin()
 			for j := int(end) + 1; j < len(s); j++ {
 				ev := s[j]
-				sc.winStamp[ev] = winEpoch
-				if sc.inAlpha[ev] == alphaEpoch {
+				sc.win.Add(ev)
+				if sc.alpha.Contains(ev) {
 					// First alphabet event: always a valid extension, and the
 					// window ends here.
 					sc.slots.Add(ev)
 					break
 				}
-				if sc.seenStamp[ev] == seenEpoch {
+				if !sc.seen.TestAndSet(ev) {
 					continue
 				}
-				sc.seenStamp[ev] = seenEpoch
 				// New symbol: its addition to the alphabet must not invalidate
 				// the existing gaps, so it may not occur inside the span.
 				// Because j is the first occurrence of ev in the window, its
@@ -385,7 +348,7 @@ func (m *miner) countExtensions(p seqdb.Pattern, insts qre.SpanRuns) []extension
 	if sc.slots.Len() == 0 {
 		return nil
 	}
-	exts := m.getExts(sc.slots.Len())
+	exts := m.exts.GetN(sc.slots.Len())
 	for slot := range exts {
 		exts[slot] = extension{event: sc.slots.Event(slot), count: sc.slots.Count(slot)}
 	}
@@ -399,12 +362,11 @@ func (m *miner) countExtensions(p seqdb.Pattern, insts qre.SpanRuns) []extension
 // stamps the counting pass left in scratch.
 func (m *miner) materializeExtensions(p seqdb.Pattern, insts qre.SpanRuns, exts []extension) {
 	sc := &m.scratch
-	alphaEpoch := sc.alphaEpoch
 
 	any := false
 	for slot := range exts {
 		if int(exts[slot].count) >= m.minSup {
-			exts[slot].insts.Reset(m.getRuns())
+			exts[slot].insts.Reset(m.runs.Get())
 			any = true
 		}
 	}
@@ -417,20 +379,19 @@ func (m *miner) materializeExtensions(p seqdb.Pattern, insts qre.SpanRuns, exts 
 		s := m.db.Sequences[r.Seq]
 		start, end := r.Start, r.End
 		for k := int32(0); k < r.Count; k, start, end = k+1, start+r.Stride, end+r.Stride {
-			seenEpoch := seqdb.BumpEpoch(&sc.seenEpoch, sc.seenStamp)
+			sc.seen.Begin()
 			for j := int(end) + 1; j < len(s); j++ {
 				ev := s[j]
-				if sc.inAlpha[ev] == alphaEpoch {
+				if sc.alpha.Contains(ev) {
 					x := &exts[sc.slots.Slot(ev)]
 					if int(x.count) >= m.minSup {
 						x.insts.Append(span{Seq: r.Seq, Start: start, End: int32(j)})
 					}
 					break
 				}
-				if sc.seenStamp[ev] == seenEpoch {
+				if !sc.seen.TestAndSet(ev) {
 					continue
 				}
-				sc.seenStamp[ev] = seenEpoch
 				if m.idx.OccursWithin(int(r.Seq), j, int(start)) {
 					continue
 				}
@@ -467,7 +428,7 @@ func (m *miner) emit(p seqdb.Pattern, insts qre.SpanRuns) {
 // when additionally none of the witness's extra events appears in p's forward
 // windows (so no extension of p can behave differently from the witness's
 // matching extension and the subtree holds no closed pattern).
-// Forward-window membership is read from the winStamp scratch left by
+// Forward-window membership is read from the win scratch set left by
 // countExtensions. All comparisons and hashes run on the compressed runs,
 // which represent equal span sequences exactly when equal; new entries store
 // a compact copy so the caller's backing array stays recyclable.
@@ -486,7 +447,7 @@ func (m *miner) checkLandmarks(p seqdb.Pattern, insts qre.SpanRuns) (witness, pr
 				if p.Contains(ev) {
 					continue
 				}
-				if sc.winStamp[ev] == sc.winEpoch {
+				if sc.win.Contains(ev) {
 					pruneSubtree = false
 					break
 				}

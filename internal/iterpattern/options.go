@@ -15,7 +15,8 @@ package iterpattern
 import (
 	"errors"
 	"fmt"
-	"runtime"
+
+	"specmine/internal/mine"
 )
 
 // Options configures a mining run.
@@ -69,17 +70,13 @@ func (o Options) Validate() error {
 }
 
 // effectiveWorkers resolves the Workers knob to a concrete worker count.
+// MaxPatterns forces sequential mining: its early-stop cutoff is defined by
+// sequential emission order.
 func (o Options) effectiveWorkers() int {
 	if o.MaxPatterns > 0 {
 		return 1
 	}
-	if o.Workers < 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	if o.Workers == 0 {
-		return 1
-	}
-	return o.Workers
+	return mine.EffectiveWorkers(o.Workers)
 }
 
 // absoluteSupport resolves the effective absolute instance-support threshold

@@ -1,0 +1,187 @@
+package mine
+
+import (
+	"slices"
+
+	"specmine/internal/seqdb"
+)
+
+// Proj is one pseudo-projection entry of a search node: a sequence and the
+// position of the node's last matched event in it (-1 when nothing has been
+// matched yet). The suffix s[Pos+1:] is the entry's search region. Both the
+// sequential-pattern miner (one entry per supporting sequence, positioned at
+// the last matched event of the classic PrefixSpan pseudo-projection) and
+// the rule miner (premise projections positioned at the first temporal
+// point; consequent records positioned at the earliest consequent embedding)
+// are instances of this shape.
+type Proj struct {
+	Seq int32
+	Pos int32
+}
+
+// Ext is one candidate suffix extension of a search node: the extending
+// event, the number of projection entries whose suffix contains it, and —
+// only when the count reaches the node's materialise threshold — the
+// extension's own projection, positioned at the first occurrence of the
+// event within each surviving suffix. Tags parallels Proj when the node
+// carries per-entry tags.
+type Ext struct {
+	Event seqdb.EventID
+	Count int32
+	Proj  []Proj
+	Tags  []int32
+}
+
+// ExtSet is the extension set of one search node. All materialised
+// projections share one arena block; Release recycles it once the node's
+// subtree has been fully explored.
+type ExtSet struct {
+	Exts []Ext
+
+	projArena []Proj
+	tagArena  []int32
+}
+
+// Extender runs count-first suffix extension over a shared positional index.
+// It owns the per-worker scratch (event slots) and the free-listed arenas
+// that back projection storage; give each worker goroutine its own Extender.
+//
+// Callers that retain materialised projections beyond the node's lifetime
+// (the rule miner's premise enumeration stores them in consequent jobs)
+// simply never call Release; the arenas then always hand out fresh storage.
+type Extender struct {
+	seqs  []seqdb.Sequence
+	idx   *seqdb.PositionIndex
+	slots seqdb.EventSlots
+
+	// stream buffers the (slot, entry, position) triples the counting pass
+	// visits, so materialisation replays the buffer instead of rescanning
+	// every suffix. It is consumed before Extensions returns, so one buffer
+	// serves every node of the worker's search.
+	stream []extRec
+
+	projs Arena[Proj]
+	tags  Arena[int32]
+	exts  Arena[Ext]
+}
+
+// extRec is one counted first occurrence: the candidate's slot, the index of
+// the projection entry that produced it, and the occurrence position.
+type extRec struct {
+	slot int32
+	pi   int32
+	pos  int32
+}
+
+// NewExtender returns an extender over the given sequences and their index.
+func NewExtender(seqs []seqdb.Sequence, idx *seqdb.PositionIndex) *Extender {
+	return &Extender{
+		seqs:  seqs,
+		idx:   idx,
+		slots: seqdb.NewEventSlots(idx.NumEvents()),
+	}
+}
+
+// SeedProj returns the root projection of seed event e: one entry per
+// sequence containing e, positioned at its first occurrence, read straight
+// off the index postings. The slice comes from the extender's arena; release
+// it with ReleaseProj when the seed subtree is done (or keep it, see above).
+func (x *Extender) SeedProj(e seqdb.EventID) []Proj {
+	seqs := x.idx.SeqsContaining(e)
+	proj := x.projs.GetN(len(seqs))
+	for i, si := range seqs {
+		proj[i] = Proj{Seq: si, Pos: x.idx.Positions(int(si), e)[0]}
+	}
+	return proj
+}
+
+// ReleaseProj recycles a projection obtained from SeedProj.
+func (x *Extender) ReleaseProj(proj []Proj) { x.projs.Put(proj) }
+
+// Extensions performs the count-first extension pass for the node whose
+// pseudo-projection is proj. The counting pass scans each entry's suffix
+// once; an event is counted at its first occurrence per suffix only, decided
+// by a single read of the index's prev-occurrence chain (the event at
+// position j is a first occurrence at or after from exactly when its
+// previous occurrence precedes from), so Count is the number of entries
+// whose suffix contains the event. Entries that keep one entry per sequence
+// therefore count sequence support directly.
+//
+// Only candidates with Count >= materializeMin get their extension
+// projection materialised (into one shared arena block), positioned at those
+// first occurrences; counts alone serve every pruning decision below the
+// threshold. tags, when non-nil, parallels proj and is carried through to
+// the materialised extensions (the rule miner threads each record's temporal
+// point this way). The returned extensions are sorted by event id for
+// deterministic traversal.
+func (x *Extender) Extensions(proj []Proj, tags []int32, materializeMin int32) ExtSet {
+	sc := &x.slots
+	sc.Begin()
+	x.stream = x.stream[:0]
+	for pi, pr := range proj {
+		s := x.seqs[pr.Seq]
+		from := int(pr.Pos) + 1
+		for j := from; j < len(s); j++ {
+			if x.idx.OccursWithin(int(pr.Seq), j, from) {
+				continue
+			}
+			slot := sc.Add(s[j])
+			x.stream = append(x.stream, extRec{slot: slot, pi: int32(pi), pos: int32(j)})
+		}
+	}
+	if sc.Len() == 0 {
+		return ExtSet{}
+	}
+
+	exts := x.exts.GetN(sc.Len())
+	total := 0
+	for slot := range exts {
+		c := sc.Count(slot)
+		exts[slot] = Ext{Event: sc.Event(slot), Count: c}
+		if c >= materializeMin {
+			total += int(c)
+		}
+	}
+	es := ExtSet{Exts: exts}
+	if total > 0 {
+		es.projArena = x.projs.GetN(total)
+		if tags != nil {
+			es.tagArena = x.tags.GetN(total)
+		}
+		off := 0
+		for slot := range exts {
+			if c := int(exts[slot].Count); c >= int(materializeMin) {
+				// Three-index slices cap each extension at its exact count, so
+				// sibling appends can never run into one another's region.
+				exts[slot].Proj = es.projArena[off : off : off+c]
+				if tags != nil {
+					exts[slot].Tags = es.tagArena[off : off : off+c]
+				}
+				off += c
+			}
+		}
+		// Replay the counting pass's buffer — no suffix is scanned twice.
+		for _, rec := range x.stream {
+			e := &exts[rec.slot]
+			if e.Proj == nil {
+				continue
+			}
+			e.Proj = append(e.Proj, Proj{Seq: proj[rec.pi].Seq, Pos: rec.pos})
+			if tags != nil {
+				e.Tags = append(e.Tags, tags[rec.pi])
+			}
+		}
+	}
+	// Sort only after the replay above: the buffer addresses extensions by
+	// slot index.
+	slices.SortFunc(exts, func(a, b Ext) int { return int(a.Event) - int(b.Event) })
+	return es
+}
+
+// Release recycles the node's arenas. The caller must be done with every
+// extension projection: children explored, nothing retained.
+func (x *Extender) Release(es ExtSet) {
+	x.projs.Put(es.projArena)
+	x.tags.Put(es.tagArena)
+	x.exts.Put(es.Exts)
+}

@@ -5,15 +5,26 @@
 // interestingness scores combining support, confidence, length and an
 // expectation-based surprise factor, so that users reviewing mined
 // specifications see the most informative ones first.
+//
+// Scoring covers every specification kind the repository mines: iterative
+// patterns and recurrent rules (the headline miners) as well as sequential
+// patterns and episodes (the comparator miners), so comparator studies rank
+// their output with the same signals. Event statistics come straight from
+// the database's flat positional index — O(1) per event — instead of the
+// per-call full-database rescan the seed performed, and every ordering is
+// fully deterministic: ties in score break by pattern (or rule) signature,
+// so the ranking is invariant under permutation of its input.
 package rank
 
 import (
 	"math"
 	"sort"
 
+	"specmine/internal/episode"
 	"specmine/internal/iterpattern"
 	"specmine/internal/rules"
 	"specmine/internal/seqdb"
+	"specmine/internal/seqpattern"
 )
 
 // Weights configures how the individual signals combine into one score. The
@@ -21,7 +32,8 @@ import (
 type Weights struct {
 	// Support weights the (log-scaled) instance or sequence support.
 	Support float64
-	// Confidence weights a rule's confidence (ignored for patterns).
+	// Confidence weights a rule's confidence (for episodes, the window
+	// frequency plays this role; ignored for patterns).
 	Confidence float64
 	// Length weights the specification length: longer patterns and rules
 	// describe more behaviour and are usually more useful to an engineer.
@@ -44,6 +56,22 @@ func (w Weights) orDefault() Weights {
 	return w
 }
 
+// dbStats reads event statistics off the flat positional index: occurrence
+// counts per event and overall, both O(1) per query.
+type dbStats struct {
+	idx   *seqdb.PositionIndex
+	total float64
+}
+
+func statsOf(db *seqdb.Database) dbStats {
+	idx := db.FlatIndex()
+	return dbStats{idx: idx, total: float64(idx.NumPositions())}
+}
+
+func (st dbStats) freq(e seqdb.EventID) float64 {
+	return float64(st.idx.EventInstanceCount(e))
+}
+
 // ScoredPattern pairs a mined pattern with its interestingness score.
 type ScoredPattern struct {
 	Pattern iterpattern.MinedPattern
@@ -56,44 +84,115 @@ type ScoredRule struct {
 	Score float64
 }
 
-// Patterns scores and sorts mined patterns, most interesting first.
+// ScoredSeqPattern pairs a mined sequential pattern with its score.
+type ScoredSeqPattern struct {
+	Pattern seqpattern.MinedPattern
+	Score   float64
+}
+
+// ScoredEpisode pairs a mined episode with its score.
+type ScoredEpisode struct {
+	Episode episode.Episode
+	Score   float64
+}
+
+// Patterns scores and sorts mined patterns, most interesting first. Ties
+// break by pattern content, so the order is independent of the input order.
 func Patterns(db *seqdb.Database, patterns []iterpattern.MinedPattern, w Weights) []ScoredPattern {
 	w = w.orDefault()
-	freq := eventFrequencies(db)
-	total := float64(db.NumEvents())
+	st := statsOf(db)
 	out := make([]ScoredPattern, 0, len(patterns))
 	for _, p := range patterns {
-		out = append(out, ScoredPattern{Pattern: p, Score: patternScore(p, freq, total, w)})
+		out = append(out, ScoredPattern{Pattern: p, Score: patternScore(p, st, w)})
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return seqdb.ComparePatterns(out[i].Pattern.Pattern, out[j].Pattern.Pattern) < 0
+	})
 	return out
 }
 
-// Rules scores and sorts mined rules, most interesting first.
+// Rules scores and sorts mined rules, most interesting first. Ties break by
+// the rule's premise then consequent, so the order is independent of the
+// input order.
 func Rules(db *seqdb.Database, ruleSet []rules.Rule, w Weights) []ScoredRule {
 	w = w.orDefault()
-	freq := eventFrequencies(db)
-	total := float64(db.NumEvents())
+	st := statsOf(db)
 	out := make([]ScoredRule, 0, len(ruleSet))
 	for _, r := range ruleSet {
-		out = append(out, ScoredRule{Rule: r, Score: ruleScore(r, freq, total, w)})
+		out = append(out, ScoredRule{Rule: r, Score: ruleScore(r, st, w)})
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if c := seqdb.ComparePatterns(out[i].Rule.Pre, out[j].Rule.Pre); c != 0 {
+			return c < 0
+		}
+		return seqdb.ComparePatterns(out[i].Rule.Post, out[j].Rule.Post) < 0
+	})
 	return out
 }
 
-func patternScore(p iterpattern.MinedPattern, freq map[seqdb.EventID]int, total float64, w Weights) float64 {
+// SeqPatterns scores and sorts mined sequential patterns, most interesting
+// first, with the same deterministic tie-breaking as Patterns.
+func SeqPatterns(db *seqdb.Database, patterns []seqpattern.MinedPattern, w Weights) []ScoredSeqPattern {
+	w = w.orDefault()
+	st := statsOf(db)
+	out := make([]ScoredSeqPattern, 0, len(patterns))
+	for _, p := range patterns {
+		score := w.Support * math.Log1p(float64(p.SeqSupport))
+		score += w.Length * float64(p.Pattern.Len())
+		score += w.Surprise * surprise(p.Pattern, float64(p.SeqSupport), st)
+		out = append(out, ScoredSeqPattern{Pattern: p, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return seqdb.ComparePatterns(out[i].Pattern.Pattern, out[j].Pattern.Pattern) < 0
+	})
+	return out
+}
+
+// Episodes scores and sorts mined episodes, most interesting first, with
+// deterministic tie-breaking by episode content. The episode's window
+// frequency plays the confidence role: an episode holding in most windows is
+// a strong local invariant.
+func Episodes(db *seqdb.Database, eps []episode.Episode, w Weights) []ScoredEpisode {
+	w = w.orDefault()
+	st := statsOf(db)
+	out := make([]ScoredEpisode, 0, len(eps))
+	for _, e := range eps {
+		score := w.Support * math.Log1p(float64(e.Windows))
+		score += w.Confidence * e.Frequency
+		score += w.Length * float64(e.Pattern.Len())
+		score += w.Surprise * surprise(e.Pattern, float64(e.Windows), st)
+		out = append(out, ScoredEpisode{Episode: e, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return seqdb.ComparePatterns(out[i].Episode.Pattern, out[j].Episode.Pattern) < 0
+	})
+	return out
+}
+
+func patternScore(p iterpattern.MinedPattern, st dbStats, w Weights) float64 {
 	score := w.Support * math.Log1p(float64(p.Support))
 	score += w.Length * float64(p.Pattern.Len())
-	score += w.Surprise * surprise(p.Pattern, float64(p.Support), freq, total)
+	score += w.Surprise * surprise(p.Pattern, float64(p.Support), st)
 	return score
 }
 
-func ruleScore(r rules.Rule, freq map[seqdb.EventID]int, total float64, w Weights) float64 {
+func ruleScore(r rules.Rule, st dbStats, w Weights) float64 {
 	score := w.Support * math.Log1p(float64(r.InstanceSupport))
 	score += w.Confidence * r.Confidence
 	score += w.Length * float64(r.Pre.Len()+r.Post.Len())
-	score += w.Surprise * surprise(r.Concat(), float64(r.InstanceSupport), freq, total)
+	score += w.Surprise * surprise(r.Concat(), float64(r.InstanceSupport), st)
 	return score
 }
 
@@ -101,8 +200,8 @@ func ruleScore(r rules.Rule, freq map[seqdb.EventID]int, total float64, w Weight
 // of the specification and the support expected if its (rarest) constituent
 // events co-occurred by chance. Specifications built from individually rare
 // events that nevertheless recur together score high.
-func surprise(p seqdb.Pattern, observed float64, freq map[seqdb.EventID]int, total float64) float64 {
-	if observed <= 0 || total <= 0 || len(p) == 0 {
+func surprise(p seqdb.Pattern, observed float64, st dbStats) float64 {
+	if observed <= 0 || st.total <= 0 || len(p) == 0 {
 		return 0
 	}
 	// Expected support approximated by the frequency of the rarest event
@@ -110,11 +209,11 @@ func surprise(p seqdb.Pattern, observed float64, freq map[seqdb.EventID]int, tot
 	rarest := math.MaxFloat64
 	prob := 1.0
 	for _, e := range p {
-		f := float64(freq[e])
+		f := st.freq(e)
 		if f < rarest {
 			rarest = f
 		}
-		prob *= f / total
+		prob *= f / st.total
 	}
 	expected := rarest * prob
 	if expected <= 0 {
@@ -127,22 +226,28 @@ func surprise(p seqdb.Pattern, observed float64, freq map[seqdb.EventID]int, tot
 	return v
 }
 
-func eventFrequencies(db *seqdb.Database) map[seqdb.EventID]int {
-	return db.EventInstanceCount()
-}
-
 // TopPatterns is a convenience returning the n highest-scoring patterns.
 func TopPatterns(db *seqdb.Database, patterns []iterpattern.MinedPattern, w Weights, n int) []ScoredPattern {
-	scored := Patterns(db, patterns, w)
-	if n > 0 && n < len(scored) {
-		scored = scored[:n]
-	}
-	return scored
+	return topN(Patterns(db, patterns, w), n)
 }
 
 // TopRules is a convenience returning the n highest-scoring rules.
 func TopRules(db *seqdb.Database, ruleSet []rules.Rule, w Weights, n int) []ScoredRule {
-	scored := Rules(db, ruleSet, w)
+	return topN(Rules(db, ruleSet, w), n)
+}
+
+// TopSeqPatterns is a convenience returning the n highest-scoring sequential
+// patterns.
+func TopSeqPatterns(db *seqdb.Database, patterns []seqpattern.MinedPattern, w Weights, n int) []ScoredSeqPattern {
+	return topN(SeqPatterns(db, patterns, w), n)
+}
+
+// TopEpisodes is a convenience returning the n highest-scoring episodes.
+func TopEpisodes(db *seqdb.Database, eps []episode.Episode, w Weights, n int) []ScoredEpisode {
+	return topN(Episodes(db, eps, w), n)
+}
+
+func topN[T any](scored []T, n int) []T {
 	if n > 0 && n < len(scored) {
 		scored = scored[:n]
 	}

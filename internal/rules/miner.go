@@ -1,10 +1,9 @@
 package rules
 
 import (
-	"slices"
 	"time"
 
-	"specmine/internal/par"
+	"specmine/internal/mine"
 	"specmine/internal/seqdb"
 )
 
@@ -63,21 +62,14 @@ func mineRules(db *seqdb.Database, opts Options, nonRedundant bool) (*Result, er
 	return res, nil
 }
 
-// premiseProj records, for one sequence containing the current premise, the
-// position of the premise's earliest completion (its first temporal point).
-type premiseProj struct {
-	seq      int32
-	firstEnd int32
-}
-
-// tpRecord tracks one temporal point of the premise during consequent growth:
-// cur is the position right after the earliest embedding of the current
-// consequent within the suffix that follows the temporal point.
-type tpRecord struct {
-	seq int32
-	tp  int32
-	cur int32
-}
+// The miner's pseudo-projections are the framework's mine.Proj entries:
+//
+//   - a premise projection holds, per sequence containing the premise, the
+//     position of the premise's earliest completion (its first temporal
+//     point);
+//   - a consequent record holds the position reached by the earliest
+//     embedding of the current consequent after one temporal point, with the
+//     temporal point itself riding along as the entry's tag.
 
 // consequentJob is one unit of parallel work: an enumerated premise whose
 // consequent subtree is mined independently of every other premise. sig is
@@ -86,7 +78,7 @@ type tpRecord struct {
 // non-redundant miner's dedup.
 type consequentJob struct {
 	pre  seqdb.Pattern
-	proj []premiseProj
+	proj []mine.Proj
 	sig  uint64
 }
 
@@ -109,8 +101,9 @@ type ruleMiner struct {
 // with a longer premise's via canonical signature-based dedup — an
 // order-free decision, unlike the landmark walk, so it is unaffected by the
 // parallel enumeration. Phase 3 mines one consequent subtree per surviving
-// premise, also across the worker pool. Merging phase outputs in seed / job
-// order makes the result byte-identical for any worker count.
+// premise, also across the worker pool. Both fan-outs merge their outputs in
+// seed / job order (mine.ForSeeds), which makes the result byte-identical
+// for any worker count.
 func (m *ruleMiner) run() {
 	// Frequent single-event premises (Theorem 2 base case).
 	events := m.idx.FrequentEventsBySeqSupport(m.minSeqSup)
@@ -122,17 +115,12 @@ func (m *ruleMiner) run() {
 		explored int
 		pruned   int
 	}
-	outs := make([]seedOut, len(events))
-	pw := workers
-	if pw > len(events) {
-		pw = len(events)
-	}
-	par.ForWorker(len(events), pw, m.newPremiseWalker, func(wk *premiseWalker, i int) {
+	outs := mine.ForSeeds(len(events), workers, m.newPremiseWalker, func(wk *premiseWalker, i int) seedOut {
 		wk.jobs = nil
 		wk.explored = 0
 		wk.pruned = 0
 		wk.walkSeed(events[i])
-		outs[i] = seedOut{jobs: wk.jobs, explored: wk.explored, pruned: wk.pruned}
+		return seedOut{jobs: wk.jobs, explored: wk.explored, pruned: wk.pruned}
 	})
 	var jobs []consequentJob
 	for i := range outs {
@@ -164,12 +152,13 @@ func (m *ruleMiner) run() {
 		rules []Rule
 		stats Stats
 	}
-	jouts := make([]jobOut, len(jobs))
-	par.ForWorker(len(jobs), workers, m.newWorker, func(sub *ruleWorker, i int) {
+	jouts := mine.ForSeeds(len(jobs), workers, m.newWorker, func(sub *ruleWorker, i int) jobOut {
 		sub.rules = nil
 		sub.mineConsequents(jobs[i].pre, jobs[i].proj)
-		jouts[i].rules = sub.rules
-		sub.drainStats(&jouts[i].stats)
+		var out jobOut
+		out.rules = sub.rules
+		sub.drainStats(&out.stats)
+		return out
 	})
 	for i := range jouts {
 		m.rules = append(m.rules, jouts[i].rules...)
@@ -228,53 +217,48 @@ func (m *ruleMiner) dedupPremises(jobs []consequentJob) []consequentJob {
 // premiseWalker enumerates the premise search tree below one seed event
 // (step 1 of Section 5). One walker serves the whole run in sequential mode;
 // parallel mode gives each pool goroutine its own walker so the scratch
-// buffers are never shared.
+// buffers are never shared. Extension passes run on the shared framework's
+// count-first Extender; because every enumerated premise's projection is
+// retained inside its consequent job, the walker never releases extension
+// sets back to the arenas.
 type premiseWalker struct {
 	db        *seqdb.Database
-	idx       *seqdb.PositionIndex
 	opts      Options
 	minSeqSup int
 	nr        bool
 
-	scratch  seqdb.EventSlots
+	ext      *mine.Extender
 	path     seqdb.Pattern
 	jobs     []consequentJob
 	explored int
 	pruned   int
 
 	// Backscan scratch (see hasEquivalentInsertion).
-	seenStamp []uint32
-	seenEpoch uint32
-	cnt       []int32
-	cntStamp  []uint32
-	cntEpoch  uint32
-	abTab     []int32
+	seen     mine.StampSet
+	cnt      []int32
+	cntStamp []uint32
+	cntEpoch uint32
+	abTab    []int32
 }
 
 func (m *ruleMiner) newPremiseWalker() *premiseWalker {
 	n := m.idx.NumEvents()
 	return &premiseWalker{
 		db:        m.db,
-		idx:       m.idx,
 		opts:      m.opts,
 		minSeqSup: m.minSeqSup,
 		nr:        m.nr,
-		scratch:   seqdb.NewEventSlots(n),
+		ext:       mine.NewExtender(m.db.Sequences, m.idx),
 		path:      make(seqdb.Pattern, 0, 32),
-		seenStamp: make([]uint32, n),
+		seen:      mine.NewStampSet(n),
 		cnt:       make([]int32, n),
 		cntStamp:  make([]uint32, n),
 	}
 }
 
 func (wk *premiseWalker) walkSeed(e seqdb.EventID) {
-	seqs := wk.idx.SeqsContaining(e)
-	proj := make([]premiseProj, 0, len(seqs))
-	for _, si := range seqs {
-		proj = append(proj, premiseProj{seq: si, firstEnd: wk.idx.Positions(int(si), e)[0]})
-	}
 	wk.path = append(wk.path[:0], e)
-	wk.growPremise(wk.path, proj)
+	wk.growPremise(wk.path, wk.ext.SeedProj(e))
 }
 
 // growPremise records the node as a consequent job and recurses into its
@@ -282,7 +266,13 @@ func (wk *premiseWalker) walkSeed(e seqdb.EventID) {
 // equivalent single-insertion super-sequence are skipped subtree and all:
 // the dominating premise's subtree produces rules with identical statistics
 // and longer concatenations for everything this subtree could emit.
-func (wk *premiseWalker) growPremise(pre seqdb.Pattern, proj []premiseProj) {
+//
+// Candidate premise extensions are events occurring after the first temporal
+// point in at least minSeqSup sequences (Theorem 2, apriori on s-support);
+// the framework's count-first pass counts each event at its first occurrence
+// per suffix and materialises only supra-threshold extension projections —
+// infrequent projections would otherwise be pinned inside jobs for nothing.
+func (wk *premiseWalker) growPremise(pre seqdb.Pattern, proj []mine.Proj) {
 	wk.explored++
 	if wk.nr && wk.hasEquivalentInsertion(pre, proj) {
 		wk.pruned++
@@ -298,71 +288,12 @@ func (wk *premiseWalker) growPremise(pre seqdb.Pattern, proj []premiseProj) {
 		return
 	}
 
-	// Candidate premise extensions: events occurring after the first temporal
-	// point in at least minSeqSup sequences (Theorem 2, apriori on s-support).
-	// An event extends the projection at its first occurrence within each
-	// suffix, which the index's prev-occurrence chain detects in O(1): s[j] is
-	// the first occurrence after firstEnd exactly when its previous occurrence
-	// precedes firstEnd+1.
-	sc := &wk.scratch
-	sc.Begin()
-	for _, pr := range proj {
-		s := wk.db.Sequences[pr.seq]
-		for j := int(pr.firstEnd) + 1; j < len(s); j++ {
-			if wk.idx.OccursWithin(int(pr.seq), j, int(pr.firstEnd)+1) {
-				continue
-			}
-			sc.Add(s[j])
-		}
-	}
-	if sc.Len() == 0 {
-		return
-	}
-
-	// Only extensions meeting the s-support threshold (Theorem 2) are
-	// materialised: the arena slices outlive the node inside jobs, so
-	// infrequent projections would be pinned for nothing.
-	type ext struct {
-		event seqdb.EventID
-		count int32
-		proj  []premiseProj
-	}
-	exts := make([]ext, sc.Len())
-	total := 0
-	for slot := range exts {
-		c := sc.Count(slot)
-		exts[slot] = ext{event: sc.Event(slot), count: c}
-		if int(c) >= wk.minSeqSup {
-			total += int(c)
-		}
-	}
-	arena := make([]premiseProj, total)
-	off := 0
-	for slot := range exts {
-		if c := int(exts[slot].count); c >= wk.minSeqSup {
-			exts[slot].proj = arena[off : off : off+c]
-			off += c
-		}
-	}
-	for _, pr := range proj {
-		s := wk.db.Sequences[pr.seq]
-		for j := int(pr.firstEnd) + 1; j < len(s); j++ {
-			if wk.idx.OccursWithin(int(pr.seq), j, int(pr.firstEnd)+1) {
-				continue
-			}
-			x := &exts[sc.Slot(s[j])]
-			if x.proj != nil {
-				x.proj = append(x.proj, premiseProj{seq: pr.seq, firstEnd: int32(j)})
-			}
-		}
-	}
-	slices.SortFunc(exts, func(a, b ext) int { return int(a.event) - int(b.event) })
-
-	for i := range exts {
-		if int(exts[i].count) < wk.minSeqSup {
+	es := wk.ext.Extensions(proj, nil, int32(wk.minSeqSup))
+	for i := range es.Exts {
+		if int(es.Exts[i].Count) < wk.minSeqSup {
 			continue
 		}
-		wk.growPremise(append(pre, exts[i].event), exts[i].proj)
+		wk.growPremise(append(pre, es.Exts[i].Event), es.Exts[i].Proj)
 	}
 }
 
@@ -383,7 +314,7 @@ func (wk *premiseWalker) growPremise(pre seqdb.Pattern, proj []premiseProj) {
 // end of the greedy (earliest) embedding of P'[:i] and the start of the
 // latest embedding of P'[i:] within s[0..fe-1]. The skip fires iff for some
 // slot one event lies in that window in every supporting sequence.
-func (wk *premiseWalker) hasEquivalentInsertion(pre seqdb.Pattern, proj []premiseProj) bool {
+func (wk *premiseWalker) hasEquivalentInsertion(pre seqdb.Pattern, proj []mine.Proj) bool {
 	if wk.opts.MaxPremiseLength > 0 && len(pre)+1 > wk.opts.MaxPremiseLength {
 		return false
 	}
@@ -402,7 +333,7 @@ func (wk *premiseWalker) hasEquivalentInsertion(pre seqdb.Pattern, proj []premis
 	}
 	ab := wk.abTab[:need]
 	for si, pr := range proj {
-		s := wk.db.Sequences[pr.seq]
+		s := wk.db.Sequences[pr.Seq]
 		a := ab[2*si*width : (2*si+1)*width]
 		b := ab[(2*si+1)*width : (2*si+2)*width]
 		a[0] = -1
@@ -414,8 +345,8 @@ func (wk *premiseWalker) hasEquivalentInsertion(pre seqdb.Pattern, proj []premis
 			a[k+1] = int32(j)
 			j++
 		}
-		b[m] = pr.firstEnd
-		j = int(pr.firstEnd) - 1
+		b[m] = pr.Pos
+		j = int(pr.Pos) - 1
 		for k := m - 1; k >= 0; k-- {
 			for s[j] != prefix[k] {
 				j--
@@ -432,16 +363,15 @@ func (wk *premiseWalker) hasEquivalentInsertion(pre seqdb.Pattern, proj []premis
 	for i := 0; i <= m; i++ {
 		cntEpoch := seqdb.BumpEpoch(&wk.cntEpoch, wk.cntStamp)
 		for si, pr := range proj {
-			s := wk.db.Sequences[pr.seq]
+			s := wk.db.Sequences[pr.Seq]
 			lo := ab[2*si*width+i] + 1
 			hi := ab[(2*si+1)*width+i]
-			seenEpoch := seqdb.BumpEpoch(&wk.seenEpoch, wk.seenStamp)
+			wk.seen.Begin()
 			for p := lo; p < hi; p++ {
 				ev := s[p]
-				if wk.seenStamp[ev] == seenEpoch {
+				if !wk.seen.TestAndSet(ev) {
 					continue
 				}
-				wk.seenStamp[ev] = seenEpoch
 				if si == 0 {
 					wk.cntStamp[ev] = cntEpoch
 					wk.cnt[ev] = 1
@@ -465,15 +395,15 @@ func (wk *premiseWalker) hasEquivalentInsertion(pre seqdb.Pattern, proj []premis
 // premiseSignature hashes the premise's temporal-point identity — the last
 // event plus the first temporal point in every supporting sequence — with
 // stack-allocated FNV-1a (this runs once per premise node).
-func premiseSignature(last seqdb.EventID, proj []premiseProj) uint64 {
+func premiseSignature(last seqdb.EventID, proj []mine.Proj) uint64 {
 	h := seqdb.NewHash64().Mix16(int32(last))
 	for _, pr := range proj {
-		h = h.Mix32(pr.seq).Mix32(pr.firstEnd)
+		h = h.Mix32(pr.Seq).Mix32(pr.Pos)
 	}
 	return uint64(h)
 }
 
-func sameProj(a, b []premiseProj) bool {
+func sameProj(a, b []mine.Proj) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -487,13 +417,14 @@ func sameProj(a, b []premiseProj) bool {
 
 // ruleWorker mines consequent subtrees. One worker serves the whole run in
 // sequential mode; parallel mode gives each pool goroutine its own worker so
-// the scratch buffers are never shared.
+// the scratch buffers are never shared. Unlike the premise walker, the
+// consequent search retains nothing past a node's subtree, so extension sets
+// are released back to the extender's arenas as soon as a node is explored.
 type ruleWorker struct {
-	db        *seqdb.Database
 	idx       *seqdb.PositionIndex
 	opts      Options
 	nr        bool
-	scratch   seqdb.EventSlots
+	ext       *mine.Extender
 	rules     []Rule
 	stopped   bool // MaxRules reached (sequential mode only)
 	nodes     int
@@ -502,11 +433,10 @@ type ruleWorker struct {
 
 func (m *ruleMiner) newWorker() *ruleWorker {
 	return &ruleWorker{
-		db:      m.db,
-		idx:     m.idx,
-		opts:    m.opts,
-		nr:      m.nr,
-		scratch: seqdb.NewEventSlots(m.idx.NumEvents()),
+		idx:  m.idx,
+		opts: m.opts,
+		nr:   m.nr,
+		ext:  mine.NewExtender(m.db.Sequences, m.idx),
 	}
 }
 
@@ -520,8 +450,10 @@ func (w *ruleWorker) drainStats(stats *Stats) {
 
 // mineConsequents performs steps 2–4 for one premise: it projects the
 // database at the premise's temporal points and grows consequents with
-// confidence-based pruning (Theorem 3).
-func (w *ruleWorker) mineConsequents(pre seqdb.Pattern, proj []premiseProj) {
+// confidence-based pruning (Theorem 3). Each record's projection entry
+// tracks the earliest consequent embedding after its temporal point, and the
+// temporal point itself travels as the entry's tag.
+func (w *ruleWorker) mineConsequents(pre seqdb.Pattern, proj []mine.Proj) {
 	if w.stopped {
 		return
 	}
@@ -529,30 +461,27 @@ func (w *ruleWorker) mineConsequents(pre seqdb.Pattern, proj []premiseProj) {
 	last := pre.Last()
 	total := 0
 	for _, pr := range proj {
-		total += w.idx.CountFrom(int(pr.seq), last, int(pr.firstEnd))
+		total += w.idx.CountFrom(int(pr.Seq), last, int(pr.Pos))
 	}
 	if total == 0 {
 		return
 	}
-	records := make([]tpRecord, 0, total)
+	records := make([]mine.Proj, 0, total)
+	tags := make([]int32, 0, total)
 	for _, pr := range proj {
-		for _, t := range w.idx.PositionsFrom(int(pr.seq), last, int(pr.firstEnd)) {
-			records = append(records, tpRecord{seq: pr.seq, tp: t, cur: t + 1})
+		for _, t := range w.idx.PositionsFrom(int(pr.Seq), last, int(pr.Pos)) {
+			records = append(records, mine.Proj{Seq: pr.Seq, Pos: t})
+			tags = append(tags, t)
 		}
 	}
-	w.growConsequent(pre, seqSup, len(records), nil, records)
+	w.growConsequent(pre, seqSup, len(records), nil, records, tags)
 }
 
 // growConsequent explores the consequent search tree for a fixed premise.
 // records holds the temporal points at which the current consequent is still
-// satisfied, together with the position reached by its earliest embedding.
-type consequentExt struct {
-	event   seqdb.EventID
-	count   int32
-	records []tpRecord
-}
-
-func (w *ruleWorker) growConsequent(pre seqdb.Pattern, seqSup, totalTP int, post seqdb.Pattern, records []tpRecord) {
+// satisfied (tags), positioned at the earliest embedding of the consequent
+// after each point.
+func (w *ruleWorker) growConsequent(pre seqdb.Pattern, seqSup, totalTP int, post seqdb.Pattern, records []mine.Proj, tags []int32) {
 	if w.stopped {
 		return
 	}
@@ -560,7 +489,9 @@ func (w *ruleWorker) growConsequent(pre seqdb.Pattern, seqSup, totalTP int, post
 
 	// The confidence floor on surviving temporal points (Theorem 3) is fixed
 	// for the whole premise, so it also decides which candidate extensions
-	// are worth materialising below.
+	// are worth materialising: extensions below the floor are never recursed
+	// into, and the redundancy check below can only match extensions whose
+	// count equals len(records) >= minSatisfied.
 	minSatisfied := int(w.opts.MinConfidence*float64(totalTP) - 1e-9)
 	if float64(minSatisfied) < w.opts.MinConfidence*float64(totalTP)-1e-9 {
 		minSatisfied++
@@ -569,60 +500,11 @@ func (w *ruleWorker) growConsequent(pre seqdb.Pattern, seqSup, totalTP int, post
 		minSatisfied = 1
 	}
 
-	// Candidate consequent extensions with their surviving records: an event
-	// survives a record at its first occurrence in the record's suffix, which
-	// is again a single prev-occurrence read per position. Extensions below
-	// the confidence floor keep only their count: they are never recursed
-	// into, and the redundancy check below can only match extensions whose
-	// count equals len(records) >= minSatisfied.
-	sc := &w.scratch
-	sc.Begin()
-	for _, r := range records {
-		s := w.db.Sequences[r.seq]
-		for j := int(r.cur); j < len(s); j++ {
-			if w.idx.OccursWithin(int(r.seq), j, int(r.cur)) {
-				continue
-			}
-			sc.Add(s[j])
-		}
-	}
-	var exts []consequentExt
-	if sc.Len() > 0 {
-		exts = make([]consequentExt, sc.Len())
-		total := 0
-		for slot := range exts {
-			c := sc.Count(slot)
-			exts[slot] = consequentExt{event: sc.Event(slot), count: c}
-			if int(c) >= minSatisfied {
-				total += int(c)
-			}
-		}
-		arena := make([]tpRecord, total)
-		off := 0
-		for slot := range exts {
-			if c := int(exts[slot].count); c >= minSatisfied {
-				exts[slot].records = arena[off : off : off+c]
-				off += c
-			}
-		}
-		for _, r := range records {
-			s := w.db.Sequences[r.seq]
-			for j := int(r.cur); j < len(s); j++ {
-				if w.idx.OccursWithin(int(r.seq), j, int(r.cur)) {
-					continue
-				}
-				x := &exts[sc.Slot(s[j])]
-				if x.records != nil {
-					x.records = append(x.records, tpRecord{seq: r.seq, tp: r.tp, cur: int32(j) + 1})
-				}
-			}
-		}
-		slices.SortFunc(exts, func(a, b consequentExt) int { return int(a.event) - int(b.event) })
-	}
+	es := w.ext.Extensions(records, tags, int32(minSatisfied))
 
 	if len(post) > 0 {
 		conf := float64(len(records)) / float64(totalTP)
-		iSup := w.instanceSupport(post, records)
+		iSup := w.instanceSupportFor(post.Last(), records)
 		emit := iSup >= w.opts.MinInstanceSupport && conf+1e-12 >= w.opts.MinConfidence
 		if emit && w.nr && (w.opts.MaxConsequentLength == 0 || len(post) < w.opts.MaxConsequentLength) {
 			// A consequent extension that keeps every statistic identical
@@ -630,8 +512,8 @@ func (w *ruleWorker) growConsequent(pre seqdb.Pattern, seqSup, totalTP int, post
 			// consequent), so it is not reported on its own. Such an
 			// extension has count == len(records) >= minSatisfied, so it is
 			// always materialised.
-			for i := range exts {
-				if int(exts[i].count) == len(records) && w.instanceSupportFor(exts[i].event, exts[i].records) == iSup {
+			for i := range es.Exts {
+				if int(es.Exts[i].Count) == len(records) && w.instanceSupportFor(es.Exts[i].Event, es.Exts[i].Proj) == iSup {
 					emit = false
 					w.redundant++
 					break
@@ -648,46 +530,46 @@ func (w *ruleWorker) growConsequent(pre seqdb.Pattern, seqSup, totalTP int, post
 			})
 			if w.opts.MaxRules > 0 && len(w.rules) >= w.opts.MaxRules {
 				w.stopped = true
+				w.ext.Release(es)
 				return
 			}
 		}
 	}
 
 	if w.opts.MaxConsequentLength > 0 && len(post) >= w.opts.MaxConsequentLength {
+		w.ext.Release(es)
 		return
 	}
 
-	for i := range exts {
+	for i := range es.Exts {
 		if w.stopped {
-			return
+			break
 		}
 		// Theorem 3: extending the consequent can only lose satisfied temporal
 		// points, so subtrees below the confidence threshold are pruned.
-		if int(exts[i].count) < minSatisfied {
+		if int(es.Exts[i].Count) < minSatisfied {
 			continue
 		}
-		w.growConsequent(pre, seqSup, totalTP, post.Append(exts[i].event), exts[i].records)
+		w.growConsequent(pre, seqSup, totalTP, post.Append(es.Exts[i].Event), es.Exts[i].Proj, es.Exts[i].Tags)
 	}
+	w.ext.Release(es)
 }
 
-// instanceSupport computes the i-support of pre -> post from the surviving
-// temporal-point records: the number of occurrences of last(post) at or after
-// the earliest completion of pre ++ post in each sequence.
-func (w *ruleWorker) instanceSupport(post seqdb.Pattern, records []tpRecord) int {
-	return w.instanceSupportFor(post.Last(), records)
-}
-
-// instanceSupportFor is instanceSupport with the last consequent event given
-// explicitly, so it can also score candidate extensions cheaply.
-func (w *ruleWorker) instanceSupportFor(last seqdb.EventID, records []tpRecord) int {
+// instanceSupportFor computes the i-support of pre -> post from the
+// surviving records, with the last consequent event given explicitly so it
+// can also score candidate extensions cheaply: the number of occurrences of
+// that event at or after the earliest completion of pre ++ post in each
+// sequence. Records stay grouped by sequence in increasing temporal-point
+// order, so the first record per sequence carries the earliest completion.
+func (w *ruleWorker) instanceSupportFor(last seqdb.EventID, records []mine.Proj) int {
 	iSup := 0
 	seenSeq := int32(-1)
 	for _, r := range records {
-		if r.seq == seenSeq {
+		if r.Seq == seenSeq {
 			continue // only the earliest temporal point per sequence matters
 		}
-		seenSeq = r.seq
-		iSup += w.idx.CountFrom(int(r.seq), last, int(r.cur)-1)
+		seenSeq = r.Seq
+		iSup += w.idx.CountFrom(int(r.Seq), last, int(r.Pos))
 	}
 	return iSup
 }

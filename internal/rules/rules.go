@@ -21,11 +21,11 @@ package rules
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	"specmine/internal/mine"
 	"specmine/internal/seqdb"
 )
 
@@ -80,17 +80,13 @@ func (o Options) Validate() error {
 }
 
 // effectiveWorkers resolves the Workers knob to a concrete worker count.
+// MaxRules forces sequential mining: its early-stop cutoff is defined by
+// sequential emission order.
 func (o Options) effectiveWorkers() int {
 	if o.MaxRules > 0 {
 		return 1
 	}
-	if o.Workers < 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	if o.Workers == 0 {
-		return 1
-	}
-	return o.Workers
+	return mine.EffectiveWorkers(o.Workers)
 }
 
 func (o Options) absoluteSeqSupport(numSequences int) int {

@@ -174,6 +174,11 @@ func (idx *PositionIndex) NumEvents() int { return idx.numEvents }
 // NumSequences returns the number of indexed sequences.
 func (idx *PositionIndex) NumSequences() int { return len(idx.seqEvents) }
 
+// NumPositions returns the total number of indexed event occurrences (the
+// sum of all sequence lengths). It is the O(1) index-side counterpart of
+// Database.NumEvents.
+func (idx *PositionIndex) NumPositions() int { return len(idx.posArena) }
+
 // Positions returns the sorted occurrence positions of event e in sequence s,
 // or nil when e does not occur there.
 func (idx *PositionIndex) Positions(s int, e EventID) []int32 {

@@ -63,6 +63,23 @@ func (es *EventSlots) Add(ev EventID) int32 {
 	return s
 }
 
+// AddN counts n occurrences of ev at once, assigning it a slot on first
+// sight, and returns the slot. It is Add generalised to weighted counting
+// (the episode miner accumulates window counts rather than occurrences).
+func (es *EventSlots) AddN(ev EventID, n int32) int32 {
+	if es.stamp[ev] == es.epoch {
+		s := es.slotOf[ev]
+		es.counts[s] += n
+		return s
+	}
+	s := int32(len(es.events))
+	es.stamp[ev] = es.epoch
+	es.slotOf[ev] = s
+	es.events = append(es.events, ev)
+	es.counts = append(es.counts, n)
+	return s
+}
+
 // Slot returns the slot previously assigned to ev by Add in the current
 // node. It must only be called for events already added.
 func (es *EventSlots) Slot(ev EventID) int32 { return es.slotOf[ev] }

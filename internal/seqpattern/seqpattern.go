@@ -7,6 +7,15 @@
 // the paper contrasts iterative patterns against, and as the premise
 // generator of the recurrent rule miner (a rule premise is "frequent" when
 // enough sequences contain it as a subsequence — Theorem 2).
+//
+// Since the unified-kernel refactor the miner runs on the shared count-first
+// search framework (internal/mine) over seqdb.PositionIndex: seed patterns
+// come straight from the per-event postings, each search node keeps the
+// classic last-position pseudo-projection (one mine.Proj per supporting
+// sequence), and one counting pass over the projected suffixes decides
+// frequency before any extension projection is materialised. The seed
+// implementation is preserved under internal/bench/baseline as the
+// equivalence oracle.
 package seqpattern
 
 import (
@@ -14,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"specmine/internal/mine"
 	"specmine/internal/seqdb"
 )
 
@@ -30,6 +40,9 @@ type Options struct {
 	// ClosedOnly keeps only closed sequential patterns: patterns with no
 	// super-sequence of equal sequence support.
 	ClosedOnly bool
+	// Workers bounds the parallel worker pool (0/1 sequential, negative =
+	// GOMAXPROCS). Results are identical for any value.
+	Workers int
 }
 
 // Validate reports configuration errors.
@@ -85,13 +98,33 @@ func Mine(db *seqdb.Database, opts Options) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	m := &miner{
-		db:     db,
-		opts:   opts,
-		minSup: opts.absoluteSupport(db.NumSequences()),
+	minSup := opts.absoluteSupport(db.NumSequences())
+	idx := db.FlatIndex()
+
+	// Frequent seed events straight from the postings (apriori base case:
+	// a pattern's support is bounded by its rarest event's sequence support).
+	events := idx.FrequentEventsBySeqSupport(minSup)
+	workers := mine.EffectiveWorkers(opts.Workers)
+	newWorker := func() *worker {
+		return &worker{
+			ext:    mine.NewExtender(db.Sequences, idx),
+			minSup: minSup,
+			maxLen: opts.MaxPatternLength,
+			path:   make(seqdb.Pattern, 0, 32),
+		}
 	}
-	m.run()
-	res := &Result{Patterns: m.out, MinSupport: m.minSup}
+	// Each frequent seed event roots an independent subtree; merging
+	// per-seed outputs in seed order keeps the result byte-identical to the
+	// sequential run for any worker count.
+	outs := mine.ForSeeds(len(events), workers, newWorker, func(w *worker, i int) []MinedPattern {
+		w.out = nil
+		w.mineSeed(events[i])
+		return w.out
+	})
+	res := &Result{MinSupport: minSup}
+	for _, o := range outs {
+		res.Patterns = append(res.Patterns, o...)
+	}
 	if opts.ClosedOnly {
 		res.Patterns = filterClosed(res.Patterns)
 	}
@@ -100,92 +133,109 @@ func Mine(db *seqdb.Database, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// projection records, per sequence that still matches the current prefix, the
-// position right after the last matched event (the classic PrefixSpan
-// pseudo-projection).
-type projection struct {
-	seq  int
-	next int
-}
-
-type miner struct {
-	db     *seqdb.Database
-	opts   Options
+type worker struct {
+	ext    *mine.Extender
 	minSup int
-	out    []MinedPattern
+	maxLen int
+
+	// path is the shared pattern buffer for the current search path; the
+	// node for depth d works on path[:d+1], so descending never allocates.
+	// Emission clones it.
+	path seqdb.Pattern
+	out  []MinedPattern
 }
 
-func (m *miner) run() {
-	// Initial projection: every sequence from position 0.
-	initial := make([]projection, 0, m.db.NumSequences())
-	for i := range m.db.Sequences {
-		initial = append(initial, projection{seq: i, next: 0})
-	}
-	m.grow(nil, initial)
+func (w *worker) mineSeed(e seqdb.EventID) {
+	proj := w.ext.SeedProj(e)
+	w.path = append(w.path[:0], e)
+	w.emit(w.path, proj)
+	w.grow(w.path, proj)
+	w.ext.ReleaseProj(proj)
 }
 
-// grow extends the current prefix pattern using the projected database proj.
-func (m *miner) grow(prefix seqdb.Pattern, proj []projection) {
-	if m.opts.MaxPatternLength > 0 && len(prefix) >= m.opts.MaxPatternLength {
+// grow extends the pattern p (a view of the shared path buffer) whose
+// pseudo-projection is proj. Count-first: the extension pass counts every
+// candidate's sequence support (one projection entry per sequence, so counts
+// are supports), and only supra-threshold extensions carry a materialised
+// projection to recurse on.
+func (w *worker) grow(p seqdb.Pattern, proj []mine.Proj) {
+	if w.maxLen > 0 && len(p) >= w.maxLen {
 		return
 	}
-	// Count, for every event, the sequences whose projected suffix contains
-	// it, remembering the first occurrence to build the next projection.
-	type occ struct {
-		proj []projection
-	}
-	counts := make(map[seqdb.EventID]*occ)
-	for _, pr := range proj {
-		s := m.db.Sequences[pr.seq]
-		seen := make(map[seqdb.EventID]bool)
-		for j := pr.next; j < len(s); j++ {
-			ev := s[j]
-			if seen[ev] {
-				continue
-			}
-			seen[ev] = true
-			o := counts[ev]
-			if o == nil {
-				o = &occ{}
-				counts[ev] = o
-			}
-			o.proj = append(o.proj, projection{seq: pr.seq, next: j + 1})
+	es := w.ext.Extensions(proj, nil, int32(w.minSup))
+	for i := range es.Exts {
+		x := &es.Exts[i]
+		if int(x.Count) < w.minSup {
+			continue
 		}
+		child := append(p, x.Event)
+		w.emit(child, x.Proj)
+		w.grow(child, x.Proj)
 	}
-	events := make([]seqdb.EventID, 0, len(counts))
-	for ev, o := range counts {
-		if len(o.proj) >= m.minSup {
-			events = append(events, ev)
-		}
+	w.ext.Release(es)
+}
+
+func (w *worker) emit(p seqdb.Pattern, proj []mine.Proj) {
+	w.out = append(w.out, MinedPattern{Pattern: p.Clone(), SeqSupport: len(proj)})
+}
+
+// patternHash is the content hash the closedness filter buckets on.
+func patternHash(p seqdb.Pattern) uint64 {
+	h := seqdb.NewHash64()
+	for _, e := range p {
+		h = h.Mix32(int32(e))
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
-	for _, ev := range events {
-		o := counts[ev]
-		p := prefix.Append(ev)
-		m.out = append(m.out, MinedPattern{Pattern: p, SeqSupport: len(o.proj)})
-		m.grow(p, o.proj)
-	}
+	return uint64(h)
 }
 
 // filterClosed removes patterns that have a super-sequence with equal
 // sequence support among the mined set.
+//
+// The seed compared all pairs within each equal-support group — quadratic,
+// and catastrophically so on dense workloads where most patterns share one
+// support level. This pass is exact and near-linear instead: because the
+// miner emits the complete frequent set, a pattern p is non-closed exactly
+// when some mined pattern one event longer is a super-sequence with equal
+// support (any longer witness q implies such an intermediate — drop all but
+// one of q's extra events; the result contains p, is a subsequence of q, is
+// therefore frequent with the same sandwiched support, and was mined). So
+// it suffices to take every mined pattern q, form each of its len(q)
+// single-deletion subsequences, and mark the ones present in the set with
+// q's support. Patterns are located through a content-hash index; the
+// support check keeps the decision within equal-support buckets.
 func filterClosed(patterns []MinedPattern) []MinedPattern {
-	// Group by support so only equal-support patterns are compared.
-	bySupport := make(map[int][]MinedPattern)
-	for _, p := range patterns {
-		bySupport[p.SeqSupport] = append(bySupport[p.SeqSupport], p)
+	byHash := make(map[uint64][]int32, len(patterns))
+	for i := range patterns {
+		h := patternHash(patterns[i].Pattern)
+		byHash[h] = append(byHash[h], int32(i))
 	}
-	keep := patterns[:0]
-	for _, p := range patterns {
-		closed := true
-		for _, q := range bySupport[p.SeqSupport] {
-			if len(q.Pattern) > len(p.Pattern) && p.Pattern.IsSubsequenceOf(q.Pattern) {
-				closed = false
-				break
+	nonClosed := make([]bool, len(patterns))
+	sub := make(seqdb.Pattern, 0, 64)
+	for i := range patterns {
+		q := patterns[i].Pattern
+		if len(q) < 2 {
+			continue
+		}
+		for d := 0; d < len(q); d++ {
+			if d > 0 && q[d] == q[d-1] {
+				// Deleting either of two equal adjacent events yields the
+				// same subsequence.
+				continue
+			}
+			sub = append(sub[:0], q[:d]...)
+			sub = append(sub, q[d+1:]...)
+			for _, j := range byHash[patternHash(sub)] {
+				p := &patterns[j]
+				if !nonClosed[j] && p.SeqSupport == patterns[i].SeqSupport && p.Pattern.Equal(sub) {
+					nonClosed[j] = true
+				}
 			}
 		}
-		if closed {
-			keep = append(keep, p)
+	}
+	keep := make([]MinedPattern, 0, len(patterns))
+	for i := range patterns {
+		if !nonClosed[i] {
+			keep = append(keep, patterns[i])
 		}
 	}
 	return keep

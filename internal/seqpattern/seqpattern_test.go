@@ -223,6 +223,137 @@ func TestClosedOnlyProperties(t *testing.T) {
 	}
 }
 
+// TestWorkersByteIdentical asserts the parallel miner reproduces the
+// sequential result exactly for any worker count.
+func TestWorkersByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 10; iter++ {
+		db := seqdb.NewDatabase()
+		for i := 0; i < 6; i++ {
+			n := 1 + rng.Intn(8)
+			names := make([]string, n)
+			for j := range names {
+				names[j] = string(rune('a' + rng.Intn(4)))
+			}
+			db.AppendNames(names...)
+		}
+		for _, closedOnly := range []bool{false, true} {
+			opts := Options{MinSeqSupport: 2, ClosedOnly: closedOnly, Workers: 1}
+			seq, err := Mine(db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, -1} {
+				opts.Workers = workers
+				par, err := Mine(db, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(par.Patterns) != len(seq.Patterns) {
+					t.Fatalf("iter %d closed=%v workers=%d: %d patterns want %d",
+						iter, closedOnly, workers, len(par.Patterns), len(seq.Patterns))
+				}
+				for k := range seq.Patterns {
+					if !par.Patterns[k].Pattern.Equal(seq.Patterns[k].Pattern) ||
+						par.Patterns[k].SeqSupport != seq.Patterns[k].SeqSupport {
+						t.Fatalf("iter %d closed=%v workers=%d: pattern %d differs", iter, closedOnly, workers, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// quadraticClosedFilter is the seed's all-pairs closedness filter, kept here
+// as the reference the bucketed filter is regression-tested against.
+func quadraticClosedFilter(patterns []MinedPattern) []MinedPattern {
+	bySupport := make(map[int][]MinedPattern)
+	for _, p := range patterns {
+		bySupport[p.SeqSupport] = append(bySupport[p.SeqSupport], p)
+	}
+	var keep []MinedPattern
+	for _, p := range patterns {
+		closed := true
+		for _, q := range bySupport[p.SeqSupport] {
+			if len(q.Pattern) > len(p.Pattern) && p.Pattern.IsSubsequenceOf(q.Pattern) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			keep = append(keep, p)
+		}
+	}
+	return keep
+}
+
+// equalSupportWorkload builds the adversarial closedness workload: `groups`
+// pairs of identical sequences over disjoint alphabets. Every subsequence of
+// every group pattern is frequent with the same sequence support (2), so the
+// seed's equal-support all-pairs pass degenerates to a single quadratic
+// bucket of thousands of patterns, while the supporting-set buckets stay at
+// group size.
+func equalSupportWorkload(groups, patternLen int) *seqdb.Database {
+	db := seqdb.NewDatabase()
+	for g := 0; g < groups; g++ {
+		names := make([]string, patternLen)
+		for i := range names {
+			names[i] = "g" + string(rune('0'+g/10)) + string(rune('0'+g%10)) + "e" + string(rune('a'+i))
+		}
+		db.AppendNames(names...)
+		db.AppendNames(names...)
+	}
+	return db
+}
+
+// TestFilterClosedSupportBuckets is the regression test for the bucketed
+// closedness filter on a workload where the seed's quadratic pass is
+// measurable (~5k same-support patterns, tens of millions of pair tests):
+// the bucketed result must match the all-pairs reference exactly.
+func TestFilterClosedSupportBuckets(t *testing.T) {
+	db := equalSupportWorkload(40, 7)
+	full, err := Mine(db, Options{MinSeqSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Patterns) < 5000 {
+		t.Fatalf("workload too small to stress the filter: %d patterns", len(full.Patterns))
+	}
+	closed, err := Mine(db, Options{MinSeqSupport: 2, ClosedOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := quadraticClosedFilter(full.Patterns)
+	res := Result{Patterns: want}
+	res.Sort()
+	if len(closed.Patterns) != len(want) {
+		t.Fatalf("bucketed filter kept %d patterns, reference kept %d", len(closed.Patterns), len(want))
+	}
+	for i := range want {
+		if !closed.Patterns[i].Pattern.Equal(want[i].Pattern) || closed.Patterns[i].SeqSupport != want[i].SeqSupport {
+			t.Fatalf("pattern %d differs from reference: %v vs %v", i,
+				closed.Patterns[i].Pattern.String(db.Dict), want[i].Pattern.String(db.Dict))
+		}
+	}
+	// Each group's full-length pattern is the only closed one in its group.
+	if len(closed.Patterns) != 40 {
+		t.Errorf("closed set size %d, want one pattern per group (40)", len(closed.Patterns))
+	}
+}
+
+// BenchmarkClosedMiningEqualSupport measures closed mining on the
+// equal-support workload; the closedness filter dominates it, so this is the
+// regression benchmark for the bucketed filter.
+func BenchmarkClosedMiningEqualSupport(b *testing.B) {
+	db := equalSupportWorkload(40, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(db, Options{MinSeqSupport: 2, ClosedOnly: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestResultSortDeterministic(t *testing.T) {
 	db := mkdb([]string{"b", "a"}, []string{"a", "b"})
 	res, err := Mine(db, Options{MinSeqSupport: 1})
