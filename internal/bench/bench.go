@@ -304,6 +304,24 @@ func StreamCases() []StreamCase {
 	}
 }
 
+// StoreCases returns the durable-ingestion benchmark matrix: stream cases
+// replayed through a stream ingester bound to a log-structured store, so the
+// measured path includes WAL appends, group commits, segment flushes and the
+// final snapshot barrier — plus the store's open/recover/close lifecycle,
+// which is why these cases run 500 traces: a real process opens its store
+// once per run, not once per 20k events, and a longer stream keeps the
+// fixed file-creation cost from dominating what is measured. The same cases
+// back BenchmarkRecover (events/sec replayed from segments + WAL on a cold
+// start). The first case is the headline benchguard tracks as a soft row.
+func StoreCases() []StreamCase {
+	return []StreamCase{
+		{Name: "store-locking-x500", Workload: "locking", Traces: 500,
+			Shards: 4, FlushBatch: 32, Concurrency: 16},
+		{Name: "store-transaction-x500", Workload: "transaction", Traces: 500,
+			Shards: 4, FlushBatch: 32, Concurrency: 16},
+	}
+}
+
 // GenStream pre-generates the case's operation stream against a fresh
 // dictionary, returning the dictionary (pass it to the ingester so ids
 // resolve), the operations, the engine to attach (nil unless Checked) and

@@ -13,6 +13,7 @@ import (
 	"specmine/internal/iterpattern"
 	"specmine/internal/rules"
 	"specmine/internal/seqpattern"
+	"specmine/internal/store"
 	"specmine/internal/stream"
 	"specmine/internal/verify"
 )
@@ -348,6 +349,27 @@ type streamTrajectoryCase struct {
 	BytesPerOp     int64   `json:"bytes_per_op"`
 }
 
+// storeTrajectoryCase is one durable-ingestion row (schema v5): the same
+// chunk stream through the store-backed ingester and the memory-only one,
+// the throughput ratio between them (the acceptance bar is >= 0.25), a cold
+// recovery rate, and the store's on-disk footprint after a clean close.
+type storeTrajectoryCase struct {
+	Name                string  `json:"name"`
+	Shards              int     `json:"shards"`
+	Traces              int     `json:"traces"`
+	Events              int     `json:"events"`
+	DurableNsPerOp      int64   `json:"durable_ns_per_op"`
+	DurableEventsPerSec float64 `json:"durable_events_per_sec"`
+	MemoryNsPerOp       int64   `json:"memory_ns_per_op"`
+	MemoryEventsPerSec  float64 `json:"memory_events_per_sec"`
+	DurableVsMemory     float64 `json:"durable_vs_memory"`
+	RecoverNsPerOp      int64   `json:"recover_ns_per_op"`
+	RecoverEventsPerSec float64 `json:"recover_events_per_sec"`
+	WALBytes            int64   `json:"wal_bytes"`
+	SegmentBytes        int64   `json:"segment_bytes"`
+	Segments            int     `json:"segments"`
+}
+
 type trajectory struct {
 	Schema          string                     `json:"schema"`
 	Generator       string                     `json:"generator"`
@@ -358,13 +380,26 @@ type trajectory struct {
 	RuleCases       []ruleTrajectoryCase       `json:"rule_cases"`
 	VerifyCases     []verifyTrajectoryCase     `json:"verify_cases"`
 	StreamCases     []streamTrajectoryCase     `json:"stream_cases"`
+	StoreCases      []storeTrajectoryCase      `json:"store_cases"`
 }
 
+// benchOnce measures one case best-of-3: a single testing.Benchmark sample
+// on a virtualised runner can land 2x off its steady-state value (observed
+// on the verify rows of the v4->v5 regeneration), and the checked-in
+// trajectory both documents performance and feeds benchguard's regression
+// budget — a noise-inflated baseline would quietly loosen the gate.
 func benchOnce(f func(b *testing.B)) testing.BenchmarkResult {
-	return testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		f(b)
-	})
+	var best testing.BenchmarkResult
+	for i := 0; i < 3; i++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		if i == 0 || res.NsPerOp() < best.NsPerOp() {
+			best = res
+		}
+	}
+	return best
 }
 
 // TestWriteBenchTrajectory regenerates BENCH_mining.json at the repository
@@ -379,7 +414,7 @@ func TestWriteBenchTrajectory(t *testing.T) {
 		t.Skip("set SPECMINE_WRITE_BENCH=1 to regenerate BENCH_mining.json")
 	}
 	out := trajectory{
-		Schema:    "specmine/bench-mining/v4",
+		Schema:    "specmine/bench-mining/v5",
 		Generator: "SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory",
 		GoVersion: runtime.Version(),
 	}
@@ -681,6 +716,77 @@ func TestWriteBenchTrajectory(t *testing.T) {
 		}
 		out.StreamCases = append(out.StreamCases, sc)
 		t.Logf("%s: %v ns/op, %.0f events/sec, %.2f allocs/event", c.Name, sc.NsPerOp, sc.EventsPerSec, sc.AllocsPerEvent)
+	}
+
+	for _, c := range StoreCases() {
+		dict, ops, _, events := c.GenStream()
+		durable := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir, err := os.MkdirTemp("", "specmine-traj-store-*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := replayDurable(dir, c, dict, ops); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				os.RemoveAll(dir)
+				b.StartTimer()
+			}
+		})
+		memory := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := replayMemory(c, dict, ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// A persistent replay backs the recovery measurement and the on-disk
+		// footprint. Measure the footprint first: each benchmarked Open
+		// canonicalises and compacts, and the recorded numbers must describe
+		// the store as a clean close left it.
+		recDir := filepath.Join(t.TempDir(), "traj-recover-"+c.Name)
+		if err := replayDurable(recDir, c, dict, ops); err != nil {
+			t.Fatal(err)
+		}
+		walBytes, segBytes, segments, err := storeFootprint(recDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recov := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := store.Open(store.Options{Dir: recDir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				db := st.Recovered().Database(st.Dict())
+				db.FlatIndex()
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sc := storeTrajectoryCase{
+			Name:                c.Name,
+			Shards:              c.Shards,
+			Traces:              c.Traces,
+			Events:              events,
+			DurableNsPerOp:      durable.NsPerOp(),
+			DurableEventsPerSec: round2(float64(events) * 1e9 / float64(durable.NsPerOp())),
+			MemoryNsPerOp:       memory.NsPerOp(),
+			MemoryEventsPerSec:  round2(float64(events) * 1e9 / float64(memory.NsPerOp())),
+			DurableVsMemory:     round2(float64(memory.NsPerOp()) / float64(durable.NsPerOp())),
+			RecoverNsPerOp:      recov.NsPerOp(),
+			RecoverEventsPerSec: round2(float64(events) * 1e9 / float64(recov.NsPerOp())),
+			WALBytes:            walBytes,
+			SegmentBytes:        segBytes,
+			Segments:            segments,
+		}
+		out.StoreCases = append(out.StoreCases, sc)
+		t.Logf("%s: durable %.0f events/sec (%.2fx of memory), recover %.0f events/sec, %d segments / %d KiB",
+			c.Name, sc.DurableEventsPerSec, sc.DurableVsMemory, sc.RecoverEventsPerSec, sc.Segments, (walBytes+segBytes)>>10)
 	}
 
 	buf, err := json.MarshalIndent(out, "", "  ")

@@ -1,10 +1,11 @@
 // Command benchguard is the CI benchmark-regression gate. It re-measures the
-// headline cases — synth closed mining, the batched conformance check, and
-// dense sequential-pattern (comparator) mining — writes benchstat-compatible
-// sample files (old.txt holding the checked-in BENCH_mining.json trajectory
-// values, new.txt the live measurements), and exits non-zero when any case's
-// best live run is more than the allowed factor slower than its trajectory
-// value. Every case is measured and
+// headline cases — synth closed mining, the batched conformance check, dense
+// sequential-pattern (comparator) mining, and durable store ingestion (as a
+// soft, report-only row until the trajectory has history) — writes
+// benchstat-compatible sample files (old.txt holding the checked-in
+// BENCH_mining.json trajectory values, new.txt the live measurements), and
+// exits non-zero when any hard case's best live run is more than the allowed
+// factor slower than its trajectory value. Every case is measured and
 // reported in one table before the verdict, so a regression in one case
 // never hides another.
 //
@@ -30,6 +31,8 @@ import (
 	"specmine/internal/bench"
 	"specmine/internal/iterpattern"
 	"specmine/internal/seqpattern"
+	"specmine/internal/store"
+	"specmine/internal/stream"
 	"specmine/internal/verify"
 )
 
@@ -43,11 +46,17 @@ type verifyTrajectoryCase struct {
 	BatchedNsPerOp int64  `json:"batched_ns_per_op"`
 }
 
+type storeTrajectoryCase struct {
+	Name           string `json:"name"`
+	DurableNsPerOp int64  `json:"durable_ns_per_op"`
+}
+
 type trajectory struct {
 	Schema          string                 `json:"schema"`
 	Cases           []trajectoryCase       `json:"cases"`
 	SeqPatternCases []trajectoryCase       `json:"seqpattern_cases"`
 	VerifyCases     []verifyTrajectoryCase `json:"verify_cases"`
+	StoreCases      []storeTrajectoryCase  `json:"store_cases"`
 }
 
 // gate is one benchmark case the guard re-measures against its trajectory
@@ -57,6 +66,12 @@ type gate struct {
 	benchName string // benchstat sample name
 	oldNs     int64
 	run       func(b *testing.B)
+	// soft marks a report-only row: it is measured and printed but never
+	// fails the build. The durable-ingest headline starts soft because a
+	// single trajectory point on a virtualised runner is not yet a trend —
+	// once a second PR has recorded a point (two store_cases generations in
+	// the file's history), flip it to a hard gate.
+	soft bool
 
 	best int64 // filled by measurement
 }
@@ -78,6 +93,9 @@ func main() {
 	}
 
 	gates := []*gate{miningGate(traj), verifyGate(traj), seqPatternGate(traj)}
+	if g := storeGate(traj); g != nil {
+		gates = append(gates, g)
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatalf("creating output directory: %v", err)
@@ -112,9 +130,14 @@ func main() {
 	for _, g := range gates {
 		limit := int64(float64(g.oldNs) * *factor)
 		status := "ok"
-		if g.best > limit {
+		switch {
+		case g.best > limit && g.soft:
+			status = "SOFT" // over budget, report-only: see gate.soft
+		case g.best > limit:
 			status = "FAIL"
 			failed++
+		case g.soft:
+			status = "ok*" // report-only row within budget
 		}
 		fmt.Printf("  %-42s %14d %14d %6.2fx %7s\n",
 			g.label, g.oldNs, g.best, float64(g.best)/float64(g.oldNs), status)
@@ -210,6 +233,72 @@ func seqPatternGate(traj trajectory) *gate {
 			if _, err := seqpattern.Mine(db, c.Opts); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+	return g
+}
+
+// storeGate re-measures the durable-ingest headline as a soft (report-only)
+// row; see gate.soft. Returns nil when the trajectory predates schema v5 and
+// has no store section to compare against.
+func storeGate(traj trajectory) *gate {
+	c := bench.StoreCases()[0]
+	g := &gate{
+		label:     "store-ingest/" + c.Name,
+		benchName: "BenchmarkStoreIngest/" + c.Name + "/durable",
+		soft:      true,
+	}
+	for _, tc := range traj.StoreCases {
+		if tc.Name == c.Name {
+			g.oldNs = tc.DurableNsPerOp
+			break
+		}
+	}
+	if g.oldNs == 0 {
+		return nil
+	}
+	dict, ops, _, _ := c.GenStream()
+	g.run = func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "benchguard-store-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			st, err := store.Open(store.Options{Dir: dir, Shards: c.Shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, name := range dict.Export() {
+				st.Dict().Intern(name)
+			}
+			ing, err := stream.Open(stream.Config{FlushBatch: c.FlushBatch, Store: st})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, op := range ops {
+				if op.Seal {
+					err = ing.CloseTrace(op.TraceID)
+				} else {
+					err = ing.IngestIDs(op.TraceID, op.Events...)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := ing.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+			if err := ing.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			os.RemoveAll(dir)
+			b.StartTimer()
 		}
 	}
 	return g

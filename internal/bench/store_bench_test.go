@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specmine/internal/seqdb"
+	"specmine/internal/store"
+	"specmine/internal/stream"
+)
+
+// replayDurable runs the full durable ingestion lifecycle in dir: open a
+// fresh store, adopt the pre-generated dictionary (fresh store, so ids map
+// 1:1), replay the operation stream through a durable ingester — WAL appends
+// before every ack, segment flushes at the batch barriers — take the final
+// snapshot and close everything.
+func replayDurable(dir string, c StreamCase, dict *seqdb.Dictionary, ops []StreamOp) error {
+	st, err := store.Open(store.Options{Dir: dir, Shards: c.Shards})
+	if err != nil {
+		return err
+	}
+	for _, name := range dict.Export() {
+		st.Dict().Intern(name)
+	}
+	ing, err := stream.Open(stream.Config{FlushBatch: c.FlushBatch, Store: st})
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if op.Seal {
+			err = ing.CloseTrace(op.TraceID)
+		} else {
+			err = ing.IngestIDs(op.TraceID, op.Events...)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	v, err := ing.Snapshot()
+	if err != nil {
+		return err
+	}
+	if v.DB.NumSequences() != c.Traces {
+		return fmt.Errorf("snapshot has %d traces want %d", v.DB.NumSequences(), c.Traces)
+	}
+	if err := ing.Close(); err != nil {
+		return err
+	}
+	return st.Close()
+}
+
+// replayMemory is the same stream through a memory-only ingester — the
+// baseline the durable path is compared against.
+func replayMemory(c StreamCase, dict *seqdb.Dictionary, ops []StreamOp) error {
+	ing := stream.NewIngester(stream.Config{Shards: c.Shards, FlushBatch: c.FlushBatch, Dict: dict})
+	for _, op := range ops {
+		var err error
+		if op.Seal {
+			err = ing.CloseTrace(op.TraceID)
+		} else {
+			err = ing.IngestIDs(op.TraceID, op.Events...)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := ing.Snapshot(); err != nil {
+		return err
+	}
+	return ing.Close()
+}
+
+// BenchmarkStoreIngest compares durable ingestion (write-ahead logged,
+// segment-flushed, group-committed) against the in-memory ingester on the
+// same pre-generated operation stream. The acceptance bar for the store
+// subsystem is durable >= 25% of memory events/sec.
+func BenchmarkStoreIngest(b *testing.B) {
+	for _, c := range StoreCases() {
+		dict, ops, _, events := c.GenStream()
+		b.Run(c.Name+"/durable", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir, err := os.MkdirTemp("", "specmine-store-bench-*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := replayDurable(dir, c, dict, ops); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				os.RemoveAll(dir)
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(events), "events/op")
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+		b.Run(c.Name+"/memory", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := replayMemory(c, dict, ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(events), "events/op")
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkRecover measures cold-start recovery: segments load, the WAL tail
+// replays, and the merged database's flat index is rebuilt — the events/sec
+// a restarted process achieves getting back to mining-ready state.
+func BenchmarkRecover(b *testing.B) {
+	for _, c := range StoreCases() {
+		dict, ops, _, events := c.GenStream()
+		dir := filepath.Join(b.TempDir(), "recover-"+c.Name)
+		if err := replayDurable(dir, c, dict, ops); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := store.Open(store.Options{Dir: dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				db := st.Recovered().Database(st.Dict())
+				if db.NumSequences() != c.Traces {
+					b.Fatalf("recovered %d traces want %d", db.NumSequences(), c.Traces)
+				}
+				db.FlatIndex()
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(events), "events/op")
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// storeFootprint walks a closed store directory and reports its on-disk
+// shape for the trajectory file.
+func storeFootprint(dir string) (walBytes, segBytes int64, segments int, err error) {
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		switch {
+		case strings.HasSuffix(path, ".wal"):
+			walBytes += info.Size()
+		case strings.HasSuffix(path, ".seg"):
+			segBytes += info.Size()
+			segments++
+		}
+		return nil
+	})
+	return walBytes, segBytes, segments, err
+}
+
+// TestDurableIngestThroughputFloor guards the acceptance criterion with a
+// generous margin for noisy CI machines: durable ingestion must sustain at
+// least 10% of in-memory throughput here (the trajectory records the real
+// ratio; benchguard watches the headline as a soft row).
+func TestDurableIngestThroughputFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison is not meaningful in -short runs")
+	}
+	c := StoreCases()[0]
+	dict, ops, _, _ := c.GenStream()
+	best := func(run func() error) float64 {
+		fastest := 0.0
+		for i := 0; i < 3; i++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				for j := 0; j < b.N; j++ {
+					if err := run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if ops := 1e9 / float64(res.NsPerOp()); ops > fastest {
+				fastest = ops
+			}
+		}
+		return fastest
+	}
+	durable := best(func() error {
+		dir, err := os.MkdirTemp("", "specmine-floor-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		return replayDurable(dir, c, dict, ops)
+	})
+	memory := best(func() error { return replayMemory(c, dict, ops) })
+	ratio := durable / memory
+	t.Logf("durable/memory throughput ratio: %.2f", ratio)
+	if ratio < 0.10 {
+		t.Fatalf("durable ingest sustains only %.1f%% of in-memory throughput (floor 10%%)", ratio*100)
+	}
+}

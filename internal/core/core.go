@@ -10,6 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
 
 	"specmine/internal/episode"
 	"specmine/internal/iterpattern"
@@ -18,6 +21,7 @@ import (
 	"specmine/internal/rules"
 	"specmine/internal/seqdb"
 	"specmine/internal/seqpattern"
+	"specmine/internal/store"
 	"specmine/internal/stream"
 	"specmine/internal/verify"
 )
@@ -294,22 +298,77 @@ func CheckRules(db *Database, ruleSet []Rule) (verify.Summary, error) {
 	return verify.NewSummary(reports), nil
 }
 
+// TraceStore is a durable log-structured trace store: per-shard write-ahead
+// logs, sealed block-compressed segment files, and crash recovery. Open one
+// with OpenStore and attach it to a Streamer (StreamOptions.Store or
+// Streamer.WithStore) for durable ingestion, or use Recover for one-shot
+// cold-start mining over a store left behind by an earlier process.
+type TraceStore = store.Store
+
+// StoreOptions configures OpenStore.
+type StoreOptions struct {
+	// Shards fixes the store's shard count at creation (default 4). Reopening
+	// an existing store with a different non-zero value is an error; 0 always
+	// means "whatever the store has".
+	Shards int
+	// Sync extends durability from process crashes to machine crashes by
+	// fsyncing every flush barrier — at a heavy throughput cost.
+	Sync bool
+}
+
+// OpenStore opens (creating if needed) the durable trace store at dir and
+// recovers its state: the event dictionary, every sealed trace, and the
+// traces that were still open mid-ingestion when the previous process died.
+func OpenStore(dir string, opts StoreOptions) (*TraceStore, error) {
+	return store.Open(store.Options{Dir: dir, Shards: opts.Shards, Sync: opts.Sync})
+}
+
+// Recover is the cold-start path: it opens the store at dir, merges every
+// recovered sealed trace into one Database (shard-major, exactly the view a
+// pre-crash Snapshot produced), closes the store again and returns the
+// database — ready for MinePatterns/MineRules/CheckRules over historical
+// traffic. The database's dictionary carries the store's stable event ids,
+// so rules mined here remain valid against the store's future contents.
+func Recover(dir string) (*Database, error) {
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST.json")); err != nil {
+		return nil, fmt.Errorf("core: no trace store at %s: %w", dir, err)
+	}
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	db := st.Recovered().Database(st.Dict())
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
 // StreamOptions configures a streaming ingestion session through the facade.
 type StreamOptions struct {
-	// Shards is the number of ingestion shards (default 4).
+	// Shards is the number of ingestion shards (default 4). With Store set,
+	// the store's fixed shard count wins and a different non-zero value here
+	// is an error.
 	Shards int
 	// Buffer is the per-shard channel capacity (default 256); full buffers
 	// apply backpressure to Ingest callers.
 	Buffer int
 	// FlushBatch is how many sealed traces a shard batches before extending
-	// its positional index incrementally (default 32).
+	// its positional index incrementally (default 32). In durable mode this
+	// is also the segment-flush barrier.
 	FlushBatch int
 	// Dict shares a dictionary with previously mined artifacts. It is
-	// required when Rules is set: the rules' event ids must come from it.
+	// required when Rules is set (unless Store supplies the dictionary): the
+	// rules' event ids must come from it.
 	Dict *Dictionary
 	// Rules, when non-empty, is compiled into an online conformance engine
 	// that checks every trace as its events arrive.
 	Rules []Rule
+	// Store, when non-nil, makes the session durable: operations are
+	// write-ahead logged before acknowledgement, sealed traces roll into
+	// segment files, and the streamer starts from the store's recovered
+	// state — sealed traces, open traces, and conformance outcomes included.
+	Store *TraceStore
 }
 
 // Streamer ingests live traces: events arrive incrementally per trace id,
@@ -318,8 +377,11 @@ type StreamOptions struct {
 // Rules configured, conformance is checked online and CheckOnline returns
 // the summary a batch CheckRules over Snapshot() would produce.
 type Streamer struct {
+	cfg      stream.Config // as compiled by NewStreamer (engine included)
+	dict     *Dictionary   // the dictionary the rules were expressed in, if any
 	ing      *stream.Ingester
 	hasRules bool
+	used     atomic.Bool
 }
 
 // NewStreamer starts a streaming ingestion session.
@@ -331,8 +393,8 @@ func NewStreamer(opts StreamOptions) (*Streamer, error) {
 		Dict:       opts.Dict,
 	}
 	if len(opts.Rules) > 0 {
-		if opts.Dict == nil {
-			return nil, errors.New("core: StreamOptions.Rules requires the dictionary the rules were mined against")
+		if opts.Dict == nil && opts.Store == nil {
+			return nil, errors.New("core: StreamOptions.Rules requires the dictionary the rules were mined against (or a Store supplying it)")
 		}
 		engine, err := verify.NewEngine(opts.Rules)
 		if err != nil {
@@ -340,7 +402,83 @@ func NewStreamer(opts StreamOptions) (*Streamer, error) {
 		}
 		cfg.Engine = engine
 	}
-	return &Streamer{ing: stream.NewIngester(cfg), hasRules: len(opts.Rules) > 0}, nil
+	if opts.Store != nil {
+		// Everything that can still fail is validated before adoptDict: the
+		// store's dictionary log is durable, so a doomed configuration must
+		// not write the caller's names into it on its way to the error.
+		if opts.Shards != 0 && opts.Shards != opts.Store.NumShards() {
+			return nil, fmt.Errorf("core: StreamOptions.Shards is %d but the store was created with %d shards", opts.Shards, opts.Store.NumShards())
+		}
+		if err := adoptDict(opts.Store, opts.Dict); err != nil {
+			return nil, err
+		}
+		cfg.Dict = nil // the store's dictionary takes over; ids proven equal
+		cfg.Store = opts.Store
+	}
+	ing, err := stream.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Streamer{cfg: cfg, dict: opts.Dict, ing: ing, hasRules: len(opts.Rules) > 0}, nil
+}
+
+// adoptDict reconciles a caller-supplied dictionary (for example the one a
+// rule set was mined against, possibly via Recover on this very store) with
+// the store's durable dictionary, so that interning the names in id order
+// reproduces the caller's ids exactly — on a fresh store it always does, and
+// on the store the rules came from it is a no-op. Validation runs before any
+// interning: the store's dictionary log is durable, so a failed
+// reconciliation must not leave foreign names permanently occupying ids.
+func adoptDict(ts *TraceStore, dict *Dictionary) error {
+	if dict == nil {
+		return nil
+	}
+	names := dict.Export()
+	existing := ts.Dict().Export()
+	for i, name := range names {
+		if i < len(existing) {
+			if existing[i] != name {
+				return fmt.Errorf("core: store dictionary assigns id %d to %q where the supplied dictionary has %q — the store holds a different event stream", i, existing[i], name)
+			}
+		} else if id := ts.Dict().Lookup(name); id != seqdb.NoEvent {
+			return fmt.Errorf("core: store dictionary already assigns %q id %d where the supplied dictionary has %d — the store holds a different event stream", name, id, i)
+		}
+	}
+	for _, name := range names[min(len(existing), len(names)):] {
+		ts.Dict().Intern(name)
+	}
+	return nil
+}
+
+// WithStore rebinds a just-created Streamer to a durable TraceStore: the
+// session restarts from the store's recovered state and every subsequent
+// operation is write-ahead logged. It must be called before any traffic
+// (Ingest, CloseTrace, Snapshot, CheckOnline); rules and options carry over,
+// with the rules' dictionary reconciled into the store as in NewStreamer.
+func (st *Streamer) WithStore(ts *TraceStore) error {
+	if st.used.Load() {
+		return errors.New("core: WithStore must be called before the streamer carries traffic")
+	}
+	if st.cfg.Shards != 0 && st.cfg.Shards != ts.NumShards() {
+		return fmt.Errorf("core: streamer was configured for %d shards but the store was created with %d", st.cfg.Shards, ts.NumShards())
+	}
+	if err := adoptDict(ts, st.dict); err != nil {
+		return err
+	}
+	cfg := st.cfg
+	cfg.Dict = nil
+	cfg.Store = ts
+	ing, err := stream.Open(cfg)
+	if err != nil {
+		return err
+	}
+	if err := st.ing.Close(); err != nil {
+		ing.Close()
+		return err
+	}
+	st.cfg = cfg
+	st.ing = ing
+	return nil
 }
 
 // Dict returns the streamer's event dictionary.
@@ -348,11 +486,13 @@ func (st *Streamer) Dict() *Dictionary { return st.ing.Dict() }
 
 // Ingest appends events to the identified (possibly new) trace.
 func (st *Streamer) Ingest(traceID string, events ...string) error {
+	st.used.Store(true)
 	return st.ing.Ingest(traceID, events...)
 }
 
 // CloseTrace terminates a trace, sealing it into the streamed database.
 func (st *Streamer) CloseTrace(traceID string) error {
+	st.used.Store(true)
 	return st.ing.CloseTrace(traceID)
 }
 
@@ -360,6 +500,7 @@ func (st *Streamer) CloseTrace(traceID string) error {
 // MinePatterns/MineRules or check it with CheckRules while ingestion
 // continues.
 func (st *Streamer) Snapshot() (*Database, error) {
+	st.used.Store(true)
 	v, err := st.ing.Snapshot()
 	if err != nil {
 		return nil, err
@@ -374,6 +515,7 @@ func (st *Streamer) CheckOnline() (verify.Summary, error) {
 	if !st.hasRules {
 		return verify.Summary{}, errors.New("core: streamer has no rules configured")
 	}
+	st.used.Store(true)
 	v, err := st.ing.Snapshot()
 	if err != nil {
 		return verify.Summary{}, err

@@ -1,0 +1,175 @@
+package seqdb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSequenceBlockRoundTrip(t *testing.T) {
+	cases := []Sequence{
+		nil,
+		{},
+		{0},
+		{5},
+		{0, 0, 0, 0},
+		{1, 1, 2, 2, 2, 1, 7, 7, 0},
+		{1000000, 0, 1000000},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		s := make(Sequence, rng.Intn(300))
+		for j := range s {
+			if j > 0 && rng.Intn(3) == 0 {
+				s[j] = s[j-1] // force runs
+			} else {
+				s[j] = EventID(rng.Intn(40))
+			}
+		}
+		cases = append(cases, s)
+	}
+
+	var buf []byte
+	var lens []int
+	for _, s := range cases {
+		before := len(buf)
+		buf = AppendSequenceBlock(buf, s)
+		lens = append(lens, len(buf)-before)
+	}
+	// Blocks are self-delimiting: decode them back to back from one buffer.
+	off := 0
+	for i, want := range cases {
+		got, n, err := DecodeSequenceBlock(buf[off:])
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != lens[i] {
+			t.Fatalf("case %d: consumed %d bytes want %d", i, n, lens[i])
+		}
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d events want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("case %d: event %d is %d want %d", i, j, got[j], want[j])
+			}
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", off, len(buf))
+	}
+}
+
+// TestSequenceBlockTruncation: every strict prefix of a valid block must fail
+// to decode — a partially written block never surfaces as a shorter trace.
+func TestSequenceBlockTruncation(t *testing.T) {
+	s := Sequence{3, 3, 3, 9, 1, 1, 250, 250, 4}
+	buf := AppendSequenceBlock(nil, s)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeSequenceBlock(buf[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(buf))
+		}
+	}
+}
+
+func TestSequenceBlockRejectsCorruptCounts(t *testing.T) {
+	// Declared count far beyond what the runs deliver must error, and a run
+	// overflowing the declared count must error.
+	overflow := AppendSequenceBlock(nil, Sequence{1, 1, 1})
+	overflow[0] = 2 // claim 2 events, runs deliver 3
+	if _, _, err := DecodeSequenceBlock(overflow); err == nil {
+		t.Fatal("run overflowing the declared count decoded without error")
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f} // count ~2^62, no runs
+	if _, _, err := DecodeSequenceBlock(huge); err == nil {
+		t.Fatal("huge truncated count decoded without error")
+	}
+}
+
+// TestDictionaryExportImportRoundTrip is the id-stability contract of the
+// durable store: Export lists names in id-assignment order (not sorted!), and
+// Import reproduces the exact same assignment, so segment files encoded
+// against the old dictionary stay valid under the new one.
+func TestDictionaryExportImportRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	// Deliberately intern in non-lexicographic order: a sorted export would
+	// remap every id and the round trip below would catch it.
+	names := []string{"z.close", "a.open", "m.commit", "z.abort", "b.begin"}
+	for _, n := range names {
+		d.Intern(n)
+	}
+	exported := d.Export()
+	if len(exported) != len(names) {
+		t.Fatalf("exported %d names want %d", len(exported), len(names))
+	}
+	for i, n := range names {
+		if exported[i] != n {
+			t.Fatalf("export[%d] = %q want %q (export must be id order, not sorted)", i, exported[i], n)
+		}
+	}
+
+	fresh := NewDictionary()
+	if err := fresh.Import(exported); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if fresh.Lookup(n) != d.Lookup(n) {
+			t.Fatalf("%q maps to %d after import, was %d", n, fresh.Lookup(n), d.Lookup(n))
+		}
+	}
+	// Import into a dictionary already holding a matching prefix extends it.
+	partial := NewDictionary()
+	partial.Intern(names[0])
+	partial.Intern(names[1])
+	if err := partial.Import(exported); err != nil {
+		t.Fatal(err)
+	}
+	if partial.Size() != len(names) || partial.Lookup("b.begin") != d.Lookup("b.begin") {
+		t.Fatalf("prefix import diverged: size %d", partial.Size())
+	}
+	// Conflicting prefix and duplicates must be rejected.
+	bad := NewDictionary()
+	bad.Intern("something.else")
+	if err := bad.Import(exported); err == nil {
+		t.Fatal("conflicting prefix imported without error")
+	}
+	dup := NewDictionary()
+	if err := dup.Import([]string{"x", "y", "x"}); err == nil {
+		t.Fatal("duplicate name imported without error")
+	}
+}
+
+// TestDictionaryInternHookOrder: the OnIntern hook must observe fresh
+// assignments in exact id order — it is how the store's dictionary WAL stays
+// a faithful replay log.
+func TestDictionaryInternHookOrder(t *testing.T) {
+	d := NewDictionary()
+	var seen []string
+	var ids []EventID
+	d.OnIntern(func(id EventID, name string) {
+		ids = append(ids, id)
+		seen = append(seen, name)
+	})
+	d.Intern("a")
+	d.Intern("b")
+	d.Intern("a") // re-intern: no hook
+	d.Intern("c")
+	d.OnIntern(nil)
+	d.Intern("d") // hook removed: no call
+	if want := []string{"a", "b", "c"}; len(seen) != len(want) {
+		t.Fatalf("hook saw %v want %v", seen, want)
+	}
+	for i, id := range ids {
+		if int(id) != i {
+			t.Fatalf("hook id order %v not sequential", ids)
+		}
+	}
+	var buf bytes.Buffer
+	for _, n := range seen {
+		buf.WriteString(n)
+	}
+	if buf.String() != "abc" {
+		t.Fatalf("hook order %q want %q", buf.String(), "abc")
+	}
+}

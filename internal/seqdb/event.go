@@ -34,6 +34,11 @@ type Dictionary struct {
 	mu     sync.RWMutex
 	byName map[string]EventID
 	names  []string
+
+	// onIntern, when set, observes every fresh id assignment while the lock
+	// is held, so observers see assignments in exact id order. The durability
+	// layer uses it to write dictionary WAL records.
+	onIntern func(id EventID, name string)
 }
 
 // NewDictionary returns an empty dictionary.
@@ -52,7 +57,22 @@ func (d *Dictionary) Intern(name string) EventID {
 	id := EventID(len(d.names))
 	d.byName[name] = id
 	d.names = append(d.names, name)
+	if d.onIntern != nil {
+		d.onIntern(id, name)
+	}
 	return id
+}
+
+// OnIntern installs (or, with nil, removes) a hook invoked for every fresh id
+// assignment. The hook runs with the dictionary's lock held, so invocations
+// arrive serialised in exact id order even under concurrent interning; it
+// must not call back into the dictionary. The durability layer uses it to
+// append dictionary records to its write-ahead log before any trace record
+// referencing the new id can be written.
+func (d *Dictionary) OnIntern(hook func(id EventID, name string)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onIntern = hook
 }
 
 // Lookup returns the EventID previously assigned to name, or NoEvent if the
@@ -107,6 +127,40 @@ func (d *Dictionary) Clone() *Dictionary {
 		c.byName[n] = EventID(i)
 	}
 	return c
+}
+
+// Export returns the interned names in id-assignment order — index i is the
+// name of EventID(i). This, not SortedNames, is the persistence format: ids
+// are positional, so a save/load cycle must replay names in the exact order
+// they were assigned or every stored trace would silently remap its events.
+func (d *Dictionary) Export() []string { return d.Names() }
+
+// Import replays an exported name list into the dictionary, reproducing the
+// original id assignment. The dictionary's existing contents must be a prefix
+// of names (an empty dictionary always qualifies); the remainder is appended.
+// A mismatched prefix or a duplicate inside names is an error, because either
+// would remap ids out from under already-encoded traces. Import never invokes
+// the OnIntern hook: imported names are by definition already persisted.
+func (d *Dictionary) Import(names []string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.names) > len(names) {
+		return fmt.Errorf("seqdb: dictionary import: %d existing names exceed the %d imported", len(d.names), len(names))
+	}
+	for i, n := range d.names {
+		if n != names[i] {
+			return fmt.Errorf("seqdb: dictionary import: id %d is %q here but %q in the import", i, n, names[i])
+		}
+	}
+	for i := len(d.names); i < len(names); i++ {
+		n := names[i]
+		if prev, ok := d.byName[n]; ok {
+			return fmt.Errorf("seqdb: dictionary import: duplicate name %q (ids %d and %d)", n, prev, i)
+		}
+		d.byName[n] = EventID(i)
+		d.names = append(d.names, n)
+	}
+	return nil
 }
 
 // SortedNames returns all interned names in lexicographic order. It is used

@@ -288,8 +288,17 @@ func (idx *PositionIndex) EventSeqSupport(e EventID) int {
 	return int(idx.postOffsets[e+1] - idx.postOffsets[e])
 }
 
-// EventInstanceCount returns the total number of occurrences of event e.
-func (idx *PositionIndex) EventInstanceCount(e EventID) int { return int(idx.instCount[e]) }
+// EventInstanceCount returns the total number of occurrences of event e. An
+// id outside the index's event-id space counts zero occurrences: with a
+// shared, still-growing dictionary (the streaming case), callers routinely
+// score patterns mined from a newer snapshot against an older one, and an
+// event the older snapshot never saw must read as absent, not as a panic.
+func (idx *PositionIndex) EventInstanceCount(e EventID) int {
+	if int(e) >= len(idx.instCount) || e < 0 {
+		return 0
+	}
+	return int(idx.instCount[e])
+}
 
 // FrequentEventsByInstanceCount returns, sorted by id, the events with at
 // least min total occurrences.

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms get no advisory store lock: concurrent Opens of one
+// directory are then the operator's responsibility (the supported CI targets
+// are all unix).
+func acquireDirLock(dir string) (*os.File, error) { return nil, nil }
+
+func releaseDirLock(f *os.File) {}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireDirLock takes an exclusive advisory flock on dir/LOCK, preventing a
+// second process (or a second Open in this one — core.Recover included) from
+// recovering a live store: Open canonicalises, so a concurrent opener would
+// unlink the WAL generation the running ingester is appending to and every
+// subsequently acked operation would be lost at the next restart. The lock
+// is held for the store's lifetime and released by Close; the kernel drops
+// it automatically when a crashed process dies, so there is no stale-lock
+// recovery to implement.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is already open in another process (or another Store in this one): %w", dir, err)
+	}
+	return f, nil
+}
+
+func releaseDirLock(f *os.File) {
+	if f != nil {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}
+}

@@ -1,0 +1,480 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"specmine/internal/seqdb"
+)
+
+// Crash recovery. Open rebuilds each shard's state in two layers, newest
+// last:
+//
+//  1. the segment chain — the maximal run of intact segment files covering
+//     seal ordinals [0, C) — supplies the bulk of the sealed traces without
+//     touching the WAL;
+//  2. the WAL tail — the longest intact frame prefix of the newest WAL
+//     generation — is replayed over it: seal records with ordinals below C
+//     are skipped (their traces already live in segments), newer seals append
+//     their traces, and whatever is left open at the end of the prefix is the
+//     shard's recovered open-trace set.
+//
+// A torn frame ends the prefix; nothing after it is trusted, so a partial
+// record can never surface as data. One asymmetric case needs care: segments
+// are published only after the WAL covering their seals is flushed, so a
+// surviving segment normally implies the seals survived too — but a WAL
+// truncated below the segment barrier (disk fault, or the crash-fuzz tests
+// doing it on purpose) would make replay resurrect segment-sealed traces as
+// open ghosts. Recovery detects this (fewer replayed seals than the segment
+// coverage) and drops the recovered open set: sealed state stays exact,
+// open-trace recovery is best effort.
+//
+// After recovery, Open canonicalises the shard: WAL-recovered sealed traces
+// are rolled into a fresh segment and a new WAL generation is created holding
+// only the header and a re-log of the open traces. Every later recovery
+// therefore starts from segments + a short WAL, keeping replay O(open data),
+// not O(history).
+
+// OpenTrace is a trace that was open (ingested but not sealed) when the
+// store's state was captured.
+type OpenTrace struct {
+	// ID is the trace id under which events were being ingested.
+	ID string
+	// Events are the events ingested so far, in order.
+	Events seqdb.Sequence
+}
+
+// RecoveredShard is one shard's recovered state.
+type RecoveredShard struct {
+	// Sequences are the shard's sealed traces in seal order — exactly the
+	// shard database the pre-crash ingester held.
+	Sequences []seqdb.Sequence
+	// Open are the traces that were still open, sorted by trace id.
+	Open []OpenTrace
+}
+
+// Recovered is the whole store's recovered state, indexed by shard.
+type Recovered struct {
+	Shards []RecoveredShard
+}
+
+// Database merges the recovered sealed traces into a single Database sharing
+// dict, shard-major in seal order — the same ordering a streaming Snapshot
+// produces, so miners see the identical database either way.
+func (r *Recovered) Database(dict *seqdb.Dictionary) *seqdb.Database {
+	db := seqdb.NewDatabaseWithDict(dict)
+	for _, sh := range r.Shards {
+		db.Sequences = append(db.Sequences, sh.Sequences...)
+	}
+	return db
+}
+
+// NumSealed returns the total number of recovered sealed traces.
+func (r *Recovered) NumSealed() int {
+	n := 0
+	for _, sh := range r.Shards {
+		n += len(sh.Sequences)
+	}
+	return n
+}
+
+// NumOpen returns the total number of recovered open traces.
+func (r *Recovered) NumOpen() int {
+	n := 0
+	for _, sh := range r.Shards {
+		n += len(sh.Open)
+	}
+	return n
+}
+
+// errReplayStop marks the first record of the untrusted WAL tail: replay
+// treats everything before it as the surviving prefix and stops cleanly.
+var errReplayStop = errors.New("store: replay stop")
+
+// recoverDict replays the dictionary log into a fresh dictionary and reopens
+// the log for appending (truncating any torn tail first).
+func (st *Store) recoverDict() error {
+	path := filepath.Join(st.opts.Dir, "dict.wal")
+	st.dict = seqdb.NewDictionary()
+	buf, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var names []string
+		valid, err := scanFrames(buf, func(p []byte) error {
+			if len(p) == 0 || p[0] != recDictName {
+				return errReplayStop
+			}
+			names = append(names, string(p[1:]))
+			return nil
+		})
+		if err != nil && !errors.Is(err, errReplayStop) {
+			return err
+		}
+		if err := st.dict.Import(names); err != nil {
+			return err
+		}
+		if int64(valid) < int64(len(buf)) {
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+			}
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: reopening %s: %w", path, err)
+		}
+		st.dictLog.wal = &walFile{path: path, f: f, size: int64(valid), sync: st.opts.Sync}
+		return nil
+	case os.IsNotExist(err):
+		wal, err := createWALDirect(path, st.opts.Sync)
+		if err != nil {
+			return err
+		}
+		st.dictLog.wal = wal
+		return nil
+	default:
+		return fmt.Errorf("store: reading %s: %w", path, err)
+	}
+}
+
+// recoverShard rebuilds shard i from its directory and returns its seeded
+// ShardLog plus the recovered state.
+func (st *Store) recoverShard(i int) (*ShardLog, RecoveredShard, error) {
+	dir := filepath.Join(st.opts.Dir, fmt.Sprintf("shard-%03d", i))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, RecoveredShard{}, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, RecoveredShard{}, err
+	}
+
+	var segInfos []segmentInfo
+	var maxGen uint64
+	var walPath string
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// Torn publish from a crashed rename; the real file never
+			// appeared, so the content is covered elsewhere or lost.
+			_ = os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, ".seg"):
+			from, to, ok := parseSegmentName(name)
+			if !ok {
+				return nil, RecoveredShard{}, fmt.Errorf("unrecognised segment file %s", name)
+			}
+			fi, err := e.Info()
+			if err != nil {
+				return nil, RecoveredShard{}, err
+			}
+			segInfos = append(segInfos, segmentInfo{from: from, to: to, path: filepath.Join(dir, name), size: fi.Size()})
+		case strings.HasSuffix(name, ".wal"):
+			gen, ok := parseWALName(name)
+			if !ok {
+				return nil, RecoveredShard{}, fmt.Errorf("unrecognised WAL file %s", name)
+			}
+			if gen >= maxGen {
+				maxGen = gen
+				walPath = filepath.Join(dir, name)
+			}
+		}
+	}
+
+	chain, sealed, covered, err := loadSegmentChain(segInfos, i)
+	if err != nil {
+		return nil, RecoveredShard{}, err
+	}
+
+	var walSealed []seqdb.Sequence
+	var open []OpenTrace
+	if walPath != "" {
+		walSealed, open, err = st.replayShardWAL(walPath, i, covered)
+		if err != nil {
+			return nil, RecoveredShard{}, err
+		}
+		sealed = append(sealed, walSealed...)
+	}
+	sort.Slice(open, func(a, b int) bool { return open[a].ID < open[b].ID })
+
+	// Canonicalise: roll the WAL-recovered sealed tail into a segment, then
+	// start a fresh generation holding just the header and the open traces.
+	// Ordering matters for crash safety: the old generation keeps covering
+	// everything until the new one is renamed into place.
+	sl := &ShardLog{st: st, shard: i, dir: dir, covered: covered, segs: chain}
+	if len(walSealed) > 0 {
+		data := encodeSegment(walSealed, i, covered)
+		info, err := writeSegmentFile(dir, covered, len(sealed), data, st.opts.Sync)
+		if err != nil {
+			return nil, RecoveredShard{}, err
+		}
+		sl.covered = len(sealed)
+		sl.segs = append(sl.segs, info)
+	}
+	records, handles, next := openTraceRecords(i, sl.covered, open)
+	gen := maxGen + 1
+	newWAL := filepath.Join(dir, walName(gen))
+	var wal *walFile
+	if walPath == "" {
+		// Fresh shard: no predecessor holds anything, so skip the atomic
+		// publish — a crash mid-create just means an empty shard next time.
+		wal, err = createWALDirect(newWAL, st.opts.Sync, records...)
+	} else {
+		wal, err = createWAL(newWAL, st.opts.Sync, records...)
+	}
+	if err != nil {
+		return nil, RecoveredShard{}, err
+	}
+	// Every older generation is now redundant.
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".wal") && e.Name() != walName(gen) {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	sl.wal = wal
+	sl.gen = gen
+	sl.handles = handles
+	sl.nextHandle = next
+	sl.walSize.Store(wal.pending())
+	sl.setRotateThreshold(wal.pending())
+	return sl, RecoveredShard{Sequences: sealed, Open: open}, nil
+}
+
+// openTraceRecords builds the records of a fresh WAL generation — header plus
+// a re-log of the open traces, sorted by id — and the matching handle table.
+func openTraceRecords(shard, sealedTotal int, open []OpenTrace) (records [][]byte, handles map[string]uint64, next uint64) {
+	records = [][]byte{encodeHeader(shard, sealedTotal)}
+	handles = make(map[string]uint64, len(open))
+	for _, tr := range open {
+		h := next
+		next++
+		handles[tr.ID] = h
+		records = append(records, encodeOpen(nil, h, tr.ID))
+		if len(tr.Events) > 0 {
+			records = append(records, encodeEvents(nil, h, tr.Events))
+		}
+	}
+	return records, handles, next
+}
+
+// loadSegmentChain selects and decodes the shard's segment chain. A segment
+// that fails validation is deleted and selection retried: segments are
+// written directly (not via rename), so a crash can tear the newest one —
+// but its traces are still covered, either by the subsumed originals a
+// crashed compaction left behind (re-selected on retry) or by the WAL, whose
+// generations are only retired after a completed rotation. Corruption that
+// leaves real coverage gaps still fails hard via selectSegmentChain.
+func loadSegmentChain(infos []segmentInfo, shard int) ([]segmentInfo, []seqdb.Sequence, int, error) {
+	for {
+		chain, subsumed, err := selectSegmentChain(infos)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		var sealed []seqdb.Sequence
+		covered := 0
+		bad := -1
+		var badErr error
+		for k, info := range chain {
+			buf, err := os.ReadFile(info.path)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			v, perr := parseSegment(buf)
+			if perr == nil && (v.shard != shard || v.from != info.from || v.numTraces() != info.to-info.from) {
+				perr = fmt.Errorf("footer (shard %d, from %d, %d traces) contradicts the name", v.shard, v.from, v.numTraces())
+			}
+			var seqs []seqdb.Sequence
+			if perr == nil {
+				seqs, perr = v.decodeAll()
+			}
+			if perr != nil {
+				bad, badErr = k, fmt.Errorf("%s: %w", info.path, perr)
+				break
+			}
+			sealed = append(sealed, seqs...)
+			covered = info.to
+		}
+		if bad < 0 {
+			// Only now that every chain segment decoded is it safe to drop
+			// the subsumed files a crashed compaction left behind — they are
+			// the fallback if a merged segment had been torn.
+			for _, s := range subsumed {
+				_ = os.Remove(s.path)
+			}
+			return chain, sealed, covered, nil
+		}
+		if err := os.Remove(chain[bad].path); err != nil {
+			return nil, nil, 0, fmt.Errorf("store: dropping torn segment: %v (while handling %w)", err, badErr)
+		}
+		kept := infos[:0]
+		for _, info := range infos {
+			if info.path != chain[bad].path {
+				kept = append(kept, info)
+			}
+		}
+		infos = kept
+	}
+}
+
+// selectSegmentChain orders the discovered segments and returns the maximal
+// contiguous chain from ordinal 0 plus the files a compacted successor
+// subsumes (left on disk — they are the fallback while the chain is
+// unvalidated). Gaps and partial overlaps cannot be produced by the writer
+// and are surfaced as errors.
+func selectSegmentChain(infos []segmentInfo) (chain, subsumed []segmentInfo, err error) {
+	sort.Slice(infos, func(a, b int) bool {
+		if infos[a].from != infos[b].from {
+			return infos[a].from < infos[b].from
+		}
+		return infos[a].to > infos[b].to
+	})
+	covered := 0
+	for _, s := range infos {
+		switch {
+		case s.to <= covered:
+			// Fully covered by a merged successor: a crash between a
+			// compaction's write and its deletes left it behind.
+			subsumed = append(subsumed, s)
+		case s.from == covered:
+			chain = append(chain, s)
+			covered = s.to
+		case s.from > covered:
+			return nil, nil, fmt.Errorf("segment coverage gap: [%d,%d) follows %d", s.from, s.to, covered)
+		default:
+			return nil, nil, fmt.Errorf("segment overlap: [%d,%d) against coverage %d", s.from, s.to, covered)
+		}
+	}
+	return chain, subsumed, nil
+}
+
+// replayShardWAL replays the surviving frame prefix of the shard's WAL over
+// segment coverage [0, covered), returning the newly sealed traces (ordinals
+// >= covered, in order) and the traces left open.
+func (st *Store) replayShardWAL(path string, shard, covered int) ([]seqdb.Sequence, []OpenTrace, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	type openState struct {
+		id     string
+		events seqdb.Sequence
+	}
+	open := make(map[uint64]*openState)
+	var order []uint64
+	var sealed []seqdb.Sequence
+	seals := 0
+	dictSize := uint64(st.dict.Size())
+	sawHeader := false
+	var hardErr error
+
+	_, err = scanFrames(buf, func(p []byte) error {
+		if len(p) == 0 {
+			return errReplayStop
+		}
+		body := p[1:]
+		readUvarint := func() (uint64, bool) {
+			v, n := binary.Uvarint(body)
+			if n <= 0 {
+				return 0, false
+			}
+			body = body[n:]
+			return v, true
+		}
+		switch p[0] {
+		case recHeader:
+			ver, ok := readUvarint()
+			if !ok || ver != walFormatVersion || sawHeader {
+				return errReplayStop
+			}
+			sh, ok := readUvarint()
+			if !ok || int(sh) != shard {
+				return errReplayStop
+			}
+			base, ok := readUvarint()
+			if !ok {
+				return errReplayStop
+			}
+			if int(base) > covered {
+				hardErr = fmt.Errorf("%s declares %d sealed traces in segments, only %d covered — segment files are missing", path, base, covered)
+				return hardErr
+			}
+			sawHeader = true
+			seals = int(base)
+		case recOpen:
+			h, ok := readUvarint()
+			if !ok {
+				return errReplayStop
+			}
+			if _, dup := open[h]; dup {
+				return errReplayStop
+			}
+			open[h] = &openState{id: string(body)}
+			order = append(order, h)
+		case recEvents:
+			h, ok := readUvarint()
+			if !ok {
+				return errReplayStop
+			}
+			tr := open[h]
+			if tr == nil {
+				return errReplayStop
+			}
+			n, ok := readUvarint()
+			if !ok {
+				return errReplayStop
+			}
+			evs := make(seqdb.Sequence, 0, n)
+			for k := uint64(0); k < n; k++ {
+				ev, ok := readUvarint()
+				if !ok || ev >= dictSize {
+					// An id the dictionary log never flushed: by the
+					// dict-before-shard flush ordering this frame belongs to
+					// the lost tail, whatever its checksum says.
+					return errReplayStop
+				}
+				evs = append(evs, seqdb.EventID(ev))
+			}
+			tr.events = append(tr.events, evs...)
+		case recSeal:
+			h, ok := readUvarint()
+			if !ok {
+				return errReplayStop
+			}
+			tr := open[h]
+			if tr == nil {
+				return errReplayStop
+			}
+			delete(open, h)
+			if seals >= covered {
+				sealed = append(sealed, tr.events)
+			}
+			seals++
+		default:
+			return errReplayStop
+		}
+		return nil
+	})
+	if hardErr != nil {
+		return nil, nil, hardErr
+	}
+	if err != nil && !errors.Is(err, errReplayStop) {
+		return nil, nil, err
+	}
+	if seals < covered {
+		// The WAL was cut below the segment barrier: traces it shows as open
+		// may in truth be sealed inside segments. Sealed state is exact
+		// either way; drop the unreliable open set.
+		return nil, nil, nil
+	}
+	out := make([]OpenTrace, 0, len(open))
+	for _, h := range order {
+		if tr, ok := open[h]; ok {
+			out = append(out, OpenTrace{ID: tr.id, Events: tr.events})
+		}
+	}
+	return sealed, out, nil
+}

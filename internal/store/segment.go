@@ -1,0 +1,288 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"specmine/internal/seqdb"
+)
+
+// Sealed segment files. A segment is the immutable, compacted resting place
+// of a run of sealed traces from one shard:
+//
+//	magic [8]byte "SPMSEG1\n"
+//	body: one sequence block per trace (seqdb.AppendSequenceBlock — varint
+//	      delta event ids with run-length compression), back to back
+//	footer:
+//	  uvarint format version (1)
+//	  uvarint shard
+//	  uvarint fromOrdinal     — shard-local seal ordinal of the first trace
+//	  uvarint numTraces
+//	  numTraces x uvarint block length — prefix sums give per-trace offsets
+//	trailer [20]byte, fixed width so it can be found from the end:
+//	  uint32 LE body length | uint32 LE footer length |
+//	  uint32 LE CRC-32(body) | uint32 LE CRC-32(footer) | uint32 LE tail magic
+//
+// The footer's offset table is what lets a reader open a segment without a
+// full decode: it can validate the trailer + footer alone, then decode a
+// single trace (or fan traces out to parallel decoders) by block range. The
+// body and footer carry independent checksums so that lazy readers get the
+// same corruption guarantees as full ones.
+//
+// Segments are written once via temp-file + rename and never modified;
+// compaction merges adjacent segments by concatenating their bodies and
+// rebuilding the footer — blocks are self-contained, so merging never
+// re-encodes a trace.
+
+var segMagic = [8]byte{'S', 'P', 'M', 'S', 'E', 'G', '1', '\n'}
+
+const (
+	segFormatVersion = 1
+	segTrailerLen    = 20
+	segTailMagic     = 0x53504753 // "SPGS"
+)
+
+// segmentInfo is the in-memory ledger entry for one live segment file.
+// from/to are shard-local seal ordinals, to exclusive.
+type segmentInfo struct {
+	from, to int
+	path     string
+	size     int64
+}
+
+func segmentName(from, to int) string {
+	return fmt.Sprintf("seg-%09d-%09d.seg", from, to)
+}
+
+func parseSegmentName(name string) (from, to int, ok bool) {
+	var f, t int
+	if n, err := fmt.Sscanf(name, "seg-%d-%d.seg", &f, &t); n != 2 || err != nil {
+		return 0, 0, false
+	}
+	return f, t, f >= 0 && t > f
+}
+
+// encodeSegment renders the full segment file image for the given traces.
+func encodeSegment(seqs []seqdb.Sequence, shard, from int) []byte {
+	buf := append([]byte(nil), segMagic[:]...)
+	bodyStart := len(buf)
+	blockLens := make([]int, len(seqs))
+	for i, s := range seqs {
+		before := len(buf)
+		buf = seqdb.AppendSequenceBlock(buf, s)
+		blockLens[i] = len(buf) - before
+	}
+	bodyLen := len(buf) - bodyStart
+
+	footerStart := len(buf)
+	buf = binary.AppendUvarint(buf, segFormatVersion)
+	buf = binary.AppendUvarint(buf, uint64(shard))
+	buf = binary.AppendUvarint(buf, uint64(from))
+	buf = binary.AppendUvarint(buf, uint64(len(seqs)))
+	for _, n := range blockLens {
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	footerLen := len(buf) - footerStart
+
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(bodyLen))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(footerLen))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[bodyStart:bodyStart+bodyLen]))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[footerStart:footerStart+footerLen]))
+	return binary.LittleEndian.AppendUint32(buf, segTailMagic)
+}
+
+// segmentView is a parsed (but not yet decoded) segment: validated checksums,
+// header fields and the per-trace block spans over body.
+type segmentView struct {
+	shard     int
+	from      int
+	body      []byte
+	blockLens []int
+}
+
+// parseSegment validates data as a segment file and returns its view.
+func parseSegment(data []byte) (*segmentView, error) {
+	if len(data) < len(segMagic)+segTrailerLen || string(data[:len(segMagic)]) != string(segMagic[:]) {
+		return nil, fmt.Errorf("store: not a segment file")
+	}
+	tr := data[len(data)-segTrailerLen:]
+	bodyLen := int(binary.LittleEndian.Uint32(tr[0:]))
+	footerLen := int(binary.LittleEndian.Uint32(tr[4:]))
+	crcBody := binary.LittleEndian.Uint32(tr[8:])
+	crcFooter := binary.LittleEndian.Uint32(tr[12:])
+	if binary.LittleEndian.Uint32(tr[16:]) != segTailMagic {
+		return nil, fmt.Errorf("store: segment trailer magic mismatch")
+	}
+	if len(segMagic)+bodyLen+footerLen+segTrailerLen != len(data) {
+		return nil, fmt.Errorf("store: segment length %d does not match body %d + footer %d", len(data), bodyLen, footerLen)
+	}
+	body := data[len(segMagic) : len(segMagic)+bodyLen]
+	footer := data[len(segMagic)+bodyLen : len(segMagic)+bodyLen+footerLen]
+	if crc32.ChecksumIEEE(body) != crcBody {
+		return nil, fmt.Errorf("store: segment body checksum mismatch")
+	}
+	if crc32.ChecksumIEEE(footer) != crcFooter {
+		return nil, fmt.Errorf("store: segment footer checksum mismatch")
+	}
+
+	readUvarint := func(off int) (uint64, int, error) {
+		v, n := binary.Uvarint(footer[off:])
+		if n <= 0 {
+			return 0, 0, fmt.Errorf("store: segment footer truncated at byte %d", off)
+		}
+		return v, off + n, nil
+	}
+	ver, off, err := readUvarint(0)
+	if err != nil {
+		return nil, err
+	}
+	if ver != segFormatVersion {
+		return nil, fmt.Errorf("store: unsupported segment format version %d", ver)
+	}
+	shard, off, err := readUvarint(off)
+	if err != nil {
+		return nil, err
+	}
+	from, off, err := readUvarint(off)
+	if err != nil {
+		return nil, err
+	}
+	numTraces, off, err := readUvarint(off)
+	if err != nil {
+		return nil, err
+	}
+	if numTraces > uint64(footerLen) { // each block length costs >= 1 footer byte
+		return nil, fmt.Errorf("store: segment claims %d traces in a %d-byte footer", numTraces, footerLen)
+	}
+	v := &segmentView{shard: int(shard), from: int(from), body: body, blockLens: make([]int, numTraces)}
+	total := 0
+	for i := range v.blockLens {
+		var bl uint64
+		bl, off, err = readUvarint(off)
+		if err != nil {
+			return nil, err
+		}
+		v.blockLens[i] = int(bl)
+		total += int(bl)
+	}
+	if total != bodyLen {
+		return nil, fmt.Errorf("store: segment block lengths sum to %d, body is %d", total, bodyLen)
+	}
+	return v, nil
+}
+
+// numTraces returns the number of traces the segment holds.
+func (v *segmentView) numTraces() int { return len(v.blockLens) }
+
+// trace decodes trace i (0-based within the segment) using the footer's
+// offset table — no other block is touched.
+func (v *segmentView) trace(i int) (seqdb.Sequence, error) {
+	off := 0
+	for k := 0; k < i; k++ {
+		off += v.blockLens[k]
+	}
+	s, n, err := seqdb.DecodeSequenceBlock(v.body[off : off+v.blockLens[i]])
+	if err != nil {
+		return nil, fmt.Errorf("store: segment trace %d: %w", i, err)
+	}
+	if n != v.blockLens[i] {
+		return nil, fmt.Errorf("store: segment trace %d: block is %d bytes, decoded %d", i, v.blockLens[i], n)
+	}
+	return s, nil
+}
+
+// decodeAll decodes every trace in order.
+func (v *segmentView) decodeAll() ([]seqdb.Sequence, error) {
+	out := make([]seqdb.Sequence, 0, len(v.blockLens))
+	off := 0
+	for i, bl := range v.blockLens {
+		s, n, err := seqdb.DecodeSequenceBlock(v.body[off : off+bl])
+		if err != nil {
+			return nil, fmt.Errorf("store: segment trace %d: %w", i, err)
+		}
+		if n != bl {
+			return nil, fmt.Errorf("store: segment trace %d: block is %d bytes, decoded %d", i, bl, n)
+		}
+		out = append(out, s)
+		off += bl
+	}
+	return out, nil
+}
+
+// mergeSegments concatenates adjacent segment images into one: bodies are
+// spliced verbatim (blocks are self-contained) and the footer is rebuilt.
+// The parts must belong to one shard and cover contiguous ordinal ranges in
+// order.
+func mergeSegments(parts [][]byte) ([]byte, error) {
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("store: merge needs at least two segments")
+	}
+	views := make([]*segmentView, len(parts))
+	for i, p := range parts {
+		v, err := parseSegment(p)
+		if err != nil {
+			return nil, fmt.Errorf("store: merge part %d: %w", i, err)
+		}
+		views[i] = v
+	}
+	next := views[0].from + views[0].numTraces()
+	for i := 1; i < len(views); i++ {
+		if views[i].shard != views[0].shard {
+			return nil, fmt.Errorf("store: merging segments of shards %d and %d", views[0].shard, views[i].shard)
+		}
+		if views[i].from != next {
+			return nil, fmt.Errorf("store: merging non-adjacent segments (ordinal %d after %d)", views[i].from, next)
+		}
+		next += views[i].numTraces()
+	}
+
+	buf := append([]byte(nil), segMagic[:]...)
+	bodyStart := len(buf)
+	for _, v := range views {
+		buf = append(buf, v.body...)
+	}
+	bodyLen := len(buf) - bodyStart
+	footerStart := len(buf)
+	buf = binary.AppendUvarint(buf, segFormatVersion)
+	buf = binary.AppendUvarint(buf, uint64(views[0].shard))
+	buf = binary.AppendUvarint(buf, uint64(views[0].from))
+	buf = binary.AppendUvarint(buf, uint64(next-views[0].from))
+	for _, v := range views {
+		for _, bl := range v.blockLens {
+			buf = binary.AppendUvarint(buf, uint64(bl))
+		}
+	}
+	footerLen := len(buf) - footerStart
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(bodyLen))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(footerLen))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[bodyStart:bodyStart+bodyLen]))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[footerStart:footerStart+footerLen]))
+	return binary.LittleEndian.AppendUint32(buf, segTailMagic), nil
+}
+
+// writeSegmentFile publishes a segment image at dir/segmentName(from,to).
+// The write is direct, not temp-file + rename: a crash can leave a torn
+// file, but recovery detects it (checksummed trailer) and, because a
+// segment's WAL records are flushed before the segment is written and WAL
+// generations are only retired after a completed rotation, a torn segment at
+// the chain tail is always still covered by the surviving WAL — recovery
+// discards the file and replays the log instead. Saving the rename matters:
+// segment publishes sit on the ingestion barrier path.
+func writeSegmentFile(dir string, from, to int, data []byte, sync bool) (segmentInfo, error) {
+	path := filepath.Join(dir, segmentName(from, to))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return segmentInfo{}, fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if sync {
+		if err := syncFile(path); err != nil {
+			return segmentInfo{}, err
+		}
+		if err := syncDir(path); err != nil {
+			return segmentInfo{}, err
+		}
+	}
+	return segmentInfo{from: from, to: to, path: path, size: int64(len(data))}, nil
+}

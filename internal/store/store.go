@@ -1,0 +1,800 @@
+// Package store is the durable, log-structured persistence layer under the
+// streaming ingester: the LogBase-style "log as the store" design. Every
+// ingested operation is appended to a per-shard write-ahead log before it is
+// acknowledged; sealed traces are periodically rolled into immutable,
+// block-compressed segment files; a background compactor merges small
+// segments; and Open recovers the pre-crash state — sealed databases, open
+// traces, the event dictionary — by loading the newest segments and replaying
+// the WAL tail over them.
+//
+// Layout of a store directory:
+//
+//	MANIFEST.json        shard count and format version
+//	dict.wal             dictionary log: one record per interned name, in id order
+//	shard-NNN/
+//	  wal-GGGGGG.wal     the shard's active WAL generation
+//	  seg-FFF-TTT.seg    sealed segments covering seal ordinals [FFF, TTT)
+//
+// Durability contract: a WAL record is appended (to the in-process
+// group-commit buffer) strictly before the operation is acknowledged, and
+// buffers are flushed to the OS at every seal-batch barrier, snapshot and
+// rotation — so everything visible in a stream Snapshot survives a process
+// crash. The window between barriers is the group-commit window: a crash may
+// lose its tail, but recovery always yields a consistent prefix of what was
+// acknowledged (torn frames never surface). With Options.Sync, flushes also
+// fsync, extending the guarantee to machine crashes at a heavy throughput
+// cost.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"specmine/internal/seqdb"
+)
+
+// Options parameterises Open.
+type Options struct {
+	// Dir is the store directory, created if absent.
+	Dir string
+	// Shards is the number of ingestion shards. It is fixed at store creation
+	// (the trace-id hash partitioning bakes it into every file); reopening
+	// with a different non-zero value is an error. 0 means "whatever the
+	// store was created with" (default 4 for a fresh store).
+	Shards int
+	// Sync makes every WAL flush and segment publish fsync, extending
+	// durability from process crashes to machine crashes.
+	Sync bool
+	// WALRotateBytes is the WAL size beyond which a seal barrier rolls the
+	// log into segments and starts a fresh generation; default 4 MiB.
+	WALRotateBytes int64
+	// CompactBytes is the segment size below which adjacent segments are
+	// merged by the background compactor; default 256 KiB.
+	CompactBytes int64
+}
+
+type manifest struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// Store is an open store directory: the dictionary log, one ShardLog per
+// shard, and the compactor. All methods are safe for concurrent use; the
+// per-shard mutation entry points live on ShardLog.
+type Store struct {
+	opts      Options
+	lock      *os.File // exclusive advisory lock on Dir, held until Close
+	dict      *seqdb.Dictionary
+	dictLog   walBuffer
+	shards    []*ShardLog
+	recovered *Recovered
+
+	// segMu guards every ShardLog's segs ledger (writer barriers append,
+	// the compactor splices). It is held only for ledger reads and splices,
+	// never across file I/O: a seal barrier must never stall behind a merge.
+	segMu sync.Mutex
+	// compactMu serialises whole compaction passes (the background loop and
+	// direct Compact calls), so run selection and ledger splices can assume
+	// a single mutator besides the barriers' appends.
+	compactMu sync.Mutex
+
+	// errMu guards sticky: the first unrecoverable I/O error. Once set, every
+	// durable operation fails with it — better loudly down than silently
+	// non-durable.
+	errMu  sync.Mutex
+	sticky error
+
+	compactNudge chan struct{}
+	compactStop  chan struct{}
+	compactDone  chan struct{}
+
+	// ingAttached enforces one ingester per store handle: the recovered
+	// snapshot is consumed by the first attach, after which the handle's
+	// Recovered() no longer reflects the shards' state.
+	ingAttached atomic.Bool
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// walBuffer pairs a walFile with its own lock; used for the dictionary log,
+// whose appends arrive under the dictionary's intern lock and whose flushes
+// arrive from shard barrier goroutines.
+type walBuffer struct {
+	mu  sync.Mutex
+	wal *walFile
+}
+
+// Open opens or creates the store at opts.Dir and recovers its state: the
+// dictionary is replayed from the dictionary log, each shard's sealed traces
+// are loaded from its segment chain plus its WAL tail, and surviving open
+// traces are reconstructed. Open then rolls every WAL-recovered sealed trace
+// into a segment and starts a fresh WAL generation per shard, so the on-disk
+// state is canonical before new traffic arrives.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: Options.Dir is required")
+	}
+	if opts.WALRotateBytes <= 0 {
+		opts.WALRotateBytes = 4 << 20
+	}
+	if opts.CompactBytes <= 0 {
+		opts.CompactBytes = 256 << 10
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", opts.Dir, err)
+	}
+	lock, err := acquireDirLock(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	shards, err := loadOrCreateManifest(opts)
+	if err != nil {
+		releaseDirLock(lock)
+		return nil, err
+	}
+	opts.Shards = shards
+
+	st := &Store{
+		opts:         opts,
+		lock:         lock,
+		compactNudge: make(chan struct{}, 1),
+		compactStop:  make(chan struct{}),
+		compactDone:  make(chan struct{}),
+	}
+	if err := st.recoverDict(); err != nil {
+		releaseDirLock(lock)
+		return nil, err
+	}
+	// On any later failure, close the files recovery has opened so far — a
+	// supervisor retrying Open against a corrupt directory must not leak a
+	// descriptor per attempt.
+	closePartial := func() {
+		_ = st.dictLog.wal.f.Close()
+		for _, sl := range st.shards {
+			if sl != nil {
+				_ = sl.wal.f.Close()
+			}
+		}
+		releaseDirLock(lock)
+	}
+	st.shards = make([]*ShardLog, shards)
+	st.recovered = &Recovered{Shards: make([]RecoveredShard, shards)}
+	for i := range st.shards {
+		sl, rec, err := st.recoverShard(i)
+		if err != nil {
+			closePartial()
+			return nil, fmt.Errorf("store: shard %d: %w", i, err)
+		}
+		st.shards[i] = sl
+		st.recovered.Shards[i] = rec
+	}
+	// From here on, fresh interning is logged. (Recovery imported the old
+	// names without the hook — they are already on disk.)
+	st.dict.OnIntern(func(_ seqdb.EventID, name string) {
+		st.dictLog.mu.Lock()
+		st.dictLog.wal.append(encodeDictName(name))
+		if len(st.dictLog.wal.buf) >= walFlushThreshold {
+			if err := st.dictLog.wal.flush(); err != nil {
+				st.fail(err)
+			}
+		}
+		st.dictLog.mu.Unlock()
+	})
+	go st.compactor()
+	return st, nil
+}
+
+func loadOrCreateManifest(opts Options) (int, error) {
+	path := filepath.Join(opts.Dir, "MANIFEST.json")
+	buf, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var m manifest
+		if err := json.Unmarshal(buf, &m); err != nil {
+			return 0, fmt.Errorf("store: parsing %s: %w", path, err)
+		}
+		if m.Version != 1 || m.Shards < 1 {
+			return 0, fmt.Errorf("store: unsupported manifest %+v", m)
+		}
+		if opts.Shards != 0 && opts.Shards != m.Shards {
+			return 0, fmt.Errorf("store: store has %d shards, Options.Shards asks for %d (the trace partitioning is fixed at creation)", m.Shards, opts.Shards)
+		}
+		return m.Shards, nil
+	case os.IsNotExist(err):
+		shards := opts.Shards
+		if shards == 0 {
+			shards = 4
+		}
+		if shards < 1 {
+			return 0, fmt.Errorf("store: invalid shard count %d", shards)
+		}
+		buf, err := json.Marshal(manifest{Version: 1, Shards: shards})
+		if err != nil {
+			return 0, err
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+			return 0, fmt.Errorf("store: writing %s: %w", tmp, err)
+		}
+		if opts.Sync {
+			if err := syncFile(tmp); err != nil {
+				return 0, err
+			}
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return 0, fmt.Errorf("store: publishing %s: %w", path, err)
+		}
+		if opts.Sync {
+			// Without this, a machine crash could lose the manifest while
+			// fsynced shard data survives — and a re-created default
+			// manifest would silently change the shard count and hashing.
+			if err := syncDir(path); err != nil {
+				return 0, err
+			}
+		}
+		return shards, nil
+	default:
+		return 0, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+}
+
+// Dict returns the store's dictionary: recovered names under their original
+// ids, with fresh interning logged durably. Hand it to the ingester (and to
+// anything that mines or verifies against stored traces).
+func (st *Store) Dict() *seqdb.Dictionary { return st.dict }
+
+// NumShards returns the store's fixed shard count.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.opts.Dir }
+
+// Recovered returns the state recovered at Open. The ingester seeds its
+// shards from it; cold-start miners can merge it into a Database directly.
+func (st *Store) Recovered() *Recovered { return st.recovered }
+
+// Shard returns the durable log of shard i; the streaming layer appends
+// through it.
+func (st *Store) Shard(i int) *ShardLog { return st.shards[i] }
+
+// AttachIngester claims the store for a streaming ingester. It succeeds
+// exactly once per handle: a second ingester would seed itself from the
+// stale Open-time Recovered() snapshot while the shards' covered counters
+// have moved on — silently inconsistent snapshots followed by a poisoned
+// rotation. To resume after closing an ingester, close the store and open a
+// fresh handle (which re-recovers).
+func (st *Store) AttachIngester() error {
+	if !st.ingAttached.CompareAndSwap(false, true) {
+		return errors.New("store: an ingester already attached to this handle; reopen the store to attach another")
+	}
+	return nil
+}
+
+// Err returns the store's sticky error: the first unrecoverable I/O failure,
+// or nil while the store is healthy.
+func (st *Store) Err() error {
+	st.errMu.Lock()
+	defer st.errMu.Unlock()
+	return st.sticky
+}
+
+func (st *Store) fail(err error) error {
+	st.errMu.Lock()
+	defer st.errMu.Unlock()
+	if st.sticky == nil {
+		st.sticky = err
+	}
+	return st.sticky
+}
+
+// flushDict flushes the dictionary log. It must run before any shard WAL
+// flush so that, on disk, every event id a shard record references has its
+// dictionary record already persisted.
+func (st *Store) flushDict() error {
+	st.dictLog.mu.Lock()
+	defer st.dictLog.mu.Unlock()
+	if err := st.dictLog.wal.flush(); err != nil {
+		return st.fail(err)
+	}
+	return nil
+}
+
+// Close stops the compactor, flushes every log and closes the files. Open
+// traces stay open in the WAL: a reopened store recovers them and the
+// ingester resumes them seamlessly. Close is idempotent.
+func (st *Store) Close() error {
+	st.closeMu.Lock()
+	defer st.closeMu.Unlock()
+	if st.closed {
+		return st.Err()
+	}
+	st.closed = true
+	close(st.compactStop)
+	<-st.compactDone
+	st.dict.OnIntern(nil)
+
+	err := st.flushDict()
+	st.dictLog.mu.Lock()
+	if cerr := st.dictLog.wal.close(); err == nil && cerr != nil {
+		err = st.fail(cerr)
+	}
+	st.dictLog.mu.Unlock()
+	for _, sl := range st.shards {
+		sl.mu.Lock()
+		if ferr := sl.wal.close(); err == nil && ferr != nil {
+			err = st.fail(ferr)
+		}
+		sl.mu.Unlock()
+	}
+	releaseDirLock(st.lock)
+	if err == nil {
+		err = st.Err()
+	}
+	return err
+}
+
+// ShardLog is one shard's durable appender. Producer-facing methods
+// (LogEvents, LogSeal, Flush) are safe for concurrent use; the barrier
+// methods (WriteSegment, rotation) must be called from the shard's single
+// writer goroutine, which is exactly how the streaming layer drives them.
+type ShardLog struct {
+	st    *Store
+	shard int
+	dir   string
+
+	// mu serialises WAL appends with the caller's channel handoff (the
+	// LogEvents/LogSeal callbacks run under it) so WAL order always equals
+	// apply order, and guards the handle table and generation swaps.
+	mu         sync.Mutex
+	wal        *walFile
+	gen        uint64
+	handles    map[string]uint64
+	nextHandle uint64
+
+	// covered is the seal ordinal up to which segments exist. Barrier
+	// goroutine only.
+	covered int
+	// segs is the live segment ledger, guarded by st.segMu.
+	segs []segmentInfo
+	// walSize mirrors wal.pending() for lock-free reads: the shard goroutine
+	// consults RotateDue per operation and must never block on mu (a
+	// producer can hold it while blocked on the shard's channel).
+	walSize atomic.Int64
+	// rotateAt is the adaptive rotation threshold: at least the configured
+	// budget, but also at least twice the size of the last generation's
+	// fresh start. When the open-trace payload alone exceeds the budget, a
+	// fixed threshold would demand a rotation after every operation — each
+	// one rewriting the whole multi-megabyte open set; doubling instead
+	// keeps total rotation I/O linear in the bytes ever logged.
+	rotateAt atomic.Int64
+}
+
+// Err returns the owning store's sticky error; nil while healthy.
+func (sl *ShardLog) Err() error { return sl.st.Err() }
+
+// RotateDue reports, without taking the lock, whether the active WAL
+// generation has outgrown its rotation threshold. The shard goroutine checks
+// it on every applied operation — events-only and seal-light workloads must
+// still trigger rotation, or the WAL (and recovery replay time) would grow
+// with history instead of with open data.
+func (sl *ShardLog) RotateDue() bool {
+	return sl.walSize.Load() >= sl.rotateAt.Load()
+}
+
+// setRotateThreshold recomputes rotateAt from a fresh generation's size.
+func (sl *ShardLog) setRotateThreshold(fresh int64) {
+	at := sl.st.opts.WALRotateBytes
+	if double := fresh * 2; double > at {
+		at = double
+	}
+	sl.rotateAt.Store(at)
+}
+
+// Lock takes the shard log's lock for a producer-side append. The intended
+// sequence — append record(s), hand the operation to the shard's channel,
+// unlock — keeps WAL order equal to apply order and guarantees the record is
+// in the group-commit buffer before the operation is acknowledged. Producers
+// may block on the channel while holding the lock; that is safe because the
+// shard goroutine only ever acquires it with TryLock.
+func (sl *ShardLog) Lock() { sl.mu.Lock() }
+
+// AppendEventsLocked appends an events record (preceded by an open record
+// when the trace id is new) under the held lock. The record is framed in
+// place in the group-commit buffer — the ingest hot path allocates nothing.
+// On a flush failure the record (and any handle assignment) is rolled back:
+// the operation is being rejected, so no later retry of the buffer may
+// deliver it to disk and resurrect it at recovery.
+func (sl *ShardLog) AppendEventsLocked(id string, events []seqdb.EventID) error {
+	if err := sl.st.Err(); err != nil {
+		return err
+	}
+	w := sl.wal
+	mark := len(w.buf)
+	h, ok := sl.handles[id]
+	if !ok {
+		h = sl.nextHandle
+		sl.nextHandle++
+		sl.handles[id] = h
+		start := w.begin()
+		w.buf = encodeOpen(w.buf, h, id)
+		w.end(start)
+	}
+	start := w.begin()
+	w.buf = encodeEvents(w.buf, h, events)
+	w.end(start)
+	sl.walSize.Store(w.pending())
+	preSize := w.size
+	if err := sl.maybeFlushLocked(); err != nil {
+		sl.rollbackLocked(mark, preSize)
+		if !ok {
+			delete(sl.handles, id)
+			sl.nextHandle--
+		}
+		return err
+	}
+	return nil
+}
+
+// AppendSealLocked appends a seal record (opening the trace first when the id
+// was never seen — an empty trace) under the held lock; rollback semantics as
+// in AppendEventsLocked.
+func (sl *ShardLog) AppendSealLocked(id string) error {
+	if err := sl.st.Err(); err != nil {
+		return err
+	}
+	w := sl.wal
+	mark := len(w.buf)
+	h, ok := sl.handles[id]
+	if !ok {
+		h = sl.nextHandle
+		sl.nextHandle++
+		start := w.begin()
+		w.buf = encodeOpen(w.buf, h, id)
+		w.end(start)
+	}
+	delete(sl.handles, id)
+	start := w.begin()
+	w.buf = encodeSeal(w.buf, h)
+	w.end(start)
+	sl.walSize.Store(w.pending())
+	preSize := w.size
+	if err := sl.maybeFlushLocked(); err != nil {
+		sl.rollbackLocked(mark, preSize)
+		if ok {
+			sl.handles[id] = h
+		} else {
+			sl.nextHandle--
+		}
+		return err
+	}
+	return nil
+}
+
+// rollbackLocked drops the rejected operation's records from the buffer
+// tail. mark is the buffer length before they were framed and preSize the
+// file size before the failed flush; the flush may have consumed a prefix of
+// the buffer (walFile.flush advances it on partial writes), so the mark is
+// rebased by the consumed byte count. If the flush tore into the rejected
+// records themselves, the torn on-disk frame is unreachable to recovery by
+// construction, and the store's sticky error stops anything from being
+// appended after it.
+func (sl *ShardLog) rollbackLocked(mark int, preSize int64) {
+	w := sl.wal
+	rel := mark - int(w.size-preSize)
+	if rel < 0 {
+		rel = 0
+	}
+	if rel < len(w.buf) {
+		w.buf = w.buf[:rel]
+	}
+	sl.walSize.Store(w.pending())
+}
+
+// LogEvents is the convenience form of Lock + AppendEventsLocked + send +
+// Unlock, used by tests and simple drivers.
+func (sl *ShardLog) LogEvents(id string, events []seqdb.EventID, send func()) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if err := sl.AppendEventsLocked(id, events); err != nil {
+		return err
+	}
+	send()
+	return nil
+}
+
+// LogSeal is the convenience form of Lock + AppendSealLocked + send + Unlock.
+func (sl *ShardLog) LogSeal(id string, send func()) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if err := sl.AppendSealLocked(id); err != nil {
+		return err
+	}
+	send()
+	return nil
+}
+
+// maybeFlushLocked group-commits when the buffer has grown past the
+// threshold, flushing the dictionary log first to preserve the on-disk
+// reference invariant.
+func (sl *ShardLog) maybeFlushLocked() error {
+	if int64(len(sl.wal.buf)) < walFlushThreshold {
+		return nil
+	}
+	return sl.flushLocked()
+}
+
+func (sl *ShardLog) flushLocked() error {
+	if err := sl.st.flushDict(); err != nil {
+		return err
+	}
+	if err := sl.wal.flush(); err != nil {
+		return sl.st.fail(err)
+	}
+	return nil
+}
+
+// Flush forces the shard's buffered records (and the dictionary log) to the
+// OS — the barrier the streaming layer invokes at every snapshot, so any
+// state a snapshot exposed is recoverable.
+func (sl *ShardLog) Flush() error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.flushLocked()
+}
+
+// FlushLocked is Flush for callers already holding the lock via TryLock.
+func (sl *ShardLog) FlushLocked() error { return sl.flushLocked() }
+
+// NeedRotate reports whether the active WAL generation has outgrown the
+// rotation budget and the next barrier should roll it into segments.
+func (sl *ShardLog) NeedRotate() bool {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.needRotateLocked()
+}
+
+// NeedRotateLocked is NeedRotate for callers already holding the lock via
+// TryLock.
+func (sl *ShardLog) NeedRotateLocked() bool { return sl.needRotateLocked() }
+
+func (sl *ShardLog) needRotateLocked() bool {
+	return sl.wal.pending() >= sl.rotateAt.Load()
+}
+
+// TryLock attempts to take the shard log's lock without blocking. The
+// rotation protocol in the streaming layer needs it: the shard goroutine
+// must never block on the lock while a producer inside LogEvents could be
+// blocked on the shard's own channel.
+func (sl *ShardLog) TryLock() bool { return sl.mu.TryLock() }
+
+// Unlock releases the lock taken by TryLock.
+func (sl *ShardLog) Unlock() { sl.mu.Unlock() }
+
+// WriteSegment flushes the logs and rolls every sealed trace not yet in a
+// segment — seqs must be the shard's full sealed-trace list, in seal order —
+// into a new segment file. Barrier goroutine only.
+func (sl *ShardLog) WriteSegment(seqs []seqdb.Sequence) error {
+	if err := sl.Flush(); err != nil {
+		return err
+	}
+	return sl.writeSegmentTail(seqs)
+}
+
+// WriteSegmentLocked is WriteSegment for the rotation path, where the caller
+// already holds the lock via TryLock.
+func (sl *ShardLog) WriteSegmentLocked(seqs []seqdb.Sequence) error {
+	if err := sl.flushLocked(); err != nil {
+		return err
+	}
+	return sl.writeSegmentTail(seqs)
+}
+
+// PublishSegment rolls the unsegmented sealed tail of seqs into a segment
+// WITHOUT taking the log's lock — the barrier goroutine calls it after
+// releasing the lock so producers never wait behind segment I/O. The caller
+// must have flushed the WAL past those traces' seal records while it still
+// held the lock (the barrier does); publishing an un-covered segment would
+// break the resurrection invariant writeSegmentTail documents.
+func (sl *ShardLog) PublishSegment(seqs []seqdb.Sequence) error {
+	if err := sl.st.Err(); err != nil {
+		return err
+	}
+	return sl.writeSegmentTail(seqs)
+}
+
+// writeSegmentTail writes seqs[covered:] as a segment. The WAL must already
+// be flushed past those traces' seal records: a surviving segment whose seals
+// the WAL never saw would resurrect its traces as duplicates.
+func (sl *ShardLog) writeSegmentTail(seqs []seqdb.Sequence) error {
+	if len(seqs) <= sl.covered {
+		return nil
+	}
+	from, to := sl.covered, len(seqs)
+	data := encodeSegment(seqs[from:to], sl.shard, from)
+	info, err := writeSegmentFile(sl.dir, from, to, data, sl.st.opts.Sync)
+	if err != nil {
+		return sl.st.fail(err)
+	}
+	sl.covered = to
+	sl.st.segMu.Lock()
+	sl.segs = append(sl.segs, info)
+	sl.st.segMu.Unlock()
+	select {
+	case sl.st.compactNudge <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// RotateLocked starts a fresh WAL generation: a new file carrying only the
+// header (sealedBase = sealedTotal, which must equal the segment coverage)
+// and a re-log of the still-open traces, then removal of the old generation.
+// The caller must hold the lock via TryLock with the shard's channel drained,
+// so the open-trace set is exact and no producer can interleave.
+func (sl *ShardLog) RotateLocked(open []OpenTrace, sealedTotal int) error {
+	if sealedTotal != sl.covered {
+		return sl.st.fail(fmt.Errorf("store: shard %d: rotating with %d sealed but %d covered by segments", sl.shard, sealedTotal, sl.covered))
+	}
+	// The old generation stays valid until the new one is renamed into
+	// place, so a crash anywhere in here recovers from one or the other.
+	sort.Slice(open, func(i, j int) bool { return open[i].ID < open[j].ID })
+	records, handles, next := openTraceRecords(sl.shard, sealedTotal, open)
+	newGen := sl.gen + 1
+	newPath := filepath.Join(sl.dir, walName(newGen))
+	wal, err := createWAL(newPath, sl.st.opts.Sync, records...)
+	if err != nil {
+		return sl.st.fail(err)
+	}
+	oldPath := sl.wal.path
+	if err := sl.wal.f.Close(); err != nil {
+		// The old generation is already superseded; losing its handle is not
+		// a durability problem, but surface the leak.
+		sl.st.fail(fmt.Errorf("store: closing superseded %s: %w", oldPath, err))
+	}
+	_ = os.Remove(oldPath)
+	sl.wal = wal
+	sl.gen = newGen
+	sl.handles = handles
+	sl.nextHandle = next
+	sl.walSize.Store(wal.pending())
+	sl.setRotateThreshold(wal.pending())
+	return nil
+}
+
+func walName(gen uint64) string { return fmt.Sprintf("wal-%06d.wal", gen) }
+
+func parseWALName(name string) (uint64, bool) {
+	var gen uint64
+	if n, err := fmt.Sscanf(name, "wal-%d.wal", &gen); n != 1 || err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// compactor is the background merge loop: every segment publish nudges it,
+// and it folds runs of small adjacent segments into larger ones.
+func (st *Store) compactor() {
+	defer close(st.compactDone)
+	for {
+		select {
+		case <-st.compactStop:
+			return
+		case <-st.compactNudge:
+			if err := st.Compact(); err != nil {
+				st.fail(err)
+			}
+		}
+	}
+}
+
+// Compact merges, in every shard, each run of compactMinRun or more adjacent
+// segments that are all smaller than Options.CompactBytes. It is what the
+// background compactor runs; tests call it directly for determinism. Merging
+// splices block bodies without re-encoding, so a crash mid-compaction leaves
+// either the old segments, or the merged one plus subsumed leftovers that
+// the next Open discards. Only one Compact runs at a time (compactMu), and
+// all file I/O happens outside segMu — seal barriers must never wait on a
+// merge, only on the brief ledger splice.
+func (st *Store) Compact() error {
+	st.compactMu.Lock()
+	defer st.compactMu.Unlock()
+	for _, sl := range st.shards {
+		if err := st.compactShard(sl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactMinRun is the smallest run of small adjacent segments worth
+// merging. Requiring several keeps compaction amortised: a freshly merged
+// segment (often still under the size budget) is not re-merged until enough
+// new small neighbours accumulate, so each byte is rewritten O(log) times
+// over the store's life rather than once per barrier.
+const compactMinRun = 4
+
+func (st *Store) compactShard(sl *ShardLog) error {
+	for {
+		// Pick one mergeable run under the ledger lock, copying the entries;
+		// the heavy work runs unlocked. Only this compactor removes or
+		// replaces entries (compactMu), the shard's barrier only appends, so
+		// the copied run stays valid while unlocked.
+		st.segMu.Lock()
+		var run []segmentInfo
+		for i := 0; i < len(sl.segs) && run == nil; {
+			j := i
+			for j < len(sl.segs) && sl.segs[j].size < st.opts.CompactBytes {
+				j++
+			}
+			if j-i >= compactMinRun {
+				run = append(run, sl.segs[i:j]...)
+			}
+			if j == i {
+				j = i + 1
+			}
+			i = j
+		}
+		st.segMu.Unlock()
+		if run == nil {
+			return nil
+		}
+
+		parts := make([][]byte, len(run))
+		for k, info := range run {
+			buf, err := os.ReadFile(info.path)
+			if err != nil {
+				return fmt.Errorf("store: compacting shard %d: %w", sl.shard, err)
+			}
+			parts[k] = buf
+		}
+		merged, err := mergeSegments(parts)
+		if err != nil {
+			return fmt.Errorf("store: compacting shard %d: %w", sl.shard, err)
+		}
+		info, err := writeSegmentFile(sl.dir, run[0].from, run[len(run)-1].to, merged, st.opts.Sync)
+		if err != nil {
+			return err
+		}
+
+		st.segMu.Lock()
+		spliced := make([]segmentInfo, 0, len(sl.segs)-len(run)+1)
+		replaced := false
+		for _, s := range sl.segs {
+			if s.from >= run[0].from && s.to <= run[len(run)-1].to {
+				if !replaced {
+					spliced = append(spliced, info)
+					replaced = true
+				}
+				continue
+			}
+			spliced = append(spliced, s)
+		}
+		sl.segs = spliced
+		st.segMu.Unlock()
+		for _, old := range run {
+			_ = os.Remove(old.path)
+		}
+	}
+}
+
+// SegmentSpans returns, for diagnostics and tests, each shard's live segment
+// ordinal ranges in order.
+func (st *Store) SegmentSpans() [][][2]int {
+	st.segMu.Lock()
+	defer st.segMu.Unlock()
+	out := make([][][2]int, len(st.shards))
+	for i, sl := range st.shards {
+		for _, s := range sl.segs {
+			out[i] = append(out[i], [2]int{s.from, s.to})
+		}
+	}
+	return out
+}

@@ -1,0 +1,564 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specmine/internal/seqdb"
+)
+
+func openStore(t *testing.T, dir string, tweak func(*Options)) *Store {
+	t.Helper()
+	opts := Options{Dir: dir, Shards: 1}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	st, err := Open(opts)
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	return st
+}
+
+// internEvents gives the store's dictionary n event names and returns their
+// ids (0..n-1 on a fresh store).
+func internEvents(t *testing.T, st *Store, n int) []seqdb.EventID {
+	t.Helper()
+	ids := make([]seqdb.EventID, n)
+	for i := range ids {
+		ids[i] = st.Dict().Intern(eventName(i))
+	}
+	return ids
+}
+
+func eventName(i int) string { return "ev" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func noSend() {}
+
+func randomTrace(rng *rand.Rand, alphabet int) seqdb.Sequence {
+	s := make(seqdb.Sequence, 1+rng.Intn(20))
+	for j := range s {
+		if j > 0 && rng.Intn(4) == 0 {
+			s[j] = s[j-1]
+		} else {
+			s[j] = seqdb.EventID(rng.Intn(alphabet))
+		}
+	}
+	return s
+}
+
+func sequencesEqual(t *testing.T, label string, got, want []seqdb.Sequence) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d sequences want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: sequence %d has %d events want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: sequence %d event %d is %d want %d", label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestSegmentEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var seqs []seqdb.Sequence
+	seqs = append(seqs, seqdb.Sequence{}) // empty trace is legal
+	for i := 0; i < 40; i++ {
+		seqs = append(seqs, randomTrace(rng, 30))
+	}
+	data := encodeSegment(seqs, 3, 17)
+	v, err := parseSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.shard != 3 || v.from != 17 || v.numTraces() != len(seqs) {
+		t.Fatalf("parsed shard=%d from=%d traces=%d", v.shard, v.from, v.numTraces())
+	}
+	all, err := v.decodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequencesEqual(t, "decodeAll", all, seqs)
+	// Random access through the footer offsets, no full decode.
+	for _, i := range []int{0, 1, len(seqs) / 2, len(seqs) - 1} {
+		s, err := v.trace(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequencesEqual(t, "trace()", []seqdb.Sequence{s}, []seqdb.Sequence{seqs[i]})
+	}
+	// Any single flipped byte must be detected.
+	for _, off := range []int{0, 9, len(data) / 2, len(data) - 25, len(data) - 3} {
+		corrupt := append([]byte(nil), data...)
+		corrupt[off] ^= 0x40
+		if _, err := parseSegment(corrupt); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", off)
+		}
+	}
+	if _, err := parseSegment(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated segment went undetected")
+	}
+}
+
+func TestSegmentMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var all []seqdb.Sequence
+	var parts [][]byte
+	from := 5
+	for p := 0; p < 3; p++ {
+		var seqs []seqdb.Sequence
+		for i := 0; i < 4+p; i++ {
+			seqs = append(seqs, randomTrace(rng, 20))
+		}
+		parts = append(parts, encodeSegment(seqs, 1, from+len(all)))
+		all = append(all, seqs...)
+	}
+	merged, err := mergeSegments(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := parseSegment(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.from != 5 || v.numTraces() != len(all) {
+		t.Fatalf("merged from=%d traces=%d", v.from, v.numTraces())
+	}
+	got, err := v.decodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequencesEqual(t, "merged", got, all)
+
+	// Non-adjacent and cross-shard merges must be refused.
+	if _, err := mergeSegments([][]byte{parts[0], parts[2]}); err == nil {
+		t.Fatal("non-adjacent merge accepted")
+	}
+	other := encodeSegment(all[:2], 2, 5+len(all))
+	if _, err := mergeSegments([][]byte{parts[0], other}); err == nil {
+		t.Fatal("cross-shard merge accepted")
+	}
+}
+
+// TestStoreRoundTrip: traces logged through the ShardLog — some sealed, some
+// left open, some rolled into segments — come back exactly after a reopen.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, nil)
+	internEvents(t, st, 12)
+	sl := st.Shard(0)
+	rng := rand.New(rand.NewSource(9))
+
+	var sealed []seqdb.Sequence
+	for i := 0; i < 10; i++ {
+		id := "t-" + string(rune('a'+i))
+		tr := randomTrace(rng, 12)
+		// Deliver in two chunks to exercise events-append on an open handle.
+		mid := len(tr) / 2
+		if err := sl.LogEvents(id, tr[:mid], noSend); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.LogEvents(id, tr[mid:], noSend); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.LogSeal(id, noSend); err != nil {
+			t.Fatal(err)
+		}
+		sealed = append(sealed, tr)
+		if i == 4 {
+			// Barrier mid-run: the first five traces go to a segment.
+			if err := sl.WriteSegment(sealed); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Two traces left open, one of them empty-by-now.
+	openA := randomTrace(rng, 12)
+	if err := sl.LogEvents("open-a", openA, noSend); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.LogEvents("open-b", nil, noSend); err != nil {
+		t.Fatal(err)
+	}
+	// An empty sealed trace via LogSeal on an unknown id.
+	if err := sl.LogSeal("ghost", noSend); err != nil {
+		t.Fatal(err)
+	}
+	sealed = append(sealed, seqdb.Sequence{})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	rec := st2.Recovered().Shards[0]
+	sequencesEqual(t, "recovered sealed", rec.Sequences, sealed)
+	if len(rec.Open) != 2 {
+		t.Fatalf("recovered %d open traces want 2", len(rec.Open))
+	}
+	if rec.Open[0].ID != "open-a" || rec.Open[1].ID != "open-b" {
+		t.Fatalf("open ids %q, %q", rec.Open[0].ID, rec.Open[1].ID)
+	}
+	sequencesEqual(t, "open-a", []seqdb.Sequence{rec.Open[0].Events}, []seqdb.Sequence{openA})
+	if len(rec.Open[1].Events) != 0 {
+		t.Fatalf("open-b has %d events want 0", len(rec.Open[1].Events))
+	}
+	if st2.Dict().Size() != 12 {
+		t.Fatalf("dictionary recovered %d names want 12", st2.Dict().Size())
+	}
+	for i := 0; i < 12; i++ {
+		if st2.Dict().Lookup(eventName(i)) != seqdb.EventID(i) {
+			t.Fatalf("dictionary id for %q moved to %d", eventName(i), st2.Dict().Lookup(eventName(i)))
+		}
+	}
+}
+
+// TestRecoveredIndexMatchesFreshBuild: the PositionIndex built over a
+// recovered shard database must be byte-identical to a fresh build over the
+// original sequences.
+func TestRecoveredIndexMatchesFreshBuild(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, nil)
+	ids := internEvents(t, st, 20)
+	_ = ids
+	sl := st.Shard(0)
+	rng := rand.New(rand.NewSource(10))
+	var sealed []seqdb.Sequence
+	for i := 0; i < 30; i++ {
+		tr := randomTrace(rng, 20)
+		id := "tr-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if err := sl.LogEvents(id, tr, noSend); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.LogSeal(id, noSend); err != nil {
+			t.Fatal(err)
+		}
+		sealed = append(sealed, tr)
+		if i%7 == 6 {
+			if err := sl.WriteSegment(sealed); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	db := st2.Recovered().Database(st2.Dict())
+	fresh := seqdb.BuildPositionIndex(sealed, 20)
+	if err := db.FlatIndex().EqualState(fresh); err != nil {
+		t.Fatalf("recovered index differs from fresh build: %v", err)
+	}
+}
+
+// TestWALRotation drives the rotation protocol by hand (the way the shard
+// goroutine does at a barrier) and checks that state survives it, that the
+// old generation is gone, and that open traces carry over.
+func TestWALRotation(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, func(o *Options) { o.WALRotateBytes = 1 }) // rotate at every barrier
+	internEvents(t, st, 10)
+	sl := st.Shard(0)
+	rng := rand.New(rand.NewSource(11))
+
+	var sealed []seqdb.Sequence
+	open := map[string]seqdb.Sequence{}
+	for round := 0; round < 5; round++ {
+		// Each round: extend a couple of open traces, seal one, then barrier
+		// with rotation.
+		for k := 0; k < 2; k++ {
+			id := "keep-" + string(rune('a'+(round+k)%3))
+			chunk := randomTrace(rng, 10)
+			if err := sl.LogEvents(id, chunk, noSend); err != nil {
+				t.Fatal(err)
+			}
+			open[id] = append(open[id], chunk...)
+		}
+		sealID := "seal-" + string(rune('a'+round))
+		tr := randomTrace(rng, 10)
+		if err := sl.LogEvents(sealID, tr, noSend); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.LogSeal(sealID, noSend); err != nil {
+			t.Fatal(err)
+		}
+		sealed = append(sealed, tr)
+
+		if round == 0 && !sl.NeedRotate() {
+			t.Fatal("rotation not requested despite 1-byte budget")
+		}
+		if !sl.TryLock() {
+			t.Fatal("TryLock failed with no contention")
+		}
+		if err := sl.WriteSegmentLocked(sealed); err != nil {
+			t.Fatal(err)
+		}
+		var opens []OpenTrace
+		for id, evs := range open {
+			opens = append(opens, OpenTrace{ID: id, Events: evs})
+		}
+		if err := sl.RotateLocked(opens, len(sealed)); err != nil {
+			t.Fatal(err)
+		}
+		sl.Unlock()
+	}
+	// The rotation threshold adapts: right after a rotation whose re-logged
+	// open set exceeds the configured budget, another rotation must NOT be
+	// due (a fixed threshold would demand one per operation, rewriting the
+	// whole open set each time) — it becomes due again once the WAL has
+	// grown past double the fresh generation's size.
+	if sl.NeedRotate() {
+		t.Fatalf("rotation due immediately after rotating (walSize %d, threshold %d)", sl.walSize.Load(), sl.rotateAt.Load())
+	}
+	for !sl.NeedRotate() {
+		chunk := randomTrace(rng, 10)
+		if err := sl.LogEvents("keep-a", chunk, noSend); err != nil {
+			t.Fatal(err)
+		}
+		open["keep-a"] = append(open["keep-a"], chunk...)
+	}
+
+	// Exactly one WAL generation file must remain.
+	files, err := filepath.Glob(filepath.Join(dir, "shard-000", "*.wal"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("WAL files after rotations: %v (err %v)", files, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	rec := st2.Recovered().Shards[0]
+	sequencesEqual(t, "sealed after rotations", rec.Sequences, sealed)
+	if len(rec.Open) != len(open) {
+		t.Fatalf("recovered %d open traces want %d", len(rec.Open), len(open))
+	}
+	for _, tr := range rec.Open {
+		sequencesEqual(t, "open "+tr.ID, []seqdb.Sequence{tr.Events}, []seqdb.Sequence{open[tr.ID]})
+	}
+}
+
+// TestCompaction: many tiny segments merge into few, recovery sees identical
+// content, and leftovers from a crashed compaction are discarded on open.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, nil)
+	internEvents(t, st, 10)
+	sl := st.Shard(0)
+	rng := rand.New(rand.NewSource(12))
+
+	var sealed []seqdb.Sequence
+	for i := 0; i < 12; i++ {
+		tr := randomTrace(rng, 10)
+		id := "c-" + string(rune('a'+i))
+		if err := sl.LogEvents(id, tr, noSend); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.LogSeal(id, noSend); err != nil {
+			t.Fatal(err)
+		}
+		sealed = append(sealed, tr)
+		if err := sl.WriteSegment(sealed); err != nil { // one tiny segment per trace
+			t.Fatal(err)
+		}
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	spans := st.SegmentSpans()[0]
+	if len(spans) != 1 || spans[0] != [2]int{0, 12} {
+		t.Fatalf("spans after compaction: %v", spans)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "shard-000", "*.seg"))
+	if len(files) != 1 {
+		t.Fatalf("segment files after compaction: %v", files)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash between a compaction's rename and its deletes: drop a
+	// subsumed small segment back in next to the merged one.
+	leftover := encodeSegment(sealed[3:5], 0, 3)
+	if _, err := writeSegmentFile(filepath.Join(dir, "shard-000"), 3, 5, leftover, false); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	rec := st2.Recovered().Shards[0]
+	sequencesEqual(t, "recovered after compaction", rec.Sequences, sealed)
+	if _, err := os.Stat(filepath.Join(dir, "shard-000", segmentName(3, 5))); !os.IsNotExist(err) {
+		t.Fatalf("subsumed leftover segment not removed (err %v)", err)
+	}
+}
+
+// TestTornSegmentFallsBackToWAL: segments are written directly (no rename),
+// so a crash can tear the newest one. Recovery must discard it and recover
+// every trace from the WAL, which is only retired after a completed rotation.
+func TestTornSegmentFallsBackToWAL(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, nil)
+	internEvents(t, st, 10)
+	sl := st.Shard(0)
+	rng := rand.New(rand.NewSource(13))
+	var sealed []seqdb.Sequence
+	for i := 0; i < 8; i++ {
+		tr := randomTrace(rng, 10)
+		id := "torn-" + string(rune('a'+i))
+		if err := sl.LogEvents(id, tr, noSend); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.LogSeal(id, noSend); err != nil {
+			t.Fatal(err)
+		}
+		sealed = append(sealed, tr)
+	}
+	if err := sl.WriteSegment(sealed[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the segment: chop its trailer off.
+	segPath := filepath.Join(dir, "shard-000", segmentName(0, 5))
+	info, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segPath, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	rec := st2.Recovered().Shards[0]
+	sequencesEqual(t, "recovered past torn segment", rec.Sequences, sealed)
+	if _, err := os.Stat(segPath); !os.IsNotExist(err) {
+		t.Fatalf("torn segment not discarded (err %v)", err)
+	}
+}
+
+// TestShardCountIsFixed: reopening with a different shard count must fail —
+// the trace partitioning is baked into the files.
+func TestShardCountIsFixed(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, func(o *Options) { o.Shards = 3 })
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, Shards: 5}); err == nil {
+		t.Fatal("shard count change accepted")
+	}
+	st2, err := Open(Options{Dir: dir}) // 0 = use the manifest
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.NumShards() != 3 {
+		t.Fatalf("NumShards %d want 3", st2.NumShards())
+	}
+}
+
+// TestFlushFailureRejectsAndRollsBack: when the group-commit flush fails,
+// the operation must be rejected AND its records rolled back from the
+// buffer — a later retry (Close flushes unconditionally) must never deliver
+// a record whose producer was told it failed, or recovery would replay an
+// unacknowledged operation.
+func TestFlushFailureRejectsAndRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, nil)
+	internEvents(t, st, 4)
+	sl := st.Shard(0)
+	// Ingest one good trace, flushed to disk.
+	if err := sl.LogEvents("good", seqdb.Sequence{0, 1, 2}, noSend); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.LogSeal("good", noSend); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Break the WAL file descriptor, then append a record big enough to
+	// trip the size-triggered flush — it must fail and roll back.
+	sl.wal.f.Close()
+	big := make(seqdb.Sequence, walFlushThreshold)
+	sent := false
+	if err := sl.LogEvents("doomed", big, func() { sent = true }); err == nil {
+		t.Fatal("append over a broken file succeeded")
+	}
+	if sent {
+		t.Fatal("operation was handed to the shard despite the failed flush")
+	}
+	if len(sl.wal.buf) != 0 {
+		t.Fatalf("%d rejected bytes left in the buffer for a later retry", len(sl.wal.buf))
+	}
+	if _, ok := sl.handles["doomed"]; ok {
+		t.Fatal("handle assignment survived the rollback")
+	}
+	if st.Err() == nil {
+		t.Fatal("store did not go sticky-failed")
+	}
+	if err := sl.LogEvents("after", seqdb.Sequence{0}, noSend); err == nil {
+		t.Fatal("append accepted after the store failed")
+	}
+	_ = st.Close() // errors (fd closed); recovery below is what matters
+
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	rec := st2.Recovered().Shards[0]
+	sequencesEqual(t, "acked prefix", rec.Sequences, []seqdb.Sequence{{0, 1, 2}})
+	if len(rec.Open) != 0 {
+		t.Fatalf("rejected trace resurrected: %+v", rec.Open)
+	}
+}
+
+// TestOpenIsExclusive: a second Open of a live store directory must be
+// refused — Open canonicalises, so a concurrent opener (core.Recover
+// included) would unlink the WAL generation the running store appends to.
+func TestOpenIsExclusive(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, nil)
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("second Open of a live store succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDictionaryPersistsAcrossReopen: ids assigned before a restart stay
+// stable after it, and fresh interning continues from the next free id.
+func TestDictionaryPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, nil)
+	a := st.Dict().Intern("alpha")
+	b := st.Dict().Intern("beta")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	if st2.Dict().Lookup("alpha") != a || st2.Dict().Lookup("beta") != b {
+		t.Fatal("ids moved across reopen")
+	}
+	if g := st2.Dict().Intern("gamma"); g != b+1 {
+		t.Fatalf("fresh intern got id %d want %d", g, b+1)
+	}
+}

@@ -1,0 +1,281 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"specmine/internal/seqdb"
+)
+
+// Write-ahead log framing. A WAL file is a flat run of records, each framed
+//
+//	uint32 LE payload length | payload | uint32 LE CRC-32 (IEEE) of payload
+//
+// with the record type as the payload's first byte. The frame is the unit of
+// atomicity: a reader accepts the longest prefix of intact frames and treats
+// the first short or checksum-failing frame as the end of the log, so a crash
+// mid-write can shorten the log but never corrupt what came before — the
+// LogBase regime of sequential writes with recovery by prefix replay.
+//
+// Record types:
+//
+//	recHeader    uvarint formatVersion | uvarint shard | uvarint sealedBase
+//	recDictName  name bytes (dictionary log only; the id is the record's rank)
+//	recOpen      uvarint handle | trace id bytes
+//	recEvents    uvarint handle | uvarint n | n x uvarint event id
+//	recSeal      uvarint handle
+//
+// Handles are small integers assigned per WAL generation at trace open; they
+// keep per-event records free of trace-id strings. sealedBase in the header
+// is the number of sealed traces already covered by segment files when the
+// generation was created: replay skips seal records up to the segment
+// coverage and appends only the genuinely newer traces.
+
+const (
+	recHeader   byte = 1
+	recDictName byte = 2
+	recOpen     byte = 3
+	recEvents   byte = 4
+	recSeal     byte = 5
+)
+
+const (
+	walFormatVersion = 1
+	// maxRecordBytes bounds a single record; anything larger in a length
+	// prefix marks the frame — and therefore the rest of the file — corrupt.
+	maxRecordBytes = 1 << 26
+	// walFlushThreshold is how many buffered bytes a WAL accumulates before
+	// group-committing to the OS on its own (barriers flush sooner).
+	walFlushThreshold = 64 << 10
+)
+
+// appendFrame frames payload onto dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// scanFrames walks the intact frame prefix of data, invoking fn per payload,
+// and returns the byte length of that prefix. Corruption or truncation ends
+// the scan without error — the tail simply did not survive; an fn error
+// aborts the scan and is returned.
+func scanFrames(data []byte, fn func(payload []byte) error) (int, error) {
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			return off, nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n > maxRecordBytes || len(data)-off < 8+n {
+			return off, nil
+		}
+		payload := data[off+4 : off+4+n]
+		if binary.LittleEndian.Uint32(data[off+4+n:]) != crc32.ChecksumIEEE(payload) {
+			return off, nil
+		}
+		if err := fn(payload); err != nil {
+			return off, err
+		}
+		off += 8 + n
+	}
+}
+
+func encodeHeader(shard, sealedBase int) []byte {
+	p := []byte{recHeader}
+	p = binary.AppendUvarint(p, walFormatVersion)
+	p = binary.AppendUvarint(p, uint64(shard))
+	return binary.AppendUvarint(p, uint64(sealedBase))
+}
+
+func encodeDictName(name string) []byte {
+	p := make([]byte, 0, 1+len(name))
+	p = append(p, recDictName)
+	return append(p, name...)
+}
+
+// The encode* helpers below are the single definition of each record's byte
+// layout. They append to a caller-supplied buffer, so the ingest hot path
+// reuses them between walFile.begin/end for zero-allocation in-place framing
+// and the rotation/recovery paths call them with nil — one encoder per
+// record type, one format.
+
+func encodeOpen(dst []byte, handle uint64, id string) []byte {
+	dst = append(dst, recOpen)
+	dst = binary.AppendUvarint(dst, handle)
+	return append(dst, id...)
+}
+
+func encodeEvents(dst []byte, handle uint64, events []seqdb.EventID) []byte {
+	dst = append(dst, recEvents)
+	dst = binary.AppendUvarint(dst, handle)
+	dst = binary.AppendUvarint(dst, uint64(len(events)))
+	for _, ev := range events {
+		dst = binary.AppendUvarint(dst, uint64(ev))
+	}
+	return dst
+}
+
+func encodeSeal(dst []byte, handle uint64) []byte {
+	dst = append(dst, recSeal)
+	return binary.AppendUvarint(dst, handle)
+}
+
+// walFile is an append-only log file with an in-process group-commit buffer.
+// Appends frame records into the buffer; flush writes the buffer to the OS in
+// one write (and fsyncs when the store runs with Options.Sync). The owner
+// serialises access (ShardLog.mu or dictLog.mu).
+type walFile struct {
+	path string
+	f    *os.File
+	buf  []byte
+	size int64 // bytes handed to the OS, excluding buf
+	sync bool
+}
+
+func (w *walFile) append(payload []byte) {
+	w.buf = appendFrame(w.buf, payload)
+}
+
+// begin/end frame a record in place in the group-commit buffer, so hot-path
+// appends (one per ingested chunk) never allocate a payload slice: begin
+// reserves the length prefix, the caller appends the payload directly onto
+// w.buf, and end backfills the length and appends the checksum.
+func (w *walFile) begin() int {
+	w.buf = append(w.buf, 0, 0, 0, 0)
+	return len(w.buf)
+}
+
+func (w *walFile) end(start int) {
+	payload := w.buf[start:]
+	binary.LittleEndian.PutUint32(w.buf[start-4:], uint32(len(payload)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.ChecksumIEEE(payload))
+}
+
+// pending reports the file's logical size including unflushed bytes.
+func (w *walFile) pending() int64 { return w.size + int64(len(w.buf)) }
+
+func (w *walFile) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	n, err := w.f.Write(w.buf)
+	if err != nil {
+		// Consume the prefix the OS accepted: a later retry must resume at
+		// the exact byte boundary, or the re-written records would land
+		// after a torn frame and be unreachable to recovery.
+		w.size += int64(n)
+		w.buf = append(w.buf[:0], w.buf[n:]...)
+		return fmt.Errorf("store: flushing %s: %w", w.path, err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			// The batch reached the OS but is not durable, and its tail
+			// record may be one a caller is about to be told failed. Pull
+			// the whole batch back out of the file so nothing unfsynced —
+			// least of all a rejected record — can resurface at recovery;
+			// the buffer keeps the bytes, so a retry resumes exactly here.
+			_ = w.f.Truncate(w.size)
+			return fmt.Errorf("store: syncing %s: %w", w.path, err)
+		}
+	}
+	w.size += int64(n)
+	w.buf = w.buf[:0]
+	return nil
+}
+
+func (w *walFile) close() error {
+	err := w.flush()
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("store: closing %s: %w", w.path, cerr)
+	}
+	return err
+}
+
+// createWALDirect creates a WAL file in place, without the temp-file +
+// rename dance. Only valid when no predecessor generation exists — a fresh
+// store or a fresh shard — where a crash mid-create loses nothing: the next
+// open simply finds a short (or absent) log and starts over.
+func createWALDirect(path string, sync bool, records ...[]byte) (*walFile, error) {
+	var buf []byte
+	for _, r := range records {
+		buf = appendFrame(buf, r)
+	}
+	// O_APPEND matters beyond convenience: flush pulls unsynced batches back
+	// with ftruncate on fsync failure, and appends must then continue at the
+	// new end of file, not at a stale offset past it.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", path, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: syncing %s: %w", path, err)
+		}
+		// The machine-crash guarantee covers the file's existence too, not
+		// just its contents.
+		if err := syncDir(path); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &walFile{path: path, f: f, size: int64(len(buf)), sync: sync}, nil
+}
+
+// createWAL atomically creates a WAL file at path holding the given records
+// (header first), replacing any previous file at that path last. The write
+// goes through a temporary name so a crash can never leave a half-written
+// file under the real name — required whenever an older generation still
+// holds the data being re-logged.
+func createWAL(path string, sync bool, records ...[]byte) (*walFile, error) {
+	tmp := path + ".tmp"
+	var buf []byte
+	for _, r := range records {
+		buf = appendFrame(buf, r)
+	}
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return nil, fmt.Errorf("store: writing %s: %w", tmp, err)
+	}
+	if sync {
+		if err := syncFile(tmp); err != nil {
+			return nil, err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, fmt.Errorf("store: publishing %s: %w", path, err)
+	}
+	if sync {
+		if err := syncDir(path); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: reopening %s: %w", path, err)
+	}
+	return &walFile{path: path, f: f, size: int64(len(buf)), sync: sync}, nil
+}
+
+func syncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync %s: %w", path, err)
+	}
+	return nil
+}
+
+func syncDir(path string) error {
+	return syncFile(filepath.Dir(path))
+}

@@ -18,9 +18,11 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"specmine/internal/seqdb"
+	"specmine/internal/store"
 	"specmine/internal/verify"
 )
 
@@ -44,6 +46,17 @@ type Config struct {
 	// Engine, when non-nil, checks every trace online as its events arrive;
 	// Snapshot then carries the accumulated conformance reports.
 	Engine *verify.Engine
+	// Store, when non-nil, makes the ingester durable: every operation is
+	// appended to the store's per-shard write-ahead log before it is
+	// acknowledged, sealed traces are rolled into segment files at the
+	// batched-flush barrier, and the ingester starts from the store's
+	// recovered state — sealed shard databases with their indexes, open
+	// traces (their online checkers re-advanced), and conformance reports
+	// re-seeded — exactly as if the process had never died. The store's
+	// shard count overrides Shards (it is fixed at store creation) and its
+	// dictionary overrides Dict. Use Open, which can report mismatches;
+	// NewIngester panics on them.
+	Store *store.Store
 }
 
 // View is a consistent cut of the streamed state, produced by Snapshot.
@@ -79,6 +92,9 @@ type op struct {
 type shardView struct {
 	db      *seqdb.Database
 	reports []verify.RuleReport
+	// err carries the store's sticky failure: a snapshot whose WAL flush
+	// failed must not be served as a durable view.
+	err error
 }
 
 // Ingester is the sharded streaming front end. All methods are safe for
@@ -94,8 +110,36 @@ type Ingester struct {
 	closed bool
 }
 
-// NewIngester starts the shard goroutines and returns a ready ingester.
+// NewIngester starts the shard goroutines and returns a ready ingester. It
+// panics on configuration errors, which only a durable Config can produce;
+// durable callers should prefer Open.
 func NewIngester(cfg Config) *Ingester {
+	ing, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ing
+}
+
+// Open validates the configuration — in durable mode, against the store's
+// fixed shard count and dictionary — then starts the shard goroutines,
+// seeding them from the store's recovered state when one is configured.
+func Open(cfg Config) (*Ingester, error) {
+	var recovered *store.Recovered
+	if st := cfg.Store; st != nil {
+		if cfg.Shards != 0 && cfg.Shards != st.NumShards() {
+			return nil, fmt.Errorf("stream: Config.Shards is %d but the store was created with %d shards", cfg.Shards, st.NumShards())
+		}
+		cfg.Shards = st.NumShards()
+		if cfg.Dict != nil && cfg.Dict != st.Dict() {
+			return nil, errors.New("stream: Config.Dict must be the store's dictionary (or nil) in durable mode")
+		}
+		if err := st.AttachIngester(); err != nil {
+			return nil, err
+		}
+		cfg.Dict = st.Dict()
+		recovered = st.Recovered()
+	}
 	if cfg.Shards < 1 {
 		cfg.Shards = 4
 	}
@@ -118,13 +162,43 @@ func NewIngester(cfg Config) *Ingester {
 			flushBatch: cfg.FlushBatch,
 			open:       make(map[string]*openTrace),
 		}
+		if cfg.Store != nil {
+			sh.log = cfg.Store.Shard(i)
+		}
+		if recovered != nil {
+			// Resume exactly where the store left off: sealed traces rebuild
+			// the shard database and its flat index; open traces re-open with
+			// their online checkers re-advanced through the buffered events;
+			// and the sealed traces' conformance outcomes are re-seeded by a
+			// batch check (the online engine is equivalence-tested against
+			// it), so accumulated reports continue seamlessly.
+			rs := recovered.Shards[i]
+			for _, s := range rs.Sequences {
+				sh.db.Append(s)
+			}
+			sh.db.FlatIndex()
+			for _, tr := range rs.Open {
+				ot := &openTrace{events: append(seqdb.Sequence(nil), tr.Events...)}
+				if cfg.Engine != nil {
+					ot.checker = cfg.Engine.NewChecker()
+					for _, ev := range ot.events {
+						ot.checker.Advance(ev)
+					}
+				}
+				sh.open[tr.ID] = ot
+			}
+		}
 		if cfg.Engine != nil {
-			sh.reports = cfg.Engine.NewReports()
+			if sh.db.NumSequences() > 0 {
+				sh.reports = cfg.Engine.Check(sh.db)
+			} else {
+				sh.reports = cfg.Engine.NewReports()
+			}
 		}
 		ing.shards[i] = sh
 		go sh.run()
 	}
-	return ing
+	return ing, nil
 }
 
 // Dict returns the ingester's event dictionary.
@@ -166,8 +240,26 @@ func (ing *Ingester) send(traceID string, o op) error {
 	if ing.closed {
 		return ErrClosed
 	}
-	ing.shards[ing.shardFor(traceID)].ops <- o
-	return nil
+	sh := ing.shards[ing.shardFor(traceID)]
+	if sh.log == nil {
+		sh.ops <- o
+		return nil
+	}
+	// Durable mode: the WAL record is appended — and the channel handoff
+	// happens — under the shard log's lock, so WAL order always equals apply
+	// order and no operation is acknowledged before it is logged.
+	sh.log.Lock()
+	var err error
+	if o.kind == opSeal {
+		err = sh.log.AppendSealLocked(o.id)
+	} else {
+		err = sh.log.AppendEventsLocked(o.id, o.events)
+	}
+	if err == nil {
+		sh.ops <- o
+	}
+	sh.log.Unlock()
+	return err
 }
 
 // shardFor hashes a trace id onto a shard (FNV-1a, deterministic across
@@ -200,6 +292,11 @@ func (ing *Ingester) Snapshot() (*View, error) {
 	views := make([]shardView, len(chans))
 	for i, ch := range chans {
 		views[i] = <-ch
+	}
+	for _, sv := range views {
+		if sv.err != nil {
+			return nil, fmt.Errorf("stream: snapshot is not durable: %w", sv.err)
+		}
 	}
 	return ing.merge(views), nil
 }
@@ -272,11 +369,20 @@ type shard struct {
 	db         *seqdb.Database
 	engine     *verify.Engine
 	flushBatch int
+	// log is the shard's durable appender; nil in memory-only mode.
+	log *store.ShardLog
 
 	open     map[string]*openTrace
 	reports  []verify.RuleReport
 	free     []*verify.Checker
 	unsynced int // sealed traces not yet flushed into the index
+	// draining marks a nested drain inside withLogLock — barriers reached
+	// while draining are deferred to the enclosing one.
+	draining bool
+	// deferredSnaps holds snapshot ops consumed during a drain; they are
+	// answered only after the enclosing barrier's WAL flush, so a snapshot
+	// never exposes state that is not yet recoverable.
+	deferredSnaps []op
 }
 
 type openTrace struct {
@@ -287,54 +393,212 @@ type openTrace struct {
 func (sh *shard) run() {
 	defer close(sh.done)
 	for o := range sh.ops {
-		switch o.kind {
-		case opEvents:
-			tr := sh.open[o.id]
-			if tr == nil {
-				tr = &openTrace{}
-				if sh.engine != nil {
-					if n := len(sh.free); n > 0 {
-						tr.checker = sh.free[n-1]
-						sh.free = sh.free[:n-1]
-					} else {
-						tr.checker = sh.engine.NewChecker()
-					}
-				}
-				sh.open[o.id] = tr
-			}
-			tr.events = append(tr.events, o.events...)
-			if tr.checker != nil {
-				for _, ev := range o.events {
-					tr.checker.Advance(ev)
-				}
-			}
-		case opSeal:
-			tr := sh.open[o.id]
-			if tr == nil {
-				tr = &openTrace{}
-				if sh.engine != nil {
+		sh.handle(o)
+	}
+	if sh.log != nil {
+		// Clean shutdown: everything applied is flushed, so a reopened store
+		// resumes from exactly this state (open traces included). No producer
+		// can hold the log's lock anymore (the ingester is closed), so the
+		// blocking Flush is safe here.
+		_ = sh.log.Flush()
+	}
+	// A drain interrupted by Close may have parked snapshot ops; answer them
+	// so their callers never hang.
+	sh.answerDeferredSnaps()
+}
+
+func (sh *shard) handle(o op) {
+	switch o.kind {
+	case opEvents:
+		tr := sh.open[o.id]
+		if tr == nil {
+			tr = &openTrace{}
+			if sh.engine != nil {
+				if n := len(sh.free); n > 0 {
+					tr.checker = sh.free[n-1]
+					sh.free = sh.free[:n-1]
+				} else {
 					tr.checker = sh.engine.NewChecker()
 				}
 			}
-			delete(sh.open, o.id)
-			sh.db.Append(tr.events)
-			if tr.checker != nil {
-				tr.checker.Close(sh.db.NumSequences()-1, sh.reports)
-				sh.free = append(sh.free, tr.checker)
+			sh.open[o.id] = tr
+		}
+		tr.events = append(tr.events, o.events...)
+		if tr.checker != nil {
+			for _, ev := range o.events {
+				tr.checker.Advance(ev)
 			}
-			sh.unsynced++
-			if sh.unsynced >= sh.flushBatch {
-				sh.flush()
+		}
+		// Events-only traffic grows the WAL too: without this check a shard
+		// with long-lived open traces and rare seals would never rotate and
+		// recovery would replay history, not open data.
+		if sh.log != nil && !sh.draining && sh.log.RotateDue() {
+			sh.barrier()
+		}
+	case opSeal:
+		tr := sh.open[o.id]
+		if tr == nil {
+			tr = &openTrace{}
+			if sh.engine != nil {
+				tr.checker = sh.engine.NewChecker()
 			}
-		case opSnapshot:
+		}
+		delete(sh.open, o.id)
+		sh.db.Append(tr.events)
+		if tr.checker != nil {
+			tr.checker.Close(sh.db.NumSequences()-1, sh.reports)
+			sh.free = append(sh.free, tr.checker)
+		}
+		sh.unsynced++
+		if !sh.draining && (sh.unsynced >= sh.flushBatch || (sh.log != nil && sh.log.RotateDue())) {
+			sh.barrier()
+		}
+	case opSnapshot:
+		if sh.draining {
+			// Answering now would expose state whose WAL records are not yet
+			// flushed; park the op until the enclosing barrier has flushed.
+			sh.deferredSnaps = append(sh.deferredSnaps, o)
+			return
+		}
+		sh.flush()
+		if sh.log != nil {
+			// Whatever this snapshot exposes must be recoverable: force the
+			// WAL (and the dictionary log ahead of it) to the OS. Segments
+			// stay on the seal-batch cadence — a snapshot is a read barrier,
+			// not a compaction point — unless rotation is due, which must
+			// also fire on snapshot-heavy, seal-light workloads. The drain
+			// may have applied more seals; their WAL records were flushed
+			// under the lock, so one more index flush re-aligns the view.
+			if sh.log.RotateDue() {
+				sh.barrier()
+			} else {
+				sh.withLogLock(func() { _ = sh.log.FlushLocked() })
+			}
 			sh.flush()
-			sv := shardView{db: sh.db.SnapshotView()}
-			if sh.reports != nil {
-				sv.reports = cloneReports(sh.reports)
+		}
+		sh.answerSnap(o)
+	}
+}
+
+func (sh *shard) answerSnap(o op) {
+	sv := shardView{db: sh.db.SnapshotView()}
+	if sh.reports != nil {
+		sv.reports = cloneReports(sh.reports)
+	}
+	if sh.log != nil {
+		// The durability contract says everything a snapshot exposed is
+		// recoverable; once the store has failed that promise cannot be
+		// kept, so the snapshot must fail rather than quietly return the
+		// unflushed state.
+		sv.err = sh.log.Err()
+	}
+	o.reply <- sv
+}
+
+func (sh *shard) answerDeferredSnaps() {
+	if len(sh.deferredSnaps) == 0 {
+		return
+	}
+	// The drain that parked these may have applied seals the enclosing
+	// barrier's index flush ran before; flush again so every answered view
+	// carries the incremental index rather than forcing a fresh build.
+	sh.flush()
+	for _, o := range sh.deferredSnaps {
+		sh.answerSnap(o)
+	}
+	sh.deferredSnaps = sh.deferredSnaps[:0]
+}
+
+// barrier is the shard's batched-flush point: the positional index is
+// extended with the traces sealed since the last barrier and, in durable
+// mode, the WAL is flushed and those traces are rolled into a segment file —
+// so everything a snapshot exposes is recoverable. When the WAL has outgrown
+// its rotation budget the barrier also starts a fresh generation.
+//
+// Only the WAL flush and the (rare) rotation run under the producer-facing
+// log lock; the common-case segment publish — encode plus file write, an
+// fsync in Sync mode — happens after release, so producers are never stalled
+// behind segment I/O. That is safe because sealed traces are immutable, the
+// covered counter is barrier-goroutine-only, and the WAL was flushed past
+// every seal the segment will contain before the lock was dropped.
+func (sh *shard) barrier() {
+	sh.flush()
+	if sh.log == nil {
+		return
+	}
+	rotated := false
+	sh.withLogLock(func() {
+		sh.flush() // cover seals applied by the drain
+		if sh.log.FlushLocked() != nil {
+			return
+		}
+		if sh.log.NeedRotateLocked() {
+			// Rotation needs the segment first (sealedBase must equal the
+			// coverage) and exclusivity throughout; it is budget-bounded
+			// rare, so the producer stall is acceptable here.
+			if sh.log.WriteSegmentLocked(sh.db.Sequences) == nil {
+				_ = sh.log.RotateLocked(sh.openSnapshot(), sh.db.NumSequences())
 			}
-			o.reply <- sv
+			rotated = true
+		}
+	})
+	if !rotated {
+		_ = sh.log.PublishSegment(sh.db.Sequences)
+	}
+}
+
+// withLogLock runs fn holding the shard log's lock, with the shard's channel
+// drained so the WAL exactly reflects the applied state. The protocol is
+// drain + TryLock, never a blocking Lock: a producer inside LogEvents may
+// hold the lock while blocked on this shard's full channel, and only our
+// draining can unblock it — a blocking acquire here would deadlock the shard.
+// Snapshot ops consumed by the drain are answered after fn (post-flush).
+func (sh *shard) withLogLock(fn func()) {
+	for {
+		sh.drainPending()
+		if sh.log.TryLock() {
+			// Operations logged between the drain and the lock acquisition
+			// are still in the channel; with the lock held no more can
+			// arrive, so one more drain makes WAL state == applied state.
+			sh.drainPending()
+			fn()
+			sh.log.Unlock()
+			sh.answerDeferredSnaps()
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// drainPending applies every operation currently buffered in the shard's
+// channel without blocking. Nested barriers are suppressed (sh.draining); the
+// enclosing barrier covers the drained seals.
+func (sh *shard) drainPending() {
+	sh.draining = true
+	for {
+		select {
+		case o, ok := <-sh.ops:
+			if !ok {
+				// Channel closed mid-drain; the outer range loop will observe
+				// it right after.
+				sh.draining = false
+				return
+			}
+			sh.handle(o)
+		default:
+			sh.draining = false
+			return
 		}
 	}
+}
+
+// openSnapshot copies the shard's open traces for the WAL rotation re-log.
+func (sh *shard) openSnapshot() []store.OpenTrace {
+	out := make([]store.OpenTrace, 0, len(sh.open))
+	for id, tr := range sh.open {
+		out = append(out, store.OpenTrace{ID: id, Events: append(seqdb.Sequence(nil), tr.events...)})
+	}
+	return out
 }
 
 // flush extends the shard's positional index with the traces sealed since

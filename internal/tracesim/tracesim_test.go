@@ -53,6 +53,19 @@ func TestGenerateDeterministic(t *testing.T) {
 			}
 		}
 	}
+	// Ids, not just names: the durable store's segment files hold raw
+	// EventIDs, so the assignment order itself must be reproducible — a
+	// map-iteration-ordered intern anywhere in the generator would pass the
+	// name comparison above and still invalidate every stored segment.
+	ea, eb := a.Dict.Export(), b.Dict.Export()
+	if len(ea) != len(eb) {
+		t.Fatalf("dictionaries sized %d vs %d for the same seed", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("id %d interned as %q vs %q — id assignment is nondeterministic", i, ea[i], eb[i])
+		}
+	}
 	c := w.MustGenerate(20, 4)
 	if a.NumEvents() == c.NumEvents() && a.NumSequences() == c.NumSequences() {
 		// Same shape is possible but identical content is not expected; check
