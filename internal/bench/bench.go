@@ -45,14 +45,16 @@ type ClosedCase struct {
 	// SkipBaseline marks stress cases too heavy for the seed's map-based
 	// miner; the trajectory then records flat-miner numbers only.
 	SkipBaseline bool
-	// Parallel marks the cases that get worker-scaling rows (workers 2/4/8)
-	// in the benchmark matrix and the trajectory.
+	// Parallel marks the cases that get worker-scaling rows (workers
+	// 1/2/4/8) in the benchmark matrix and the trajectory.
 	Parallel bool
 }
 
-// ParallelWorkerCounts are the worker-pool sizes measured for the cases
-// marked Parallel, in both the -bench matrix and the trajectory file.
-var ParallelWorkerCounts = []int{2, 4, 8}
+// ScalingWorkerCounts are the worker-pool sizes measured for the cases marked
+// Parallel, in both the -bench matrix and the trajectory's scaling curves.
+// The 1-worker row anchors each curve: every speedup in the trajectory is
+// relative to it, measured under the same GOMAXPROCS regime.
+var ScalingWorkerCounts = []int{1, 2, 4, 8}
 
 // ClosedCases returns the closed-pattern benchmark matrix. The first case is
 // the acceptance headline: >= 50 sequences over an alphabet of >= 100 events.

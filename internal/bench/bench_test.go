@@ -58,7 +58,7 @@ func BenchmarkMineClosedWorkers(b *testing.B) {
 		}
 		db := c.Gen()
 		db.FlatIndex()
-		for _, workers := range append([]int{1}, ParallelWorkerCounts...) {
+		for _, workers := range ScalingWorkerCounts {
 			opts := c.Opts
 			opts.Workers = workers
 			b.Run(fmt.Sprintf("%s/workers=%d", c.Name, workers), func(b *testing.B) {
@@ -196,7 +196,7 @@ func BenchmarkMineRulesWorkers(b *testing.B) {
 		}
 		db := c.Gen()
 		db.FlatIndex()
-		for _, workers := range append([]int{1}, ParallelWorkerCounts...) {
+		for _, workers := range ScalingWorkerCounts {
 			opts := c.Opts
 			opts.Workers = workers
 			b.Run(fmt.Sprintf("%s/workers=%d", c.Name, workers), func(b *testing.B) {
@@ -260,60 +260,100 @@ func BenchmarkBuildIndex(b *testing.B) {
 	})
 }
 
-// --- BENCH_mining.json trajectory (schema v2) ------------------------------
+// --- BENCH_mining.json trajectory (schema v6) ------------------------------
 
-// parallelRow is one worker-scaling measurement. GOMAXPROCS is recorded per
-// row — a parallel ns/op is meaningless without knowing how many processors
-// the pool actually had (the v1 schema carried one global field, which
-// misleadingly paired a workers=4 number with gomaxprocs=1).
-type parallelRow struct {
-	Workers    int   `json:"workers"`
-	NsPerOp    int64 `json:"ns_per_op"`
-	Gomaxprocs int   `json:"gomaxprocs"`
+// scalingRow is one point of a worker-scaling curve. GOMAXPROCS and the
+// machine's processor count are recorded per row — a parallel ns/op is
+// meaningless without knowing how many processors the pool actually had. The
+// v5 file recorded every parallel row at gomaxprocs 1 (identical ns/op for
+// workers 2/4/8, measuring only pool overhead); v6 raises GOMAXPROCS to at
+// least the worker count for every row and the writer refuses to emit a
+// parallel row where it could not. Speedup is relative to the curve's
+// 1-worker row; num_cpu reports the physical truth, so a curve measured on a
+// single-core box is recognisable as overhead-only rather than mistaken for
+// scaling.
+type scalingRow struct {
+	Workers    int     `json:"workers"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	Gomaxprocs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Speedup    float64 `json:"speedup,omitempty"`
+}
+
+// scalingCurve measures one case across worker counts, raising GOMAXPROCS to
+// max(NumCPU, workers) for the duration of each measurement (and restoring
+// it), so every recorded row satisfies gomaxprocs >= workers. bench runs the
+// case body at the given worker count for b.N iterations.
+func scalingCurve(t *testing.T, counts []int, bench func(workers int, b *testing.B)) []scalingRow {
+	t.Helper()
+	rows := make([]scalingRow, 0, len(counts))
+	var base int64
+	for _, w := range counts {
+		procs := runtime.NumCPU()
+		if procs < w {
+			procs = w
+		}
+		prev := runtime.GOMAXPROCS(procs)
+		res := benchOnce(func(b *testing.B) { bench(w, b) })
+		runtime.GOMAXPROCS(prev)
+		row := scalingRow{Workers: w, NsPerOp: res.NsPerOp(), Gomaxprocs: procs, NumCPU: runtime.NumCPU()}
+		if w > 1 && row.Gomaxprocs < w {
+			// The writer's refusal contract: a parallel row measured with
+			// fewer processors than workers is the v5 lie all over again.
+			t.Fatalf("refusing to record workers=%d scaling row at gomaxprocs=%d", w, row.Gomaxprocs)
+		}
+		if w == 1 {
+			base = row.NsPerOp
+		} else if base > 0 {
+			row.Speedup = round2(float64(base) / float64(row.NsPerOp))
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // trajectoryCase is one closed-mining row of the checked-in trajectory.
 type trajectoryCase struct {
-	Name            string        `json:"name"`
-	Sequences       int           `json:"sequences"`
-	Alphabet        int           `json:"alphabet"`
-	Density         string        `json:"density"`
-	Patterns        int           `json:"patterns"`
-	FlatNsPerOp     int64         `json:"flat_ns_per_op"`
-	FlatAllocsPerOp int64         `json:"flat_allocs_per_op"`
-	FlatBytesPerOp  int64         `json:"flat_bytes_per_op"`
-	BaseNsPerOp     int64         `json:"baseline_ns_per_op,omitempty"`
-	BaseAllocsPerOp int64         `json:"baseline_allocs_per_op,omitempty"`
-	BaseBytesPerOp  int64         `json:"baseline_bytes_per_op,omitempty"`
-	Speedup         float64       `json:"speedup,omitempty"`
-	AllocReduction  float64       `json:"alloc_reduction,omitempty"`
-	BytesReduction  float64       `json:"bytes_reduction,omitempty"`
-	Parallel        []parallelRow `json:"parallel,omitempty"`
+	Name            string       `json:"name"`
+	Sequences       int          `json:"sequences"`
+	Alphabet        int          `json:"alphabet"`
+	Density         string       `json:"density"`
+	Patterns        int          `json:"patterns"`
+	FlatNsPerOp     int64        `json:"flat_ns_per_op"`
+	FlatAllocsPerOp int64        `json:"flat_allocs_per_op"`
+	FlatBytesPerOp  int64        `json:"flat_bytes_per_op"`
+	BaseNsPerOp     int64        `json:"baseline_ns_per_op,omitempty"`
+	BaseAllocsPerOp int64        `json:"baseline_allocs_per_op,omitempty"`
+	BaseBytesPerOp  int64        `json:"baseline_bytes_per_op,omitempty"`
+	Speedup         float64      `json:"speedup,omitempty"`
+	AllocReduction  float64      `json:"alloc_reduction,omitempty"`
+	BytesReduction  float64      `json:"bytes_reduction,omitempty"`
+	Scaling         []scalingRow `json:"scaling,omitempty"`
 }
 
 // comparatorTrajectoryCase is one comparator-miner (seqpattern / episode)
 // row: unified-kernel numbers against the retained seed implementation.
 type comparatorTrajectoryCase struct {
-	Name            string        `json:"name"`
-	Results         int           `json:"results"`
-	FlatNsPerOp     int64         `json:"flat_ns_per_op"`
-	FlatAllocsPerOp int64         `json:"flat_allocs_per_op"`
-	FlatBytesPerOp  int64         `json:"flat_bytes_per_op"`
-	BaseNsPerOp     int64         `json:"baseline_ns_per_op"`
-	BaseAllocsPerOp int64         `json:"baseline_allocs_per_op"`
-	BaseBytesPerOp  int64         `json:"baseline_bytes_per_op"`
-	Speedup         float64       `json:"speedup"`
-	Parallel        []parallelRow `json:"parallel,omitempty"`
+	Name            string       `json:"name"`
+	Results         int          `json:"results"`
+	FlatNsPerOp     int64        `json:"flat_ns_per_op"`
+	FlatAllocsPerOp int64        `json:"flat_allocs_per_op"`
+	FlatBytesPerOp  int64        `json:"flat_bytes_per_op"`
+	BaseNsPerOp     int64        `json:"baseline_ns_per_op"`
+	BaseAllocsPerOp int64        `json:"baseline_allocs_per_op"`
+	BaseBytesPerOp  int64        `json:"baseline_bytes_per_op"`
+	Speedup         float64      `json:"speedup"`
+	Scaling         []scalingRow `json:"scaling,omitempty"`
 }
 
 // ruleTrajectoryCase is one rule-mining row.
 type ruleTrajectoryCase struct {
-	Name        string        `json:"name"`
-	Rules       int           `json:"rules"`
-	NsPerOp     int64         `json:"ns_per_op"`
-	AllocsPerOp int64         `json:"allocs_per_op"`
-	BytesPerOp  int64         `json:"bytes_per_op"`
-	Parallel    []parallelRow `json:"parallel,omitempty"`
+	Name        string       `json:"name"`
+	Rules       int          `json:"rules"`
+	NsPerOp     int64        `json:"ns_per_op"`
+	AllocsPerOp int64        `json:"allocs_per_op"`
+	BytesPerOp  int64        `json:"bytes_per_op"`
+	Scaling     []scalingRow `json:"scaling,omitempty"`
 }
 
 // verifyTrajectoryCase is one batched-verification row. Since the online
@@ -374,6 +414,8 @@ type trajectory struct {
 	Schema          string                     `json:"schema"`
 	Generator       string                     `json:"generator"`
 	GoVersion       string                     `json:"go_version"`
+	NumCPU          int                        `json:"num_cpu"`
+	Gomaxprocs      int                        `json:"gomaxprocs"`
 	Cases           []trajectoryCase           `json:"cases"`
 	SeqPatternCases []comparatorTrajectoryCase `json:"seqpattern_cases"`
 	EpisodeCases    []comparatorTrajectoryCase `json:"episode_cases"`
@@ -414,9 +456,11 @@ func TestWriteBenchTrajectory(t *testing.T) {
 		t.Skip("set SPECMINE_WRITE_BENCH=1 to regenerate BENCH_mining.json")
 	}
 	out := trajectory{
-		Schema:    "specmine/bench-mining/v5",
-		Generator: "SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory",
-		GoVersion: runtime.Version(),
+		Schema:     "specmine/bench-mining/v6",
+		Generator:  "SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory",
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
 	}
 	for _, c := range ClosedCases() {
 		db := c.Gen()
@@ -459,20 +503,15 @@ func TestWriteBenchTrajectory(t *testing.T) {
 			tc.BytesReduction = round2(float64(base.AllocedBytesPerOp()) / float64(flat.AllocedBytesPerOp()))
 		}
 		if c.Parallel {
-			for _, workers := range ParallelWorkerCounts {
+			tc.Scaling = scalingCurve(t, ScalingWorkerCounts, func(workers int, b *testing.B) {
 				opts := c.Opts
 				opts.Workers = workers
-				par := benchOnce(func(b *testing.B) {
-					for i := 0; i < b.N; i++ {
-						if _, err := iterpattern.MineClosed(db, opts); err != nil {
-							b.Fatal(err)
-						}
+				for i := 0; i < b.N; i++ {
+					if _, err := iterpattern.MineClosed(db, opts); err != nil {
+						b.Fatal(err)
 					}
-				})
-				tc.Parallel = append(tc.Parallel, parallelRow{
-					Workers: workers, NsPerOp: par.NsPerOp(), Gomaxprocs: runtime.GOMAXPROCS(0),
-				})
-			}
+				}
+			})
 		}
 		out.Cases = append(out.Cases, tc)
 		t.Logf("%s: flat %v ns/op (%d allocs), speedup %.2fx", c.Name, tc.FlatNsPerOp, tc.FlatAllocsPerOp, tc.Speedup)
@@ -511,20 +550,15 @@ func TestWriteBenchTrajectory(t *testing.T) {
 			Speedup:         round2(float64(base.NsPerOp()) / float64(flat.NsPerOp())),
 		}
 		if c.Parallel {
-			for _, workers := range ComparatorWorkerCounts {
+			tc.Scaling = scalingCurve(t, ComparatorWorkerCounts, func(workers int, b *testing.B) {
 				opts := c.Opts
 				opts.Workers = workers
-				par := benchOnce(func(b *testing.B) {
-					for i := 0; i < b.N; i++ {
-						if _, err := seqpattern.Mine(db, opts); err != nil {
-							b.Fatal(err)
-						}
+				for i := 0; i < b.N; i++ {
+					if _, err := seqpattern.Mine(db, opts); err != nil {
+						b.Fatal(err)
 					}
-				})
-				tc.Parallel = append(tc.Parallel, parallelRow{
-					Workers: workers, NsPerOp: par.NsPerOp(), Gomaxprocs: runtime.GOMAXPROCS(0),
-				})
-			}
+				}
+			})
 		}
 		out.SeqPatternCases = append(out.SeqPatternCases, tc)
 		t.Logf("%s: flat %v ns/op vs seed %v ns/op (%.2fx), %d patterns",
@@ -564,20 +598,15 @@ func TestWriteBenchTrajectory(t *testing.T) {
 			Speedup:         round2(float64(base.NsPerOp()) / float64(flat.NsPerOp())),
 		}
 		if c.Parallel {
-			for _, workers := range ComparatorWorkerCounts {
+			tc.Scaling = scalingCurve(t, ComparatorWorkerCounts, func(workers int, b *testing.B) {
 				opts := c.Opts
 				opts.Workers = workers
-				par := benchOnce(func(b *testing.B) {
-					for i := 0; i < b.N; i++ {
-						if _, err := episode.MineDatabase(db, opts); err != nil {
-							b.Fatal(err)
-						}
+				for i := 0; i < b.N; i++ {
+					if _, err := episode.MineDatabase(db, opts); err != nil {
+						b.Fatal(err)
 					}
-				})
-				tc.Parallel = append(tc.Parallel, parallelRow{
-					Workers: workers, NsPerOp: par.NsPerOp(), Gomaxprocs: runtime.GOMAXPROCS(0),
-				})
-			}
+				}
+			})
 		}
 		out.EpisodeCases = append(out.EpisodeCases, tc)
 		t.Logf("%s: flat %v ns/op vs seed %v ns/op (%.2fx), %d episodes",
@@ -606,20 +635,15 @@ func TestWriteBenchTrajectory(t *testing.T) {
 			BytesPerOp:  run.AllocedBytesPerOp(),
 		}
 		if c.Parallel {
-			for _, workers := range ParallelWorkerCounts {
+			rc.Scaling = scalingCurve(t, ScalingWorkerCounts, func(workers int, b *testing.B) {
 				opts := c.Opts
 				opts.Workers = workers
-				par := benchOnce(func(b *testing.B) {
-					for i := 0; i < b.N; i++ {
-						if _, err := rules.MineNonRedundant(db, opts); err != nil {
-							b.Fatal(err)
-						}
+				for i := 0; i < b.N; i++ {
+					if _, err := rules.MineNonRedundant(db, opts); err != nil {
+						b.Fatal(err)
 					}
-				})
-				rc.Parallel = append(rc.Parallel, parallelRow{
-					Workers: workers, NsPerOp: par.NsPerOp(), Gomaxprocs: runtime.GOMAXPROCS(0),
-				})
-			}
+				}
+			})
 		}
 		out.RuleCases = append(out.RuleCases, rc)
 		t.Logf("%s: %v ns/op, %d rules", c.Name, rc.NsPerOp, rc.Rules)

@@ -16,6 +16,18 @@
 //
 // so the human-readable delta report comes from benchstat while the
 // pass/fail decision stays hermetic (no external tooling needed to gate).
+//
+// Beyond the per-case regression budget, the guard enforces two ratio floors
+// (schema v6): a parallel-speedup floor on the closed-mining headline
+// (workers=4 vs workers=1, measured live at GOMAXPROCS >= 4) that fails hard
+// on multi-core runners and downgrades to report-only where the machine
+// cannot physically exhibit parallelism, and a soft durable-vs-memory
+// throughput floor on the store headline. Both are measured live rather than
+// read from the trajectory, so the gate cannot be satisfied by a stale file.
+//
+// The SPECMINE_CPUPROFILE / SPECMINE_MUTEXPROFILE environment toggles (see
+// internal/bench/profile.go) capture profiles of exactly what the guard
+// measured.
 package main
 
 import (
@@ -30,15 +42,27 @@ import (
 
 	"specmine/internal/bench"
 	"specmine/internal/iterpattern"
+	"specmine/internal/seqdb"
 	"specmine/internal/seqpattern"
 	"specmine/internal/store"
 	"specmine/internal/stream"
 	"specmine/internal/verify"
 )
 
+// scalingRow mirrors the v6 trajectory's per-row scaling schema; the guard
+// reads it to sanity-check that the checked-in curve was measured honestly
+// (no parallel row with gomaxprocs < workers — the v5 file's defect).
+type scalingRow struct {
+	Workers    int   `json:"workers"`
+	NsPerOp    int64 `json:"ns_per_op"`
+	Gomaxprocs int   `json:"gomaxprocs"`
+	NumCPU     int   `json:"num_cpu"`
+}
+
 type trajectoryCase struct {
-	Name        string `json:"name"`
-	FlatNsPerOp int64  `json:"flat_ns_per_op"`
+	Name        string       `json:"name"`
+	FlatNsPerOp int64        `json:"flat_ns_per_op"`
+	Scaling     []scalingRow `json:"scaling"`
 }
 
 type verifyTrajectoryCase struct {
@@ -76,12 +100,40 @@ type gate struct {
 	best int64 // filled by measurement
 }
 
+// ratioCheck is one live-measured floor: a ratio (speedup or throughput
+// fraction) that must stay at or above its floor. Unlike gates it has no
+// trajectory baseline — both sides of the ratio are measured in this run.
+type ratioCheck struct {
+	label string
+	floor float64
+	value float64
+	soft  bool   // report-only: printed, never fails the build
+	note  string // why a check is soft, when it is
+}
+
+// speedupWorkers is the parallel worker count the speedup floor compares
+// against the sequential run. Matches the acceptance headline: workers=4
+// must reach the floor over workers=1.
+const speedupWorkers = 4
+
+// profStop flushes any SPECMINE_*PROFILE captures; fatalf calls it so a
+// failed gate still uploads its profiles.
+var profStop = func() error { return nil }
+
 func main() {
 	trajPath := flag.String("trajectory", "BENCH_mining.json", "path to the checked-in trajectory file")
 	outDir := flag.String("out", ".", "directory for the benchstat sample files old.txt and new.txt")
 	count := flag.Int("count", 5, "number of live benchmark runs per case")
 	factor := flag.Float64("factor", 1.5, "maximum allowed ns/op regression factor")
+	speedupFloor := flag.Float64("speedup-floor", 2.5, "minimum closed-mining speedup at workers=4 vs workers=1 (hard when NumCPU >= 4)")
+	durableFloor := flag.Float64("durable-floor", 0.7, "minimum durable-ingest throughput as a fraction of memory-only (report-only)")
 	flag.Parse()
+
+	stop, err := bench.StartProfiles()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	profStop = stop
 
 	buf, err := os.ReadFile(*trajPath)
 	if err != nil {
@@ -91,6 +143,7 @@ func main() {
 	if err := json.Unmarshal(buf, &traj); err != nil {
 		fatalf("parsing trajectory: %v", err)
 	}
+	checkScalingRows(traj)
 
 	gates := []*gate{miningGate(traj), verifyGate(traj), seqPatternGate(traj)}
 	if g := storeGate(traj); g != nil {
@@ -142,10 +195,150 @@ func main() {
 		fmt.Printf("  %-42s %14d %14d %6.2fx %7s\n",
 			g.label, g.oldNs, g.best, float64(g.best)/float64(g.oldNs), status)
 	}
+
+	checks := []*ratioCheck{speedupCheck(*speedupFloor), durableRatioCheck(*durableFloor)}
+	fmt.Printf("benchguard: live ratio floors (gomaxprocs raised per measurement, num_cpu=%d)\n", runtime.NumCPU())
+	fmt.Printf("  %-42s %8s %8s %7s\n", "check", "floor", "value", "status")
+	for _, c := range checks {
+		status := "ok"
+		switch {
+		case c.value < c.floor && c.soft:
+			status = "SOFT"
+		case c.value < c.floor:
+			status = "FAIL"
+			failed++
+		case c.soft:
+			status = "ok*"
+		}
+		fmt.Printf("  %-42s %7.2fx %7.2fx %7s", c.label, c.floor, c.value, status)
+		if c.note != "" {
+			fmt.Printf("  (%s)", c.note)
+		}
+		fmt.Println()
+	}
+
 	if failed > 0 {
-		fatalf("%d of %d cases exceed the %.2fx budget", failed, len(gates), *factor)
+		fatalf("%d checks failed (regression budget %.2fx / ratio floors)", failed, *factor)
+	}
+	if err := profStop(); err != nil {
+		fatalf("%v", err)
 	}
 	fmt.Println("benchguard: within budget")
+}
+
+// checkScalingRows rejects a trajectory whose scaling curves contain the v5
+// defect: a parallel row recorded with fewer processors than workers. The
+// writer refuses to produce such rows; the guard refuses to trust a file
+// that contains one (hand-edited, or produced by an older writer).
+func checkScalingRows(traj trajectory) {
+	check := func(section, name string, rows []scalingRow) {
+		for _, r := range rows {
+			if r.Workers > 1 && r.Gomaxprocs < r.Workers {
+				fatalf("%s/%s: scaling row workers=%d recorded at gomaxprocs=%d — regenerate with the v6 writer",
+					section, name, r.Workers, r.Gomaxprocs)
+			}
+		}
+	}
+	for _, tc := range traj.Cases {
+		check("cases", tc.Name, tc.Scaling)
+	}
+	for _, tc := range traj.SeqPatternCases {
+		check("seqpattern_cases", tc.Name, tc.Scaling)
+	}
+}
+
+// speedupCheck measures the closed-mining headline's parallel speedup live:
+// workers=1 vs workers=4, each at GOMAXPROCS >= workers (restored after). On
+// a runner with fewer than 4 processors the ratio measures scheduling
+// overhead, not parallelism, so the floor downgrades to report-only there —
+// CI's 4-vCPU runners enforce it hard.
+func speedupCheck(floor float64) *ratioCheck {
+	c := bench.ClosedCases()[0]
+	ck := &ratioCheck{
+		label: fmt.Sprintf("speedup/%s/workers=%d", c.Name, speedupWorkers),
+		floor: floor,
+	}
+	if runtime.NumCPU() < speedupWorkers {
+		ck.soft = true
+		ck.note = fmt.Sprintf("num_cpu=%d < %d, report-only", runtime.NumCPU(), speedupWorkers)
+	}
+	db := c.Gen()
+	db.FlatIndex()
+	measure := func(workers int) int64 {
+		opts := c.Opts
+		opts.Workers = workers
+		procs := runtime.NumCPU()
+		if procs < workers {
+			procs = workers
+		}
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		var best int64
+		for i := 0; i < 3; i++ {
+			ns := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := iterpattern.MineClosed(db, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}).NsPerOp()
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	sequential := measure(1)
+	parallel := measure(speedupWorkers)
+	ck.value = float64(sequential) / float64(parallel)
+	return ck
+}
+
+// durableRatioCheck measures the store headline's durable-ingest throughput
+// as a fraction of the memory-only ingester on the same operation stream.
+// Soft (report-only) for the same reason as the store regression gate: a
+// virtualised runner's fsync-adjacent numbers are too noisy to fail a build
+// on a single run's ratio.
+func durableRatioCheck(floor float64) *ratioCheck {
+	c := bench.StoreCases()[0]
+	ck := &ratioCheck{
+		label: "durable-vs-memory/" + c.Name,
+		floor: floor,
+		soft:  true,
+		note:  "report-only",
+	}
+	dict, ops, _, _ := c.GenStream()
+	best := func(run func(b *testing.B)) int64 {
+		var best int64
+		for i := 0; i < 3; i++ {
+			ns := testing.Benchmark(run).NsPerOp()
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	durable := best(durableRun(c, dict, ops))
+	memory := best(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ing := stream.NewIngester(stream.Config{
+				Shards: c.Shards, FlushBatch: c.FlushBatch, Dict: dict.Clone(),
+			})
+			for _, op := range ops {
+				if err := applyOp(ing, op); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := ing.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+			if err := ing.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ck.value = float64(memory) / float64(durable)
+	return ck
 }
 
 // miningGate re-measures the closed-mining acceptance headline.
@@ -258,7 +451,24 @@ func storeGate(traj trajectory) *gate {
 		return nil
 	}
 	dict, ops, _, _ := c.GenStream()
-	g.run = func(b *testing.B) {
+	g.run = durableRun(c, dict, ops)
+	return g
+}
+
+// applyOp replays one pre-generated ingestion operation.
+func applyOp(ing *stream.Ingester, op bench.StreamOp) error {
+	if op.Seal {
+		return ing.CloseTrace(op.TraceID)
+	}
+	return ing.IngestIDs(op.TraceID, op.Events...)
+}
+
+// durableRun builds the store-backed replay loop shared by the regression
+// gate and the durable-vs-memory ratio check: open a store in a fresh
+// directory, replay the stream through a store-backed ingester, snapshot,
+// and close cleanly. Directory setup/teardown stays off the clock.
+func durableRun(c bench.StreamCase, dict *seqdb.Dictionary, ops []bench.StreamOp) func(b *testing.B) {
+	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			dir, err := os.MkdirTemp("", "benchguard-store-*")
@@ -278,12 +488,7 @@ func storeGate(traj trajectory) *gate {
 				b.Fatal(err)
 			}
 			for _, op := range ops {
-				if op.Seal {
-					err = ing.CloseTrace(op.TraceID)
-				} else {
-					err = ing.IngestIDs(op.TraceID, op.Events...)
-				}
-				if err != nil {
+				if err := applyOp(ing, op); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -301,7 +506,6 @@ func storeGate(traj trajectory) *gate {
 			b.StartTimer()
 		}
 	}
-	return g
 }
 
 func writeHeader(buf *bytes.Buffer) {
@@ -317,5 +521,8 @@ func writeSamples(buf *bytes.Buffer, benchName string, nsPerOp []int64) {
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	if err := profStop(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+	}
 	os.Exit(1)
 }

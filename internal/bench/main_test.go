@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMain wires the SPECMINE_CPUPROFILE / SPECMINE_MUTEXPROFILE capture
+// hooks (see profile.go) around the whole test/benchmark binary, so CI's
+// bench smoke job uploads profiles of exactly what it measured.
+func TestMain(m *testing.M) {
+	stop, err := StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code := m.Run()
+	if err := stop(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -291,11 +291,14 @@ func (m *miner) grow(p seqdb.Pattern, nd node) {
 		occ := m.idx.Positions(si, first)
 		ends := nd.ends[h.off : h.off+h.n]
 		for _, ev := range m.idx.SeqEvents(si) {
+			// Ends are non-decreasing, so one galloping cursor per candidate
+			// event replaces a from-scratch index search per end.
+			cur := m.idx.Cursor(si, ev)
 			wins := 0
 			for i, end := range ends {
-				ne := m.idx.NextAfter(si, ev, int(end)+1)
+				ne := cur.NextAfter(end + 1)
 				if ne < 0 {
-					// Ends are non-decreasing, so every later chain fails too.
+					// Every later chain fails too.
 					break
 				}
 				wins += m.windowCount(occ, i, ne)
@@ -343,10 +346,11 @@ func (m *miner) materialize(parent node, first seqdb.EventID, ev seqdb.EventID) 
 		si := int(h.seq)
 		occ := m.idx.Positions(si, first)
 		ends := parent.ends[h.off : h.off+h.n]
+		cur := m.idx.Cursor(si, ev)
 		off := int32(len(cn.ends))
 		wins := 0
 		for i, end := range ends {
-			ne := m.idx.NextAfter(si, ev, int(end)+1)
+			ne := cur.NextAfter(end + 1)
 			if ne < 0 {
 				break
 			}

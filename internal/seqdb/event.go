@@ -23,64 +23,115 @@ type EventID int32
 // NoEvent is returned by lookups that fail to resolve a name.
 const NoEvent EventID = -1
 
+// numDictShards is the stripe count of the interning table. Streaming ingest
+// interns from many producer goroutines at once with a high hit rate; 16
+// hash-striped read-write locks keep those hits from serialising on a single
+// mutex while staying small enough that Import/Clone (which take every
+// stripe) remain cheap.
+const numDictShards = 16
+
+// dictShard is one stripe of the name table, padded so neighbouring stripes'
+// locks never share a cache line.
+type dictShard struct {
+	mu     sync.RWMutex
+	byName map[string]EventID
+	_      [32]byte
+}
+
 // Dictionary interns event names to EventIDs and back. The zero value is not
 // ready to use; call NewDictionary.
 //
 // A Dictionary is safe for concurrent use: the streaming ingester interns
 // fresh traffic on caller goroutines while shard goroutines consult Size
-// during index flushes. Mining hot paths never touch the dictionary (they
-// operate on EventIDs), so the lock is outside every profile that matters.
+// during index flushes. The name table is striped across hash shards so
+// concurrent hits (the overwhelming case in steady-state ingest) proceed in
+// parallel; only fresh assignments serialise, on the assign lock that keeps
+// ids dense and in discovery order. Mining hot paths never touch the
+// dictionary (they operate on EventIDs), so no lock here is inside the
+// profiles that matter.
 type Dictionary struct {
-	mu     sync.RWMutex
-	byName map[string]EventID
-	names  []string
+	shards [numDictShards]dictShard
 
-	// onIntern, when set, observes every fresh id assignment while the lock
-	// is held, so observers see assignments in exact id order. The durability
-	// layer uses it to write dictionary WAL records.
+	// assignMu guards names and the hook. Lock order is shard lock first,
+	// assign lock second (Import takes all shard locks, in index order, before
+	// the assign lock).
+	assignMu sync.RWMutex
+	names    []string
+
+	// onIntern, when set, observes every fresh id assignment while the assign
+	// lock is held, so observers see assignments in exact id order. The
+	// durability layer uses it to write dictionary WAL records.
 	onIntern func(id EventID, name string)
 }
 
 // NewDictionary returns an empty dictionary.
 func NewDictionary() *Dictionary {
-	return &Dictionary{byName: make(map[string]EventID)}
+	d := &Dictionary{}
+	for i := range d.shards {
+		d.shards[i].byName = make(map[string]EventID)
+	}
+	return d
+}
+
+// dictShardOf hashes a name onto its stripe (FNV-1a, truncated).
+func dictShardOf(name string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return h & (numDictShards - 1)
 }
 
 // Intern returns the EventID for name, assigning a fresh one if the name has
 // not been seen before.
 func (d *Dictionary) Intern(name string) EventID {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if id, ok := d.byName[name]; ok {
+	sh := &d.shards[dictShardOf(name)]
+	sh.mu.RLock()
+	id, ok := sh.byName[name]
+	sh.mu.RUnlock()
+	if ok {
 		return id
 	}
-	id := EventID(len(d.names))
-	d.byName[name] = id
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.byName[name]; ok {
+		return id
+	}
+	// Fresh name: the assign lock makes (id allocation, hook invocation)
+	// atomic, so the durability hook sees assignments in exact id order even
+	// when other shards assign concurrently. The id is published to the shard
+	// map only after the hook returns — no reader can observe (and persist a
+	// trace against) an id whose dictionary record is not yet logged.
+	d.assignMu.Lock()
+	id = EventID(len(d.names))
 	d.names = append(d.names, name)
 	if d.onIntern != nil {
 		d.onIntern(id, name)
 	}
+	d.assignMu.Unlock()
+	sh.byName[name] = id
 	return id
 }
 
 // OnIntern installs (or, with nil, removes) a hook invoked for every fresh id
-// assignment. The hook runs with the dictionary's lock held, so invocations
-// arrive serialised in exact id order even under concurrent interning; it
-// must not call back into the dictionary. The durability layer uses it to
-// append dictionary records to its write-ahead log before any trace record
-// referencing the new id can be written.
+// assignment. The hook runs with the dictionary's assign lock held, so
+// invocations arrive serialised in exact id order even under concurrent
+// interning; it must not call back into the dictionary. The durability layer
+// uses it to append dictionary records to its write-ahead log before any
+// trace record referencing the new id can be written.
 func (d *Dictionary) OnIntern(hook func(id EventID, name string)) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.assignMu.Lock()
+	defer d.assignMu.Unlock()
 	d.onIntern = hook
 }
 
 // Lookup returns the EventID previously assigned to name, or NoEvent if the
 // name was never interned.
 func (d *Dictionary) Lookup(name string) EventID {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if id, ok := d.byName[name]; ok {
+	sh := &d.shards[dictShardOf(name)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if id, ok := sh.byName[name]; ok {
 		return id
 	}
 	return NoEvent
@@ -92,8 +143,8 @@ func (d *Dictionary) Name(id EventID) string {
 	if d == nil {
 		return fmt.Sprintf("ev%d", int(id))
 	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.assignMu.RLock()
+	defer d.assignMu.RUnlock()
 	if id < 0 || int(id) >= len(d.names) {
 		return fmt.Sprintf("ev%d", int(id))
 	}
@@ -105,15 +156,15 @@ func (d *Dictionary) Size() int {
 	if d == nil {
 		return 0
 	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.assignMu.RLock()
+	defer d.assignMu.RUnlock()
 	return len(d.names)
 }
 
 // Names returns a copy of all interned names, indexed by EventID.
 func (d *Dictionary) Names() []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.assignMu.RLock()
+	defer d.assignMu.RUnlock()
 	out := make([]string, len(d.names))
 	copy(out, d.names)
 	return out
@@ -122,9 +173,9 @@ func (d *Dictionary) Names() []string {
 // Clone returns an independent copy of the dictionary.
 func (d *Dictionary) Clone() *Dictionary {
 	c := NewDictionary()
-	c.names = append(c.names, d.Names()...)
+	c.names = d.Names()
 	for i, n := range c.names {
-		c.byName[n] = EventID(i)
+		c.shards[dictShardOf(n)].byName[n] = EventID(i)
 	}
 	return c
 }
@@ -142,8 +193,14 @@ func (d *Dictionary) Export() []string { return d.Names() }
 // would remap ids out from under already-encoded traces. Import never invokes
 // the OnIntern hook: imported names are by definition already persisted.
 func (d *Dictionary) Import(names []string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	// Quiesce the whole dictionary: every stripe in index order, then the
+	// assign lock — the same shard-before-assign order Intern uses.
+	for i := range d.shards {
+		d.shards[i].mu.Lock()
+		defer d.shards[i].mu.Unlock()
+	}
+	d.assignMu.Lock()
+	defer d.assignMu.Unlock()
 	if len(d.names) > len(names) {
 		return fmt.Errorf("seqdb: dictionary import: %d existing names exceed the %d imported", len(d.names), len(names))
 	}
@@ -154,10 +211,11 @@ func (d *Dictionary) Import(names []string) error {
 	}
 	for i := len(d.names); i < len(names); i++ {
 		n := names[i]
-		if prev, ok := d.byName[n]; ok {
+		sh := &d.shards[dictShardOf(n)]
+		if prev, ok := sh.byName[n]; ok {
 			return fmt.Errorf("seqdb: dictionary import: duplicate name %q (ids %d and %d)", n, prev, i)
 		}
-		d.byName[n] = EventID(i)
+		sh.byName[n] = EventID(i)
 		d.names = append(d.names, n)
 	}
 	return nil

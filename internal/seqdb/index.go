@@ -1,6 +1,9 @@
 package seqdb
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // PositionIndex is the flat, cache-friendly positional index used by the
 // mining hot paths. It replaces the per-sequence map[EventID][]int layout of
@@ -40,6 +43,15 @@ type PositionIndex struct {
 	// instCount[e] is the total number of occurrences of event e.
 	instCount []int32
 
+	// Dense-event position bitmaps. For sequence s, bmSlots[s][k] is the word
+	// offset into bmWords[s] of the bitmap of seqEvents[s][k] (bit j set iff
+	// s[j] is that event), or -1 when the event is too sparse to earn one;
+	// bmSlots[s] is nil when no event of s qualifies. Derived deterministically
+	// from the position lists, so two indexes with equal logical state always
+	// carry equal bitmaps.
+	bmSlots [][]int32
+	bmWords [][]uint64
+
 	// version counts append batches (see index_append.go); frozenSeqs and
 	// frozenPos are the header/arena watermarks visible to the most recent
 	// Snapshot, below which tail rewrites must copy-on-write.
@@ -64,6 +76,8 @@ func BuildPositionIndex(sequences []Sequence, numEvents int) *PositionIndex {
 		seqOffsets: make([][]int32, len(sequences)),
 		prevOcc:    make([][]int32, len(sequences)),
 		instCount:  make([]int32, numEvents),
+		bmSlots:    make([][]int32, len(sequences)),
+		bmWords:    make([][]uint64, len(sequences)),
 	}
 
 	totalEvents := 0
@@ -142,6 +156,7 @@ func BuildPositionIndex(sequences []Sequence, numEvents int) *PositionIndex {
 			lastSeen[e] = int32(j)
 		}
 		idx.prevOcc[si] = prev
+		idx.bmSlots[si], idx.bmWords[si] = idx.buildSeqBitmaps(si, len(s))
 		for _, e := range touched {
 			counts[e] = 0
 			lastSeen[e] = -1
@@ -183,20 +198,12 @@ func (idx *PositionIndex) NumPositions() int { return len(idx.posArena) }
 // or nil when e does not occur there.
 func (idx *PositionIndex) Positions(s int, e EventID) []int32 {
 	events := idx.seqEvents[s]
-	lo, hi := 0, len(events)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if events[mid] < e {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo == len(events) || events[lo] != e {
+	k := lowerBound(events, e)
+	if k == len(events) || events[k] != e {
 		return nil
 	}
 	offs := idx.seqOffsets[s]
-	return idx.posArena[offs[lo]:offs[lo+1]]
+	return idx.posArena[offs[k]:offs[k+1]]
 }
 
 // SeqEvents returns the sorted distinct events of sequence s. The returned
@@ -216,18 +223,28 @@ func (idx *PositionIndex) OccursWithin(s, pos, lo int) bool {
 	return idx.prevOcc[s][pos] >= int32(lo)
 }
 
+// lowerBound returns the smallest index i with a[i] >= x. The halving loop
+// carries a single conditional add per step — no data-dependent branch — so
+// the compiler lowers it to CMOV and the mining hot loops stop paying
+// mispredictions on the (close to random) comparison outcomes.
+func lowerBound[T ~int32](a []T, x T) int {
+	base, n := 0, len(a)
+	for n > 1 {
+		half := n >> 1
+		if a[base+half-1] < x {
+			base += half
+		}
+		n -= half
+	}
+	if n == 1 && a[base] < x {
+		base++
+	}
+	return base
+}
+
 // searchInt32 returns the smallest index i with positions[i] >= from.
 func searchInt32(positions []int32, from int32) int {
-	lo, hi := 0, len(positions)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if positions[mid] < from {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	return lowerBound(positions, from)
 }
 
 // CountInRange returns the number of occurrences of e in sequence s falling
@@ -254,11 +271,70 @@ func (idx *PositionIndex) PositionsFrom(s int, e EventID, from int) []int32 {
 	return positions[searchInt32(positions, int32(from)):]
 }
 
+// Dense-bitmap qualification: an event earns a position bitmap in a sequence
+// when it occurs at least bmMinCount times and at least every bmSparseness-th
+// position on average. Below either bound the bitmap scan would touch more
+// words than the branchless binary probe touches cache lines, so the postings
+// list stays the faster representation.
+const (
+	bmMinCount   = 16
+	bmSparseness = 8
+)
+
+// denseBitmap reports whether an event with count occurrences in a sequence
+// of seqLen events qualifies for the bitmap fast path.
+func denseBitmap(count, seqLen int) bool {
+	return count >= bmMinCount && count*bmSparseness >= seqLen
+}
+
+// buildSeqBitmaps derives sequence si's dense-event bitmaps from its freshly
+// written headers and position lists. It returns (nil, nil) when no event of
+// the sequence qualifies — the common case for long-tailed alphabets.
+func (idx *PositionIndex) buildSeqBitmaps(si, seqLen int) ([]int32, []uint64) {
+	events := idx.seqEvents[si]
+	offs := idx.seqOffsets[si]
+	nDense := 0
+	for k := range events {
+		if denseBitmap(int(offs[k+1]-offs[k]), seqLen) {
+			nDense++
+		}
+	}
+	if nDense == 0 {
+		return nil, nil
+	}
+	w := (seqLen + 63) >> 6
+	slots := make([]int32, len(events))
+	words := make([]uint64, nDense*w)
+	off := int32(0)
+	for k := range events {
+		if !denseBitmap(int(offs[k+1]-offs[k]), seqLen) {
+			slots[k] = -1
+			continue
+		}
+		slots[k] = off
+		bm := words[off : int(off)+w]
+		for _, p := range idx.posArena[offs[k]:offs[k+1]] {
+			bm[p>>6] |= 1 << (uint(p) & 63)
+		}
+		off += int32(w)
+	}
+	return slots, words
+}
+
 // NextAfter returns the smallest position >= from at which e occurs in
 // sequence s, or -1 when there is none.
 func (idx *PositionIndex) NextAfter(s int, e EventID, from int) int32 {
-	positions := idx.Positions(s, e)
-	i := searchInt32(positions, int32(from))
+	events := idx.seqEvents[s]
+	k := lowerBound(events, e)
+	if k == len(events) || events[k] != e {
+		return -1
+	}
+	if slots := idx.bmSlots[s]; slots != nil && slots[k] >= 0 {
+		return nextBit(idx.bmWords[s], int(slots[k]), len(idx.prevOcc[s]), from)
+	}
+	offs := idx.seqOffsets[s]
+	positions := idx.posArena[offs[k]:offs[k+1]]
+	i := lowerBound(positions, int32(from))
 	if i == len(positions) {
 		return -1
 	}
@@ -267,14 +343,122 @@ func (idx *PositionIndex) NextAfter(s int, e EventID, from int) int32 {
 
 // PrevBefore returns the largest position < before at which e occurs in
 // sequence s, or -1 when there is none. It is the backward counterpart of
-// NextAfter, used by the batched verifier's latest-embedding computation.
+// NextAfter, used by latest-embedding computations.
 func (idx *PositionIndex) PrevBefore(s int, e EventID, before int) int32 {
-	positions := idx.Positions(s, e)
-	i := searchInt32(positions, int32(before))
+	events := idx.seqEvents[s]
+	k := lowerBound(events, e)
+	if k == len(events) || events[k] != e {
+		return -1
+	}
+	if slots := idx.bmSlots[s]; slots != nil && slots[k] >= 0 {
+		return prevBit(idx.bmWords[s], int(slots[k]), len(idx.prevOcc[s]), before)
+	}
+	offs := idx.seqOffsets[s]
+	positions := idx.posArena[offs[k]:offs[k+1]]
+	i := lowerBound(positions, int32(before))
 	if i == 0 {
 		return -1
 	}
 	return positions[i-1]
+}
+
+// nextBit returns the smallest set bit >= from in the bitmap of seqLen bits
+// starting at word off of words, or -1. A dense bitmap has an expected gap of
+// at most bmSparseness positions, so the scan almost always resolves in the
+// first word it touches.
+func nextBit(words []uint64, off, seqLen, from int) int32 {
+	if from < 0 {
+		from = 0
+	}
+	if from >= seqLen {
+		return -1
+	}
+	nw := (seqLen + 63) >> 6
+	wi := from >> 6
+	cur := words[off+wi] &^ (1<<(uint(from)&63) - 1)
+	for cur == 0 {
+		wi++
+		if wi >= nw {
+			return -1
+		}
+		cur = words[off+wi]
+	}
+	return int32(wi<<6 + bits.TrailingZeros64(cur))
+}
+
+// prevBit returns the largest set bit < before in the bitmap of seqLen bits
+// starting at word off of words, or -1.
+func prevBit(words []uint64, off, seqLen, before int) int32 {
+	if before > seqLen {
+		before = seqLen
+	}
+	if before <= 0 {
+		return -1
+	}
+	last := before - 1
+	wi := last >> 6
+	cur := words[off+wi]
+	if s := uint(last) & 63; s != 63 {
+		cur &= 1<<(s+1) - 1
+	}
+	for cur == 0 {
+		wi--
+		if wi < 0 {
+			return -1
+		}
+		cur = words[off+wi]
+	}
+	return int32(wi<<6 + 63 - bits.LeadingZeros64(cur))
+}
+
+// PosCursor walks one (sequence, event) occurrence list monotonically. It is
+// the amortised form of NextAfter for callers whose probe positions never
+// decrease — the episode miner's end-chain advance — resolving the common
+// "next occurrence is the next entry" case in O(1) and galloping (doubling
+// probe distance, then a branchless binary search inside the bracket) past
+// longer skips, so a full monotone scan over n probes costs O(len + n log)
+// instead of n independent from-scratch searches.
+type PosCursor struct {
+	positions []int32
+	i         int
+}
+
+// Cursor returns a cursor over the occurrences of e in sequence s. A zero
+// cursor (no occurrences) is valid and always reports -1.
+func (idx *PositionIndex) Cursor(s int, e EventID) PosCursor {
+	return PosCursor{positions: idx.Positions(s, e)}
+}
+
+// NextAfter returns the smallest occurrence position >= from not yet passed,
+// or -1 when none remains. Probe positions must be non-decreasing across
+// calls; under that contract it returns exactly what PositionIndex.NextAfter
+// would.
+func (c *PosCursor) NextAfter(from int32) int32 {
+	ps := c.positions
+	i := c.i
+	if i >= len(ps) {
+		return -1
+	}
+	if ps[i] >= from {
+		return ps[i]
+	}
+	// Gallop: bracket the answer between the last probe known < from and the
+	// first known >= from (or the end), then binary-search the bracket.
+	bound := 1
+	for i+bound < len(ps) && ps[i+bound] < from {
+		bound <<= 1
+	}
+	lo := i + bound>>1 + 1
+	hi := i + bound + 1
+	if hi > len(ps) {
+		hi = len(ps)
+	}
+	j := lo + lowerBound(ps[lo:hi], from)
+	c.i = j
+	if j >= len(ps) {
+		return -1
+	}
+	return ps[j]
 }
 
 // SeqsContaining returns the sequences containing event e, in increasing

@@ -53,6 +53,8 @@ func (idx *PositionIndex) Snapshot() *PositionIndex {
 	s.seqEvents = s.seqEvents[:len(s.seqEvents):len(s.seqEvents)]
 	s.seqOffsets = s.seqOffsets[:len(s.seqOffsets):len(s.seqOffsets)]
 	s.prevOcc = s.prevOcc[:len(s.prevOcc):len(s.prevOcc)]
+	s.bmSlots = s.bmSlots[:len(s.bmSlots):len(s.bmSlots)]
+	s.bmWords = s.bmWords[:len(s.bmWords):len(s.bmWords)]
 	return &s
 }
 
@@ -168,6 +170,9 @@ func (idx *PositionIndex) AppendSequences(sequences []Sequence, numEvents int) {
 			lastSeen[e] = int32(j)
 		}
 		idx.prevOcc = append(idx.prevOcc, prev)
+		slots, words := idx.buildSeqBitmaps(len(idx.seqEvents)-1, len(s))
+		idx.bmSlots = append(idx.bmSlots, slots)
+		idx.bmWords = append(idx.bmWords, words)
 		for _, e := range touched {
 			counts[e] = 0
 			lastSeen[e] = -1
@@ -198,6 +203,8 @@ func (idx *PositionIndex) AppendEvents(extended Sequence, numEvents int) {
 		idx.seqEvents = append([][]EventID(nil), idx.seqEvents...)
 		idx.seqOffsets = append([][]int32(nil), idx.seqOffsets...)
 		idx.prevOcc = append([][]int32(nil), idx.prevOcc...)
+		idx.bmSlots = append([][]int32(nil), idx.bmSlots...)
+		idx.bmWords = append([][]uint64(nil), idx.bmWords...)
 		idx.frozenSeqs = si
 	}
 	if regionStart < idx.frozenPos {
@@ -219,6 +226,8 @@ func (idx *PositionIndex) AppendEvents(extended Sequence, numEvents int) {
 	idx.seqEvents = idx.seqEvents[:si]
 	idx.seqOffsets = idx.seqOffsets[:si]
 	idx.prevOcc = idx.prevOcc[:si]
+	idx.bmSlots = idx.bmSlots[:si]
+	idx.bmWords = idx.bmWords[:si]
 
 	idx.AppendSequences([]Sequence{extended}, numEvents)
 }

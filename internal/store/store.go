@@ -84,11 +84,14 @@ type Store struct {
 	// a single mutator besides the barriers' appends.
 	compactMu sync.Mutex
 
-	// errMu guards sticky: the first unrecoverable I/O error. Once set, every
-	// durable operation fails with it — better loudly down than silently
-	// non-durable.
+	// sticky is the first unrecoverable I/O error. Once set, every durable
+	// operation fails with it — better loudly down than silently non-durable.
+	// It is an atomic pointer because the healthy-path check sits on every
+	// producer commit: a mutex here would re-serialise the goroutines the
+	// lock-free commit path exists to keep apart. errMu serialises only the
+	// (cold, once-ever) transition to failed.
 	errMu  sync.Mutex
-	sticky error
+	sticky atomic.Pointer[error]
 
 	compactNudge chan struct{}
 	compactStop  chan struct{}
@@ -281,18 +284,20 @@ func (st *Store) AttachIngester() error {
 // Err returns the store's sticky error: the first unrecoverable I/O failure,
 // or nil while the store is healthy.
 func (st *Store) Err() error {
-	st.errMu.Lock()
-	defer st.errMu.Unlock()
-	return st.sticky
+	if p := st.sticky.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 func (st *Store) fail(err error) error {
 	st.errMu.Lock()
 	defer st.errMu.Unlock()
-	if st.sticky == nil {
-		st.sticky = err
+	if p := st.sticky.Load(); p != nil {
+		return *p
 	}
-	return st.sticky
+	st.sticky.Store(&err)
+	return err
 }
 
 // flushDict flushes the dictionary log. It must run before any shard WAL
@@ -351,11 +356,25 @@ type ShardLog struct {
 	dir   string
 
 	// mu serialises WAL appends with the caller's channel handoff (the
-	// LogEvents/LogSeal callbacks run under it) so WAL order always equals
-	// apply order, and guards the handle table and generation swaps.
-	mu         sync.Mutex
-	wal        *walFile
-	gen        uint64
+	// LogEvents/LogSeal and CommitEvents/CommitSeal callbacks run under it)
+	// so WAL order always equals apply order, and guards generation swaps.
+	// The contention-free commit path (CommitEvents/CommitSeal) does all
+	// encoding and checksumming before taking it, so the critical section is
+	// one buffer append plus the channel handoff.
+	mu  sync.Mutex
+	wal *walFile
+	gen uint64
+
+	// commitSeq numbers the commit barrier: it increments under mu once per
+	// committed operation, so WAL append order, apply (channel) order and the
+	// sequence numbers all agree. Diagnostics and tests read it via CommitSeq.
+	commitSeq uint64
+
+	// handleMu guards the handle table, so producers can resolve (and assign)
+	// their trace's handle — and frame records against it — without holding
+	// mu. Lock order: mu before handleMu (the locked append path and rotation
+	// take handleMu while holding mu; producers take them one at a time).
+	handleMu   sync.Mutex
 	handles    map[string]uint64
 	nextHandle uint64
 
@@ -418,11 +437,15 @@ func (sl *ShardLog) AppendEventsLocked(id string, events []seqdb.EventID) error 
 	}
 	w := sl.wal
 	mark := len(w.buf)
+	sl.handleMu.Lock()
 	h, ok := sl.handles[id]
 	if !ok {
 		h = sl.nextHandle
 		sl.nextHandle++
 		sl.handles[id] = h
+	}
+	sl.handleMu.Unlock()
+	if !ok {
 		start := w.begin()
 		w.buf = encodeOpen(w.buf, h, id)
 		w.end(start)
@@ -435,12 +458,24 @@ func (sl *ShardLog) AppendEventsLocked(id string, events []seqdb.EventID) error 
 	if err := sl.maybeFlushLocked(); err != nil {
 		sl.rollbackLocked(mark, preSize)
 		if !ok {
-			delete(sl.handles, id)
-			sl.nextHandle--
+			sl.dropHandle(id, h)
 		}
 		return err
 	}
+	sl.commitSeq++
 	return nil
+}
+
+// dropHandle removes a rejected handle assignment. The handle value itself is
+// never reused (concurrent producers may have assigned past it), leaving a
+// hole in the numbering — harmless, since recovery maps handles through their
+// open records and rotation renumbers from zero.
+func (sl *ShardLog) dropHandle(id string, h uint64) {
+	sl.handleMu.Lock()
+	if cur, ok := sl.handles[id]; ok && cur == h {
+		delete(sl.handles, id)
+	}
+	sl.handleMu.Unlock()
 }
 
 // AppendSealLocked appends a seal record (opening the trace first when the id
@@ -452,15 +487,19 @@ func (sl *ShardLog) AppendSealLocked(id string) error {
 	}
 	w := sl.wal
 	mark := len(w.buf)
+	sl.handleMu.Lock()
 	h, ok := sl.handles[id]
 	if !ok {
 		h = sl.nextHandle
 		sl.nextHandle++
+	}
+	delete(sl.handles, id)
+	sl.handleMu.Unlock()
+	if !ok {
 		start := w.begin()
 		w.buf = encodeOpen(w.buf, h, id)
 		w.end(start)
 	}
-	delete(sl.handles, id)
 	start := w.begin()
 	w.buf = encodeSeal(w.buf, h)
 	w.end(start)
@@ -469,12 +508,13 @@ func (sl *ShardLog) AppendSealLocked(id string) error {
 	if err := sl.maybeFlushLocked(); err != nil {
 		sl.rollbackLocked(mark, preSize)
 		if ok {
+			sl.handleMu.Lock()
 			sl.handles[id] = h
-		} else {
-			sl.nextHandle--
+			sl.handleMu.Unlock()
 		}
 		return err
 	}
+	sl.commitSeq++
 	return nil
 }
 
@@ -519,6 +559,160 @@ func (sl *ShardLog) LogSeal(id string, send func()) error {
 	}
 	send()
 	return nil
+}
+
+// commitScratch pools the producer-side framing buffers of the commit path.
+var commitScratch = sync.Pool{New: func() any { return new(scratchBuf) }}
+
+type scratchBuf struct{ b []byte }
+
+// resolveHandle resolves (assigning if fresh) id's handle without taking the
+// ledger lock, returning the handle, whether it was freshly assigned, and the
+// WAL generation the resolution is valid for.
+func (sl *ShardLog) resolveHandle(id string) (h uint64, fresh bool, gen uint64) {
+	sl.handleMu.Lock()
+	h, ok := sl.handles[id]
+	if !ok {
+		h = sl.nextHandle
+		sl.nextHandle++
+		sl.handles[id] = h
+	}
+	gen = sl.gen
+	sl.handleMu.Unlock()
+	return h, !ok, gen
+}
+
+// CommitEvents is the streaming ingester's durable append: an events record
+// (preceded by an open record when the trace is new) framed and checksummed
+// into private scratch BEFORE the ledger lock is taken, so concurrent
+// producers overlap all encoding work and serialise only on a memcpy plus the
+// channel handoff in send. WAL order equals apply order (both happen under
+// the lock, stamped by the same commit sequence number); rollback semantics
+// on flush failure match AppendEventsLocked.
+//
+// All records of one trace id must be committed from a single goroutine (the
+// streaming layer's standing contract): that is what guarantees the trace's
+// open record is framed into the same commit as its first events and hits the
+// WAL before any other record referencing the handle.
+//
+// A rotation can invalidate the resolved handle between framing and commit;
+// the generation check detects this and the commit falls back to re-encoding
+// under the lock against the rebuilt handle table.
+func (sl *ShardLog) CommitEvents(id string, events []seqdb.EventID, send func()) error {
+	if err := sl.st.Err(); err != nil {
+		return err
+	}
+	h, fresh, gen := sl.resolveHandle(id)
+	fb := commitScratch.Get().(*scratchBuf)
+	buf := fb.b[:0]
+	var start int
+	if fresh {
+		buf, start = openFrame(buf)
+		buf = encodeOpen(buf, h, id)
+		buf = closeFrame(buf, start)
+	}
+	buf, start = openFrame(buf)
+	buf = encodeEvents(buf, h, events)
+	buf = closeFrame(buf, start)
+	fb.b = buf
+
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	defer commitScratch.Put(fb)
+	if sl.gen != gen {
+		// Rotated under us: the pre-framed handle belongs to the superseded
+		// generation. Re-encode against the rebuilt table.
+		if err := sl.AppendEventsLocked(id, events); err != nil {
+			return err
+		}
+		send()
+		return nil
+	}
+	w := sl.wal
+	mark := len(w.buf)
+	w.buf = append(w.buf, buf...)
+	sl.walSize.Store(w.pending())
+	preSize := w.size
+	if err := sl.maybeFlushLocked(); err != nil {
+		sl.rollbackLocked(mark, preSize)
+		if fresh {
+			sl.dropHandle(id, h)
+		}
+		return err
+	}
+	sl.commitSeq++
+	send()
+	return nil
+}
+
+// CommitSeal is CommitEvents for seal records: the trace's handle is retired
+// from the table at resolution (no later record may reference it under the
+// single-goroutine-per-trace contract) and the seal frame is built outside
+// the ledger lock.
+func (sl *ShardLog) CommitSeal(id string, send func()) error {
+	if err := sl.st.Err(); err != nil {
+		return err
+	}
+	sl.handleMu.Lock()
+	h, ok := sl.handles[id]
+	if !ok {
+		h = sl.nextHandle
+		sl.nextHandle++
+	}
+	delete(sl.handles, id)
+	gen := sl.gen
+	sl.handleMu.Unlock()
+
+	fb := commitScratch.Get().(*scratchBuf)
+	buf := fb.b[:0]
+	var start int
+	if !ok {
+		buf, start = openFrame(buf)
+		buf = encodeOpen(buf, h, id)
+		buf = closeFrame(buf, start)
+	}
+	buf, start = openFrame(buf)
+	buf = encodeSeal(buf, h)
+	buf = closeFrame(buf, start)
+	fb.b = buf
+
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	defer commitScratch.Put(fb)
+	if sl.gen != gen {
+		// The rotation re-opened the trace in the rebuilt table (it was still
+		// open when the generation turned); seal it against that table.
+		if err := sl.AppendSealLocked(id); err != nil {
+			return err
+		}
+		send()
+		return nil
+	}
+	w := sl.wal
+	mark := len(w.buf)
+	w.buf = append(w.buf, buf...)
+	sl.walSize.Store(w.pending())
+	preSize := w.size
+	if err := sl.maybeFlushLocked(); err != nil {
+		sl.rollbackLocked(mark, preSize)
+		if ok {
+			sl.handleMu.Lock()
+			sl.handles[id] = h
+			sl.handleMu.Unlock()
+		}
+		return err
+	}
+	sl.commitSeq++
+	send()
+	return nil
+}
+
+// CommitSeq returns the number of operations committed to the shard's WAL so
+// far. It is a diagnostic: the value is racy the moment it returns.
+func (sl *ShardLog) CommitSeq() uint64 {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.commitSeq
 }
 
 // maybeFlushLocked group-commits when the buffer has grown past the
@@ -597,15 +791,31 @@ func (sl *ShardLog) WriteSegmentLocked(seqs []seqdb.Sequence) error {
 	return sl.writeSegmentTail(seqs)
 }
 
+// segMinPublish is the smallest unsegmented tail PublishSegment will roll
+// into a segment file. Barriers fire every flush batch (a few dozen seals),
+// and publishing a file per barrier made segment creation — temp file,
+// write, rename, (fsync in Sync mode) — the dominant per-trace syscall cost
+// of steady-state durable ingest. Deferring publication is free from a
+// durability standpoint: the WAL retains every sealed trace since its
+// generation began, recovery canonicalises any WAL-only tail into a segment
+// on the next open, and the rotation and explicit WriteSegment paths bypass
+// the gate because they require full coverage.
+const segMinPublish = 64
+
 // PublishSegment rolls the unsegmented sealed tail of seqs into a segment
 // WITHOUT taking the log's lock — the barrier goroutine calls it after
-// releasing the lock so producers never wait behind segment I/O. The caller
-// must have flushed the WAL past those traces' seal records while it still
-// held the lock (the barrier does); publishing an un-covered segment would
-// break the resurrection invariant writeSegmentTail documents.
+// releasing the lock so producers never wait behind segment I/O. Tails
+// shorter than segMinPublish are left in the WAL to coalesce with later
+// barriers. The caller must have flushed the WAL past those traces' seal
+// records while it still held the lock (the barrier does); publishing an
+// un-covered segment would break the resurrection invariant
+// writeSegmentTail documents.
 func (sl *ShardLog) PublishSegment(seqs []seqdb.Sequence) error {
 	if err := sl.st.Err(); err != nil {
 		return err
+	}
+	if len(seqs)-sl.covered < segMinPublish {
+		return nil
 	}
 	return sl.writeSegmentTail(seqs)
 }
@@ -661,9 +871,15 @@ func (sl *ShardLog) RotateLocked(open []OpenTrace, sealedTotal int) error {
 	}
 	_ = os.Remove(oldPath)
 	sl.wal = wal
+	// Swap the handle table and generation atomically with respect to
+	// producer-side resolveHandle: a producer either resolves against the old
+	// table (and its commit-time generation check sends it down the re-encode
+	// path) or against the rebuilt one.
+	sl.handleMu.Lock()
 	sl.gen = newGen
 	sl.handles = handles
 	sl.nextHandle = next
+	sl.handleMu.Unlock()
 	sl.walSize.Store(wal.pending())
 	sl.setRotateThreshold(wal.pending())
 	return nil

@@ -59,6 +59,23 @@ func appendFrame(dst, payload []byte) []byte {
 	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
 }
 
+// openFrame reserves a frame's length prefix on buf and returns the payload
+// start; the caller appends the payload and calls closeFrame. It is the
+// free-standing twin of walFile.begin/end, used by the producer-side commit
+// path to frame records into private scratch outside the shard ledger lock.
+func openFrame(buf []byte) ([]byte, int) {
+	buf = append(buf, 0, 0, 0, 0)
+	return buf, len(buf)
+}
+
+// closeFrame backfills the length prefix of the frame whose payload begins at
+// start and appends the checksum.
+func closeFrame(buf []byte, start int) []byte {
+	payload := buf[start:]
+	binary.LittleEndian.PutUint32(buf[start-4:], uint32(len(payload)))
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+}
+
 // scanFrames walks the intact frame prefix of data, invoking fn per payload,
 // and returns the byte length of that prefix. Corruption or truncation ends
 // the scan without error — the tail simply did not survive; an fn error

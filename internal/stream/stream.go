@@ -245,21 +245,15 @@ func (ing *Ingester) send(traceID string, o op) error {
 		sh.ops <- o
 		return nil
 	}
-	// Durable mode: the WAL record is appended — and the channel handoff
-	// happens — under the shard log's lock, so WAL order always equals apply
-	// order and no operation is acknowledged before it is logged.
-	sh.log.Lock()
-	var err error
+	// Durable mode: the commit path frames and checksums the WAL record on
+	// this goroutine before taking the shard log's lock, then appends it and
+	// hands the op to the shard under the lock — WAL order equals apply order
+	// and no operation is acknowledged before it is logged, but concurrent
+	// producers only serialise on the final memcpy and channel handoff.
 	if o.kind == opSeal {
-		err = sh.log.AppendSealLocked(o.id)
-	} else {
-		err = sh.log.AppendEventsLocked(o.id, o.events)
+		return sh.log.CommitSeal(o.id, func() { sh.ops <- o })
 	}
-	if err == nil {
-		sh.ops <- o
-	}
-	sh.log.Unlock()
-	return err
+	return sh.log.CommitEvents(o.id, o.events, func() { sh.ops <- o })
 }
 
 // shardFor hashes a trace id onto a shard (FNV-1a, deterministic across

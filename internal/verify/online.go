@@ -171,16 +171,20 @@ func (c *Checker) Close(seq int, reports []RuleReport) {
 	c.Reset()
 }
 
-// lowerBound returns the number of entries in sorted that are < limit.
+// lowerBound returns the number of entries in sorted that are < limit. The
+// halving loop is branch-free in its data-dependent comparison (a conditional
+// add the compiler lowers to CMOV), matching the seqdb postings probes.
 func lowerBound(sorted []int32, limit int32) int {
-	lo, hi := 0, len(sorted)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if sorted[mid] < limit {
-			lo = mid + 1
-		} else {
-			hi = mid
+	base, n := 0, len(sorted)
+	for n > 1 {
+		half := n >> 1
+		if sorted[base+half-1] < limit {
+			base += half
 		}
+		n -= half
 	}
-	return lo
+	if n == 1 && sorted[base] < limit {
+		base++
+	}
+	return base
 }
