@@ -127,6 +127,7 @@ func main() {
 	factor := flag.Float64("factor", 1.5, "maximum allowed ns/op regression factor")
 	speedupFloor := flag.Float64("speedup-floor", 2.5, "minimum closed-mining speedup at workers=4 vs workers=1 (hard when NumCPU >= 4)")
 	durableFloor := flag.Float64("durable-floor", 0.7, "minimum durable-ingest throughput as a fraction of memory-only (report-only)")
+	fsimFloor := flag.Float64("fsim-floor", 0.97, "minimum durable-ingest throughput vs the pre-fsim trajectory value (report-only; <3% filesystem-indirection overhead)")
 	flag.Parse()
 
 	stop, err := bench.StartProfiles()
@@ -146,8 +147,9 @@ func main() {
 	checkScalingRows(traj)
 
 	gates := []*gate{miningGate(traj), verifyGate(traj), seqPatternGate(traj)}
-	if g := storeGate(traj); g != nil {
-		gates = append(gates, g)
+	sg := storeGate(traj)
+	if sg != nil {
+		gates = append(gates, sg)
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -197,6 +199,9 @@ func main() {
 	}
 
 	checks := []*ratioCheck{speedupCheck(*speedupFloor), durableRatioCheck(*durableFloor)}
+	if sg != nil {
+		checks = append(checks, fsimOverheadCheck(*fsimFloor, sg))
+	}
 	fmt.Printf("benchguard: live ratio floors (gomaxprocs raised per measurement, num_cpu=%d)\n", runtime.NumCPU())
 	fmt.Printf("  %-42s %8s %8s %7s\n", "check", "floor", "value", "status")
 	for _, c := range checks {
@@ -339,6 +344,24 @@ func durableRatioCheck(floor float64) *ratioCheck {
 	})
 	ck.value = float64(memory) / float64(durable)
 	return ck
+}
+
+// fsimOverheadCheck turns the store gate's measurement into an overhead
+// floor: since every store syscall is now routed through the fsim.FS
+// interface, the live durable-ingest headline must stay within a few percent
+// of the trajectory value that was recorded against direct os calls. It
+// reuses the gate's best-of-N sample rather than re-measuring, so the two
+// rows can never disagree about what was observed. Soft for the same reason
+// as the store gate itself: single-run fsync-adjacent numbers on a
+// virtualised runner are too noisy to fail a build on.
+func fsimOverheadCheck(floor float64, sg *gate) *ratioCheck {
+	return &ratioCheck{
+		label: "fsim-passthrough-overhead/" + sg.label,
+		floor: floor,
+		value: float64(sg.oldNs) / float64(sg.best),
+		soft:  true,
+		note:  "report-only; durable ingest vs pre-fsim trajectory",
+	}
 }
 
 // miningGate re-measures the closed-mining acceptance headline.

@@ -305,6 +305,35 @@ func CheckRules(db *Database, ruleSet []Rule) (verify.Summary, error) {
 // cold-start mining over a store left behind by an earlier process.
 type TraceStore = store.Store
 
+// Health is a snapshot of a store's failure-model state: its degradation
+// ladder position, the operative error, and the retry/fault counters. See
+// the store package's failure-model documentation for the full contract.
+type Health = store.Health
+
+// HealthState is a rung of the degradation ladder.
+type HealthState = store.HealthState
+
+// Degradation ladder states, re-exported for facade callers.
+const (
+	// StoreHealthy: every durability promise holds.
+	StoreHealthy = store.Healthy
+	// StoreDegradedReadOnly: a permanent I/O fault stopped durable ingest;
+	// snapshots, mining, and online checking continue from memory.
+	StoreDegradedReadOnly = store.DegradedReadOnly
+	// StoreFailed: an internal invariant was violated; reads refuse too.
+	StoreFailed = store.Failed
+)
+
+// Typed failure-mode errors, matchable with errors.Is on anything the
+// store or a durable Streamer returns after degrading.
+var (
+	// ErrStoreDegraded wraps every error returned by writes against a
+	// degraded read-only store.
+	ErrStoreDegraded = store.ErrDegraded
+	// ErrStoreFailed wraps every error returned by a failed store.
+	ErrStoreFailed = store.ErrFailed
+)
+
 // StoreOptions configures OpenStore.
 type StoreOptions struct {
 	// Shards fixes the store's shard count at creation (default 4). Reopening
@@ -522,6 +551,12 @@ func (st *Streamer) CheckOnline() (verify.Summary, error) {
 	}
 	return verify.NewSummary(v.Reports), nil
 }
+
+// Health reports the backing store's health. A degraded read-only session
+// keeps serving Snapshot and CheckOnline from memory while Ingest and
+// CloseTrace fail fast with an error wrapping ErrStoreDegraded; a
+// memory-only session is always healthy.
+func (st *Streamer) Health() Health { return st.ing.Health() }
 
 // Close shuts the streamer down, discarding still-open traces.
 func (st *Streamer) Close() error { return st.ing.Close() }

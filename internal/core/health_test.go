@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"specmine/internal/fsim"
+	"specmine/internal/store"
+)
+
+// TestStreamerHealthSurface pins the facade's failure-model surface: a
+// memory-only session is always Healthy, and a durable session over a store
+// with a permanent flush fault reports DegradedReadOnly, rejects writes with
+// ErrStoreDegraded, and keeps serving snapshots from memory.
+func TestStreamerHealthSurface(t *testing.T) {
+	mem, err := NewStreamer(StreamOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := mem.Health(); h.State != StoreHealthy {
+		t.Fatalf("memory-only streamer reports %v, want StoreHealthy", h.State)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Write rank 0 on the shard path is the WAL creation; rank 1 is the
+	// first flush, which EIO fails permanently.
+	ffs := fsim.NewFaultFS(fsim.OS(),
+		fsim.Rule{Op: fsim.OpWrite, Path: "shard-000", From: 1, To: 1 << 20, Err: syscall.EIO})
+	ts, err := store.Open(store.Options{Dir: t.TempDir(), Shards: 1, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStreamer(StreamOptions{FlushBatch: 1, Store: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Ingest("t1", "open", "use", "close"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CloseTrace("t1"); err != nil {
+		t.Fatal(err)
+	}
+	db, err := st.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot on a degraded session: %v", err)
+	}
+	if db.NumSequences() != 1 {
+		t.Fatalf("degraded snapshot has %d traces want 1", db.NumSequences())
+	}
+	h := st.Health()
+	if h.State != StoreDegradedReadOnly {
+		t.Fatalf("health is %v after a permanent flush fault, want StoreDegradedReadOnly (%+v)", h.State, h)
+	}
+	if !errors.Is(h.Err, syscall.EIO) {
+		t.Fatalf("health lost the first error: %+v", h)
+	}
+	if err := st.Ingest("t2", "open"); !errors.Is(err, ErrStoreDegraded) {
+		t.Fatalf("ingest on a degraded session returned %v, want ErrStoreDegraded", err)
+	}
+	_ = st.Close()
+	_ = ts.Close()
+}

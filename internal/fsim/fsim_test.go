@@ -1,0 +1,225 @@
+package fsim
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{syscall.ENOSPC, true},
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+		{syscall.EIO, false},
+		{os.ErrClosed, false},
+		{errors.New("opaque"), false},
+		{AsTransient(errors.New("opaque")), true},
+		// Wrapping must survive fmt-style chains.
+		{&os.PathError{Op: "write", Path: "x", Err: syscall.ENOSPC}, true},
+		{&os.PathError{Op: "write", Path: "x", Err: syscall.EIO}, false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("Transient(%v) = %v want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestRuleWindows: per-rule counters, half-open windows, single-shot default.
+func TestRuleWindows(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS(),
+		Rule{Op: OpWrite, Path: "a.dat", From: 1, To: 3, Err: syscall.ENOSPC}, // 2nd and 3rd write to a.dat
+		Rule{Op: OpRemove, Err: syscall.EACCES},                               // 1st remove only
+	)
+	pa := filepath.Join(dir, "a.dat")
+	pb := filepath.Join(dir, "b.dat")
+	// Writes to b.dat never match the first rule, whatever their rank.
+	for i := 0; i < 5; i++ {
+		if err := fs.WriteFile(pb, []byte("x"), 0o644); err != nil {
+			t.Fatalf("write b #%d: %v", i, err)
+		}
+	}
+	wantErr := []bool{false, true, true, false, false}
+	for i, want := range wantErr {
+		err := fs.WriteFile(pa, []byte("x"), 0o644)
+		if (err != nil) != want {
+			t.Fatalf("write a #%d: err=%v want failure=%v", i, err, want)
+		}
+		if err != nil && !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write a #%d: wrong error %v", i, err)
+		}
+	}
+	if err := fs.Remove(pb); !errors.Is(err, syscall.EACCES) {
+		t.Fatalf("first remove: %v", err)
+	}
+	if err := fs.Remove(pb); err != nil {
+		t.Fatalf("second remove: %v", err)
+	}
+	if inj := fs.Injections(); len(inj) != 3 {
+		t.Fatalf("injection log has %d entries want 3: %v", len(inj), inj)
+	}
+}
+
+// TestShortWrite: a Short rule leaves a torn prefix on the real file, both
+// through WriteFile and through an open File handle.
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS(), Rule{Op: OpWrite, From: 0, To: 99, Err: syscall.ENOSPC, Short: true})
+	p := filepath.Join(dir, "torn.dat")
+	payload := []byte("0123456789abcdef")
+	if err := fs.WriteFile(p, payload, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload)/2 {
+		t.Fatalf("torn WriteFile left %d bytes want %d", len(got), len(payload)/2)
+	}
+
+	clean := NewFaultFS(OS()) // no rules: passthrough for the open
+	f, err := clean.OpenFile(filepath.Join(dir, "h.dat"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf := &faultFile{fs: fs, path: "h.dat", inner: f}
+	n, werr := hf.Write(payload)
+	if !errors.Is(werr, syscall.ENOSPC) || n != len(payload)/2 {
+		t.Fatalf("handle write: n=%d err=%v", n, werr)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(filepath.Join(dir, "h.dat"))
+	if len(got) != len(payload)/2 {
+		t.Fatalf("torn handle write left %d bytes want %d", len(got), len(payload)/2)
+	}
+}
+
+// TestTornRename: the destination holds a prefix of the source and the
+// source survives.
+func TestTornRename(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS(), Rule{Op: OpRename, Err: syscall.ENOSPC, Torn: true})
+	src := filepath.Join(dir, "src.tmp")
+	dst := filepath.Join(dir, "dst.wal")
+	if err := os.WriteFile(src, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(src, dst); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("rename: %v", err)
+	}
+	if got, _ := os.ReadFile(dst); len(got) != 5 {
+		t.Fatalf("torn destination has %d bytes want 5", len(got))
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("source gone after failed rename: %v", err)
+	}
+	// The rule was single-shot: the retry succeeds and replaces the torn
+	// destination.
+	if err := fs.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(dst); string(got) != "0123456789" {
+		t.Fatalf("destination after retry: %q", got)
+	}
+}
+
+// TestSyncFaults: Sync faults fire on file handles and on SyncPath.
+func TestSyncFaults(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS(), Rule{Op: OpSync, From: 0, To: 2, Err: syscall.EIO})
+	f, err := fs.OpenFile(filepath.Join(dir, "s.dat"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("handle sync: %v", err)
+	}
+	if err := fs.SyncPath(dir); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("SyncPath: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after window: %v", err)
+	}
+}
+
+// TestRandomScheduleDeterministic: the same seed yields the same schedule;
+// nearby seeds yield a mix of shapes.
+func TestRandomScheduleDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, b := RandomSchedule(seed), RandomSchedule(seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: lengths differ", seed)
+		}
+		for i := range a {
+			if a[i].Op != b[i].Op || a[i].Path != b[i].Path || a[i].From != b[i].From ||
+				a[i].To != b[i].To || a[i].Short != b[i].Short || a[i].Torn != b[i].Torn ||
+				!errors.Is(a[i].Err, b[i].Err) {
+				t.Fatalf("seed %d rule %d: %+v != %+v", seed, i, a[i], b[i])
+			}
+		}
+		if len(a) == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+	}
+}
+
+// TestOSPassthrough: the production FS round-trips the store's operation
+// surface.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	sub := filepath.Join(dir, "a", "b")
+	if err := fs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(sub, "f.dat")
+	if err := fs.WriteFile(p, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile(p, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := fs.ReadFile(p)
+	if err != nil || string(buf) != "hello world" {
+		t.Fatalf("read back %q err %v", buf, err)
+	}
+	if err := fs.Truncate(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	q := filepath.Join(sub, "g.dat")
+	if err := fs.Rename(p, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncPath(sub); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g.dat" {
+		t.Fatalf("ReadDir: %v err %v", ents, err)
+	}
+	if err := fs.Remove(q); err != nil {
+		t.Fatal(err)
+	}
+}

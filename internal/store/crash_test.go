@@ -182,7 +182,7 @@ func runCrashRecoveryFuzz(t *testing.T, sealBarrierAt int, everyByte bool) {
 		t.Fatal(err)
 	}
 	ends := frameEnds(walBytes)
-	if len(ends) != len(ledger)+1 { // +1: the generation header record
+	if len(ends) != len(ledger)+2 { // +2: generation header + commit marker
 		t.Fatalf("WAL holds %d frames, ledger has %d records", len(ends), len(ledger))
 	}
 
@@ -202,14 +202,15 @@ func runCrashRecoveryFuzz(t *testing.T, sealBarrierAt int, everyByte bool) {
 	}
 
 	for _, cut := range cuts {
-		// Count the complete frames within the cut; frame 0 is the header.
+		// Count the complete frames within the cut; frames 0 and 1 are the
+		// generation header and commit marker.
 		frames := 0
 		for _, e := range ends {
 			if e <= cut {
 				frames++
 			}
 		}
-		prefix := ledger[:max(frames-1, 0)]
+		prefix := ledger[:max(frames-2, 0)]
 		wantSealed, wantOpen := applyLedger(prefix)
 		if len(wantSealed) < coveredBySegments {
 			// Cut below the segment barrier: sealed state comes from the

@@ -1,0 +1,415 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"specmine/internal/fsim"
+	"specmine/internal/seqdb"
+)
+
+// Live-fault tests: fsim fault schedules injected under the store, asserting
+// the graceful-degradation contract — transient faults fail (at most) the one
+// operation that hit them, permanent faults land in DegradedReadOnly, cleanup
+// failures surface as warnings, and recovery over the surviving files always
+// reproduces the acked state.
+
+// openFaultStore opens a store over a FaultFS with the given schedule.
+func openFaultStore(t *testing.T, dir string, schedule []fsim.Rule, tweak func(*Options)) (*Store, *fsim.FaultFS) {
+	t.Helper()
+	ffs := fsim.NewFaultFS(fsim.OS(), schedule...)
+	st := openStore(t, dir, func(o *Options) {
+		o.FS = ffs
+		if tweak != nil {
+			tweak(o)
+		}
+	})
+	return st, ffs
+}
+
+func healthAssert(t *testing.T, st *Store, want HealthState) Health {
+	t.Helper()
+	h := st.Health()
+	if h.State != want {
+		t.Fatalf("health state %v want %v (err %v, cause %q, warnings %v)", h.State, want, h.Err, h.Cause, h.Warnings)
+	}
+	return h
+}
+
+func hasWarning(h Health, sub string) bool {
+	for _, w := range h.Warnings {
+		if strings.Contains(w, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSegmentWriteENOSPCDiscardedOnReopen: ENOSPC with a short write torn
+// into a segment publish. The barrier fails but the store stays healthy (the
+// WAL still covers the traces), and reopening discards the partial file and
+// recovers every sealed trace from the log.
+func TestSegmentWriteENOSPCDiscardedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openFaultStore(t, dir,
+		[]fsim.Rule{{Op: fsim.OpWrite, Path: ".seg", From: 0, To: 99, Err: syscall.ENOSPC, Short: true}},
+		func(o *Options) { o.RetryAttempts = -1 })
+	internEvents(t, st, 10)
+	sl := st.Shard(0)
+	rng := rand.New(rand.NewSource(7))
+	var sealed []seqdb.Sequence
+	for i := 0; i < 8; i++ {
+		id := "tr" + string(rune('a'+i))
+		evs := randomTrace(rng, 10)
+		if err := sl.LogEvents(id, evs, noSend); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.LogSeal(id, noSend); err != nil {
+			t.Fatal(err)
+		}
+		sealed = append(sealed, evs)
+	}
+	err := sl.WriteSegment(sealed)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("WriteSegment under ENOSPC: %v", err)
+	}
+	h := healthAssert(t, st, Healthy)
+	if h.Faults == 0 {
+		t.Fatal("surfaced transient fault not counted")
+	}
+	// The torn partial file exists; the WAL still covers the traces.
+	segs, _ := filepath.Glob(filepath.Join(dir, "shard-000", "*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("expected one torn segment file, found %v", segs)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	sequencesEqual(t, "recovered after torn segment", st2.Recovered().Shards[0].Sequences, sealed)
+	if !hasWarning(st2.Health(), "torn segment") {
+		t.Fatalf("reopen did not warn about the torn segment: %v", st2.Health().Warnings)
+	}
+}
+
+// TestWALRotationENOSPCOldGenerationContinues: a torn rename mid-rotation.
+// The rotation fails, the superseded generation stays active and keeps
+// accepting appends, and recovery discards the half-published generation
+// (missing commit marker) in favour of the intact predecessor.
+func TestWALRotationENOSPCOldGenerationContinues(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openFaultStore(t, dir,
+		[]fsim.Rule{{Op: fsim.OpRename, Path: ".wal", Err: syscall.ENOSPC, Torn: true}},
+		nil)
+	internEvents(t, st, 10)
+	sl := st.Shard(0)
+	rng := rand.New(rand.NewSource(8))
+	var sealed []seqdb.Sequence
+	for i := 0; i < 4; i++ {
+		id := "tr" + string(rune('a'+i))
+		evs := randomTrace(rng, 10)
+		if err := sl.LogEvents(id, evs, noSend); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.LogSeal(id, noSend); err != nil {
+			t.Fatal(err)
+		}
+		sealed = append(sealed, evs)
+	}
+	stillOpen := randomTrace(rng, 10)
+	if err := sl.LogEvents(t.Name(), stillOpen, noSend); err != nil {
+		t.Fatal(err)
+	}
+
+	if !sl.TryLock() {
+		t.Fatal("TryLock failed with no producers")
+	}
+	if err := sl.WriteSegmentLocked(sealed); err != nil {
+		sl.Unlock()
+		t.Fatal(err)
+	}
+	err := sl.RotateLocked([]OpenTrace{{ID: t.Name(), Events: stillOpen}}, len(sealed))
+	sl.Unlock()
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("RotateLocked under torn rename: %v", err)
+	}
+	healthAssert(t, st, Healthy)
+
+	// The old generation is still the active WAL; ingest continues on it.
+	extra := randomTrace(rng, 10)
+	if err := sl.LogEvents(t.Name(), extra, noSend); err != nil {
+		t.Fatalf("append after failed rotation: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both generations are on disk; the newer one is a torn prefix.
+	wals, _ := filepath.Glob(filepath.Join(dir, "shard-000", "*.wal"))
+	if len(wals) != 2 {
+		t.Fatalf("expected torn + intact WAL generations, found %v", wals)
+	}
+
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	rec := st2.Recovered().Shards[0]
+	sequencesEqual(t, "sealed after torn rotation", rec.Sequences, sealed)
+	if len(rec.Open) != 1 || rec.Open[0].ID != t.Name() {
+		t.Fatalf("open traces after torn rotation: %+v", rec.Open)
+	}
+	wantOpen := append(append(seqdb.Sequence{}, stillOpen...), extra...)
+	sequencesEqual(t, "open events after torn rotation", []seqdb.Sequence{rec.Open[0].Events}, []seqdb.Sequence{wantOpen})
+	if !hasWarning(st2.Health(), "torn WAL generation") {
+		t.Fatalf("reopen did not warn about the torn generation: %v", st2.Health().Warnings)
+	}
+}
+
+// TestTransientENOSPCAbsorbedByRetry: a one-shot ENOSPC on the WAL flush path
+// disappears inside the bounded retry — the caller never sees it.
+func TestTransientENOSPCAbsorbedByRetry(t *testing.T) {
+	dir := t.TempDir()
+	// Write rank 0 is the WAL creation write at Open; rank 1 the first flush.
+	st, _ := openFaultStore(t, dir,
+		[]fsim.Rule{{Op: fsim.OpWrite, Path: "shard-000", From: 1, Err: syscall.ENOSPC}},
+		nil)
+	defer st.Close()
+	internEvents(t, st, 5)
+	sl := st.Shard(0)
+	if err := sl.LogEvents("tr", seqdb.Sequence{0, 1, 2}, noSend); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Flush(); err != nil {
+		t.Fatalf("flush with retryable fault: %v", err)
+	}
+	h := healthAssert(t, st, Healthy)
+	if h.Retries == 0 {
+		t.Fatal("retry not counted")
+	}
+	if h.Faults != 0 {
+		t.Fatalf("absorbed fault surfaced: %d", h.Faults)
+	}
+}
+
+// TestTransientENOSPCClearsAndIngestResumes: an ENOSPC window that outlives
+// the retry budget fails individual flushes while it lasts; once it clears,
+// ingest resumes on the same open store handle, and everything acked is
+// durable.
+func TestTransientENOSPCClearsAndIngestResumes(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openFaultStore(t, dir,
+		[]fsim.Rule{{Op: fsim.OpWrite, Path: "shard-000", From: 1, To: 5, Err: syscall.ENOSPC}},
+		func(o *Options) { o.RetryAttempts = -1 })
+	internEvents(t, st, 8)
+	sl := st.Shard(0)
+	if err := sl.LogEvents("tr", seqdb.Sequence{0, 1, 2}, noSend); err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for sl.Flush() != nil {
+		failures++
+		if failures > 10 {
+			t.Fatal("flush never recovered after the ENOSPC window")
+		}
+		healthAssert(t, st, Healthy)
+	}
+	if failures != 4 {
+		t.Fatalf("expected 4 surfaced failures for the [1,5) window, got %d", failures)
+	}
+	if h := st.Health(); h.Faults != 4 {
+		t.Fatalf("fault count %d want 4", h.Faults)
+	}
+	// Ingest continues on the same handle, no reopen.
+	if err := sl.LogEvents("tr", seqdb.Sequence{3, 4}, noSend); err != nil {
+		t.Fatalf("append after window cleared: %v", err)
+	}
+	if err := sl.LogSeal("tr", noSend); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	sequencesEqual(t, "recovered after cleared window", st2.Recovered().Shards[0].Sequences,
+		[]seqdb.Sequence{{0, 1, 2, 3, 4}})
+}
+
+// TestPermanentFaultDegradesReadOnly: EIO on the WAL moves the store to
+// DegradedReadOnly — ingest fails fast with ErrDegraded, reads stay open.
+func TestPermanentFaultDegradesReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openFaultStore(t, dir,
+		[]fsim.Rule{{Op: fsim.OpWrite, Path: "shard-000", From: 1, Err: syscall.EIO}},
+		nil)
+	internEvents(t, st, 5)
+	sl := st.Shard(0)
+	if err := sl.LogEvents("tr", seqdb.Sequence{0, 1}, noSend); err != nil {
+		t.Fatal(err)
+	}
+	err := sl.Flush()
+	if !errors.Is(err, ErrDegraded) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("flush under EIO: %v", err)
+	}
+	h := healthAssert(t, st, DegradedReadOnly)
+	if !errors.Is(h.Err, syscall.EIO) {
+		t.Fatalf("health first error: %v", h.Err)
+	}
+	if !strings.Contains(h.Cause, "WAL flush") {
+		t.Fatalf("health cause: %q", h.Cause)
+	}
+	// Writes fail fast with the typed error; reads are not gated.
+	if err := sl.LogEvents("tr2", seqdb.Sequence{2}, noSend); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("ingest after degradation: %v", err)
+	}
+	if err := sl.CommitEvents("tr3", seqdb.Sequence{3}, noSend); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("commit after degradation: %v", err)
+	}
+	if err := st.ReadErr(); err != nil {
+		t.Fatalf("ReadErr in degraded mode: %v", err)
+	}
+	if err := st.Close(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("close of degraded store: %v", err)
+	}
+}
+
+// TestRotationCleanupFailureWarnsNotFails: failing to close or remove the
+// superseded WAL generation after a successful rotation is a warning, never a
+// store failure — the new generation already covers all state.
+func TestRotationCleanupFailureWarnsNotFails(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openFaultStore(t, dir,
+		[]fsim.Rule{
+			{Op: fsim.OpClose, Path: walName(1), Err: syscall.EIO},
+			{Op: fsim.OpRemove, Path: walName(1), Err: syscall.EACCES},
+		},
+		nil)
+	internEvents(t, st, 10)
+	sl := st.Shard(0)
+	rng := rand.New(rand.NewSource(9))
+	var sealed []seqdb.Sequence
+	for i := 0; i < 3; i++ {
+		id := "tr" + string(rune('a'+i))
+		evs := randomTrace(rng, 10)
+		if err := sl.LogEvents(id, evs, noSend); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.LogSeal(id, noSend); err != nil {
+			t.Fatal(err)
+		}
+		sealed = append(sealed, evs)
+	}
+	if !sl.TryLock() {
+		t.Fatal("TryLock failed with no producers")
+	}
+	if err := sl.WriteSegmentLocked(sealed); err != nil {
+		sl.Unlock()
+		t.Fatal(err)
+	}
+	err := sl.RotateLocked(nil, len(sealed))
+	sl.Unlock()
+	if err != nil {
+		t.Fatalf("rotation with failing cleanup: %v", err)
+	}
+	h := healthAssert(t, st, Healthy)
+	if !hasWarning(h, "closing superseded") || !hasWarning(h, "removing superseded") {
+		t.Fatalf("cleanup failures not recorded as warnings: %v", h.Warnings)
+	}
+	// The leaked old generation is still on disk next to the new one.
+	wals, _ := filepath.Glob(filepath.Join(dir, "shard-000", "*.wal"))
+	if len(wals) != 2 {
+		t.Fatalf("expected leaked + active WAL, found %v", wals)
+	}
+	if err := sl.LogEvents("post", seqdb.Sequence{0, 1}, noSend); err != nil {
+		t.Fatalf("ingest after rotation: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen prefers the newest complete generation and clears the leak.
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	sequencesEqual(t, "recovered after leaked generation", st2.Recovered().Shards[0].Sequences, sealed)
+	if _, err := os.Stat(filepath.Join(dir, "shard-000", walName(1))); !os.IsNotExist(err) {
+		t.Fatalf("leaked generation not cleaned on reopen: %v", err)
+	}
+}
+
+// TestCompactionReadEIODegrades: a permanent read fault during compaction
+// degrades the store but leaves reads (and the existing on-disk state)
+// intact.
+func TestCompactionReadEIODegrades(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openFaultStore(t, dir,
+		[]fsim.Rule{{Op: fsim.OpRead, Path: ".seg", Err: syscall.EIO}},
+		func(o *Options) { o.CompactBytes = 1 << 20 })
+	internEvents(t, st, 10)
+	sl := st.Shard(0)
+	rng := rand.New(rand.NewSource(10))
+	var sealed []seqdb.Sequence
+	for i := 0; i < compactMinRun; i++ {
+		id := "tr" + string(rune('a'+i))
+		evs := randomTrace(rng, 10)
+		if err := sl.LogEvents(id, evs, noSend); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.LogSeal(id, noSend); err != nil {
+			t.Fatal(err)
+		}
+		sealed = append(sealed, evs)
+		// One small segment per seal, so a mergeable run accumulates.
+		if err := sl.WriteSegment(sealed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Compact(); !errors.Is(err, ErrDegraded) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("compaction under EIO: %v", err)
+	}
+	healthAssert(t, st, DegradedReadOnly)
+	if err := st.ReadErr(); err != nil {
+		t.Fatalf("ReadErr after compaction fault: %v", err)
+	}
+	_ = st.Close()
+	// The un-merged segments are untouched; a clean reopen recovers all.
+	st2 := openStore(t, dir, nil)
+	defer st2.Close()
+	sequencesEqual(t, "recovered after compaction fault", st2.Recovered().Shards[0].Sequences, sealed)
+}
+
+// TestInvariantViolationFails: a rotation whose coverage contradicts the
+// segment ledger is an invariant violation — the store moves to Failed and
+// reads are gated too.
+func TestInvariantViolationFails(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, nil)
+	sl := st.Shard(0)
+	internEvents(t, st, 5)
+	if err := sl.LogEvents("tr", seqdb.Sequence{0}, noSend); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.LogSeal("tr", noSend); err != nil {
+		t.Fatal(err)
+	}
+	if !sl.TryLock() {
+		t.Fatal("TryLock failed with no producers")
+	}
+	err := sl.RotateLocked(nil, 1) // 1 sealed, 0 covered by segments
+	sl.Unlock()
+	if !errors.Is(err, ErrFailed) {
+		t.Fatalf("invariant violation: %v", err)
+	}
+	healthAssert(t, st, Failed)
+	if err := st.ReadErr(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("ReadErr after invariant violation: %v", err)
+	}
+	_ = st.Close()
+}

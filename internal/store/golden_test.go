@@ -108,7 +108,7 @@ func TestGoldenWALFormat(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		st.dict.Intern(eventName(i))
 	}
-	sealed, open, err := st.replayShardWAL(walPath, 1, 3)
+	sealed, open, err := st.replayShardWAL(want, walPath, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -101,11 +101,14 @@ var errReplayStop = errors.New("store: replay stop")
 func (st *Store) recoverDict() error {
 	path := filepath.Join(st.opts.Dir, "dict.wal")
 	st.dict = seqdb.NewDictionary()
-	buf, err := os.ReadFile(path)
+	buf, err := st.fs.ReadFile(path)
 	switch {
 	case err == nil:
 		var names []string
 		valid, err := scanFrames(buf, func(p []byte) error {
+			if len(p) == 1 && p[0] == recCommit {
+				return nil // creation marker, carries no name
+			}
 			if len(p) == 0 || p[0] != recDictName {
 				return errReplayStop
 			}
@@ -119,18 +122,18 @@ func (st *Store) recoverDict() error {
 			return err
 		}
 		if int64(valid) < int64(len(buf)) {
-			if err := os.Truncate(path, int64(valid)); err != nil {
+			if err := st.fs.Truncate(path, int64(valid)); err != nil {
 				return fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
 			}
 		}
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := st.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return fmt.Errorf("store: reopening %s: %w", path, err)
 		}
 		st.dictLog.wal = &walFile{path: path, f: f, size: int64(valid), sync: st.opts.Sync}
 		return nil
 	case os.IsNotExist(err):
-		wal, err := createWALDirect(path, st.opts.Sync)
+		wal, err := createWALDirect(st.fs, path, st.opts.Sync)
 		if err != nil {
 			return err
 		}
@@ -145,24 +148,30 @@ func (st *Store) recoverDict() error {
 // ShardLog plus the recovered state.
 func (st *Store) recoverShard(i int) (*ShardLog, RecoveredShard, error) {
 	dir := filepath.Join(st.opts.Dir, fmt.Sprintf("shard-%03d", i))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := st.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, RecoveredShard{}, err
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := st.fs.ReadDir(dir)
 	if err != nil {
 		return nil, RecoveredShard{}, err
 	}
 
+	type walCand struct {
+		gen  uint64
+		path string
+	}
 	var segInfos []segmentInfo
+	var cands []walCand
 	var maxGen uint64
-	var walPath string
 	for _, e := range entries {
 		name := e.Name()
 		switch {
 		case strings.HasSuffix(name, ".tmp"):
 			// Torn publish from a crashed rename; the real file never
 			// appeared, so the content is covered elsewhere or lost.
-			_ = os.Remove(filepath.Join(dir, name))
+			if err := st.fs.Remove(filepath.Join(dir, name)); err != nil {
+				st.warn("shard %d: removing stale %s: %v", i, name, err)
+			}
 		case strings.HasSuffix(name, ".seg"):
 			from, to, ok := parseSegmentName(name)
 			if !ok {
@@ -178,26 +187,44 @@ func (st *Store) recoverShard(i int) (*ShardLog, RecoveredShard, error) {
 			if !ok {
 				return nil, RecoveredShard{}, fmt.Errorf("unrecognised WAL file %s", name)
 			}
-			if gen >= maxGen {
+			cands = append(cands, walCand{gen: gen, path: filepath.Join(dir, name)})
+			if gen > maxGen {
 				maxGen = gen
-				walPath = filepath.Join(dir, name)
 			}
 		}
 	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].gen > cands[b].gen })
 
-	chain, sealed, covered, err := loadSegmentChain(segInfos, i)
+	chain, sealed, covered, err := st.loadSegmentChain(segInfos, i)
 	if err != nil {
 		return nil, RecoveredShard{}, err
 	}
 
+	// Replay the newest complete WAL generation. A generation missing its
+	// commit marker was torn mid-publish (a faulted rotation rename); its
+	// frame prefix is valid but incomplete, so it must not shadow the intact
+	// predecessor — discard it and fall back. A lone marker-less generation
+	// is still accepted: nothing older exists to recover from instead.
 	var walSealed []seqdb.Sequence
 	var open []OpenTrace
-	if walPath != "" {
-		walSealed, open, err = st.replayShardWAL(walPath, i, covered)
+	for k, c := range cands {
+		buf, rerr := st.fs.ReadFile(c.path)
+		if rerr != nil {
+			return nil, RecoveredShard{}, rerr
+		}
+		if !walHasCommit(buf) && k+1 < len(cands) {
+			st.warn("shard %d: discarding torn WAL generation %s (no commit marker)", i, filepath.Base(c.path))
+			if err := st.fs.Remove(c.path); err != nil {
+				st.warn("shard %d: removing torn %s: %v", i, filepath.Base(c.path), err)
+			}
+			continue
+		}
+		walSealed, open, err = st.replayShardWAL(buf, c.path, i, covered)
 		if err != nil {
 			return nil, RecoveredShard{}, err
 		}
 		sealed = append(sealed, walSealed...)
+		break
 	}
 	sort.Slice(open, func(a, b int) bool { return open[a].ID < open[b].ID })
 
@@ -208,7 +235,7 @@ func (st *Store) recoverShard(i int) (*ShardLog, RecoveredShard, error) {
 	sl := &ShardLog{st: st, shard: i, dir: dir, covered: covered, segs: chain}
 	if len(walSealed) > 0 {
 		data := encodeSegment(walSealed, i, covered)
-		info, err := writeSegmentFile(dir, covered, len(sealed), data, st.opts.Sync)
+		info, err := writeSegmentFile(st.fs, dir, covered, len(sealed), data, st.opts.Sync)
 		if err != nil {
 			return nil, RecoveredShard{}, err
 		}
@@ -219,20 +246,20 @@ func (st *Store) recoverShard(i int) (*ShardLog, RecoveredShard, error) {
 	gen := maxGen + 1
 	newWAL := filepath.Join(dir, walName(gen))
 	var wal *walFile
-	if walPath == "" {
+	if len(cands) == 0 {
 		// Fresh shard: no predecessor holds anything, so skip the atomic
 		// publish — a crash mid-create just means an empty shard next time.
-		wal, err = createWALDirect(newWAL, st.opts.Sync, records...)
+		wal, err = createWALDirect(st.fs, newWAL, st.opts.Sync, records...)
 	} else {
-		wal, err = createWAL(newWAL, st.opts.Sync, records...)
+		wal, err = createWAL(st.fs, newWAL, st.opts.Sync, records...)
 	}
 	if err != nil {
 		return nil, RecoveredShard{}, err
 	}
 	// Every older generation is now redundant.
-	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".wal") && e.Name() != walName(gen) {
-			_ = os.Remove(filepath.Join(dir, e.Name()))
+	for _, c := range cands {
+		if err := st.fs.Remove(c.path); err != nil && !os.IsNotExist(err) {
+			st.warn("shard %d: removing superseded %s: %v", i, filepath.Base(c.path), err)
 		}
 	}
 	sl.wal = wal
@@ -262,13 +289,13 @@ func openTraceRecords(shard, sealedTotal int, open []OpenTrace) (records [][]byt
 }
 
 // loadSegmentChain selects and decodes the shard's segment chain. A segment
-// that fails validation is deleted and selection retried: segments are
+// that fails validation is dropped and selection retried: segments are
 // written directly (not via rename), so a crash can tear the newest one —
 // but its traces are still covered, either by the subsumed originals a
 // crashed compaction left behind (re-selected on retry) or by the WAL, whose
 // generations are only retired after a completed rotation. Corruption that
 // leaves real coverage gaps still fails hard via selectSegmentChain.
-func loadSegmentChain(infos []segmentInfo, shard int) ([]segmentInfo, []seqdb.Sequence, int, error) {
+func (st *Store) loadSegmentChain(infos []segmentInfo, shard int) ([]segmentInfo, []seqdb.Sequence, int, error) {
 	for {
 		chain, subsumed, err := selectSegmentChain(infos)
 		if err != nil {
@@ -279,7 +306,7 @@ func loadSegmentChain(infos []segmentInfo, shard int) ([]segmentInfo, []seqdb.Se
 		bad := -1
 		var badErr error
 		for k, info := range chain {
-			buf, err := os.ReadFile(info.path)
+			buf, err := st.fs.ReadFile(info.path)
 			if err != nil {
 				return nil, nil, 0, err
 			}
@@ -303,12 +330,17 @@ func loadSegmentChain(infos []segmentInfo, shard int) ([]segmentInfo, []seqdb.Se
 			// the subsumed files a crashed compaction left behind — they are
 			// the fallback if a merged segment had been torn.
 			for _, s := range subsumed {
-				_ = os.Remove(s.path)
+				if err := st.fs.Remove(s.path); err != nil {
+					st.warn("shard %d: removing subsumed %s: %v", shard, filepath.Base(s.path), err)
+				}
 			}
 			return chain, sealed, covered, nil
 		}
-		if err := os.Remove(chain[bad].path); err != nil {
-			return nil, nil, 0, fmt.Errorf("store: dropping torn segment: %v (while handling %w)", err, badErr)
+		st.warn("shard %d: discarding torn segment %s: %v", shard, filepath.Base(chain[bad].path), badErr)
+		if err := st.fs.Remove(chain[bad].path); err != nil {
+			// Exclude it in memory and continue; the leaked file is retried
+			// (and re-warned about) on the next open.
+			st.warn("shard %d: removing torn %s: %v", shard, filepath.Base(chain[bad].path), err)
 		}
 		kept := infos[:0]
 		for _, info := range infos {
@@ -351,14 +383,10 @@ func selectSegmentChain(infos []segmentInfo) (chain, subsumed []segmentInfo, err
 	return chain, subsumed, nil
 }
 
-// replayShardWAL replays the surviving frame prefix of the shard's WAL over
+// replayShardWAL replays the surviving frame prefix of a shard WAL image over
 // segment coverage [0, covered), returning the newly sealed traces (ordinals
-// >= covered, in order) and the traces left open.
-func (st *Store) replayShardWAL(path string, shard, covered int) ([]seqdb.Sequence, []OpenTrace, error) {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return nil, nil, err
-	}
+// >= covered, in order) and the traces left open. path is for error messages.
+func (st *Store) replayShardWAL(buf []byte, path string, shard, covered int) ([]seqdb.Sequence, []OpenTrace, error) {
 	type openState struct {
 		id     string
 		events seqdb.Sequence
@@ -371,7 +399,7 @@ func (st *Store) replayShardWAL(path string, shard, covered int) ([]seqdb.Sequen
 	sawHeader := false
 	var hardErr error
 
-	_, err = scanFrames(buf, func(p []byte) error {
+	_, err := scanFrames(buf, func(p []byte) error {
 		if len(p) == 0 {
 			return errReplayStop
 		}
@@ -453,6 +481,8 @@ func (st *Store) replayShardWAL(path string, shard, covered int) ([]seqdb.Sequen
 				sealed = append(sealed, tr.events)
 			}
 			seals++
+		case recCommit:
+			// Generation commit marker; carries no state.
 		default:
 			return errReplayStop
 		}

@@ -4,9 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 
+	"specmine/internal/fsim"
 	"specmine/internal/seqdb"
 )
 
@@ -271,16 +271,16 @@ func mergeSegments(parts [][]byte) ([]byte, error) {
 // the chain tail is always still covered by the surviving WAL — recovery
 // discards the file and replays the log instead. Saving the rename matters:
 // segment publishes sit on the ingestion barrier path.
-func writeSegmentFile(dir string, from, to int, data []byte, sync bool) (segmentInfo, error) {
+func writeSegmentFile(fs fsim.FS, dir string, from, to int, data []byte, sync bool) (segmentInfo, error) {
 	path := filepath.Join(dir, segmentName(from, to))
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := fs.WriteFile(path, data, 0o644); err != nil {
 		return segmentInfo{}, fmt.Errorf("store: writing %s: %w", path, err)
 	}
 	if sync {
-		if err := syncFile(path); err != nil {
+		if err := syncFile(fs, path); err != nil {
 			return segmentInfo{}, err
 		}
-		if err := syncDir(path); err != nil {
+		if err := syncDir(fs, path); err != nil {
 			return segmentInfo{}, err
 		}
 	}

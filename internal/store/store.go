@@ -35,7 +35,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"specmine/internal/fsim"
 	"specmine/internal/seqdb"
 )
 
@@ -57,6 +59,18 @@ type Options struct {
 	// CompactBytes is the segment size below which adjacent segments are
 	// merged by the background compactor; default 256 KiB.
 	CompactBytes int64
+	// FS overrides the filesystem under every data-path operation (WALs,
+	// segments, dictionary log, manifest); nil means the real filesystem.
+	// Fault-injection tests hand an fsim.FaultFS here.
+	FS fsim.FS
+	// RetryAttempts bounds how many times a transient I/O fault (ENOSPC,
+	// EINTR-class) is retried on the WAL-flush and compaction paths before
+	// the operation's error is surfaced. 0 means the default (4); negative
+	// disables retries.
+	RetryAttempts int
+	// RetryBackoff is the delay before the first retry, doubling per attempt;
+	// 0 means the default (500µs).
+	RetryBackoff time.Duration
 }
 
 type manifest struct {
@@ -69,6 +83,7 @@ type manifest struct {
 // per-shard mutation entry points live on ShardLog.
 type Store struct {
 	opts      Options
+	fs        fsim.FS  // the data-path filesystem; fsim.OS() in production
 	lock      *os.File // exclusive advisory lock on Dir, held until Close
 	dict      *seqdb.Dictionary
 	dictLog   walBuffer
@@ -84,14 +99,8 @@ type Store struct {
 	// a single mutator besides the barriers' appends.
 	compactMu sync.Mutex
 
-	// sticky is the first unrecoverable I/O error. Once set, every durable
-	// operation fails with it — better loudly down than silently non-durable.
-	// It is an atomic pointer because the healthy-path check sits on every
-	// producer commit: a mutex here would re-serialise the goroutines the
-	// lock-free commit path exists to keep apart. errMu serialises only the
-	// (cold, once-ever) transition to failed.
-	errMu  sync.Mutex
-	sticky atomic.Pointer[error]
+	// health is the degradation state machine — see health.go for the model.
+	health health
 
 	compactNudge chan struct{}
 	compactStop  chan struct{}
@@ -130,7 +139,20 @@ func Open(opts Options) (*Store, error) {
 	if opts.CompactBytes <= 0 {
 		opts.CompactBytes = 256 << 10
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	switch {
+	case opts.RetryAttempts == 0:
+		opts.RetryAttempts = 4
+	case opts.RetryAttempts < 0:
+		opts.RetryAttempts = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 500 * time.Microsecond
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = fsim.OS()
+	}
+	if err := fs.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", opts.Dir, err)
 	}
 	lock, err := acquireDirLock(opts.Dir)
@@ -138,7 +160,7 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 
-	shards, err := loadOrCreateManifest(opts)
+	shards, err := loadOrCreateManifest(opts, fs)
 	if err != nil {
 		releaseDirLock(lock)
 		return nil, err
@@ -147,6 +169,7 @@ func Open(opts Options) (*Store, error) {
 
 	st := &Store{
 		opts:         opts,
+		fs:           fs,
 		lock:         lock,
 		compactNudge: make(chan struct{}, 1),
 		compactStop:  make(chan struct{}),
@@ -186,7 +209,10 @@ func Open(opts Options) (*Store, error) {
 		st.dictLog.wal.append(encodeDictName(name))
 		if len(st.dictLog.wal.buf) >= walFlushThreshold {
 			if err := st.dictLog.wal.flush(); err != nil {
-				st.fail(err)
+				// The name stays buffered (flush keeps unwritten bytes), so
+				// the flushDict barrier before any shard ack re-attempts it;
+				// classify here only so permanent faults degrade promptly.
+				_ = st.ioError(err, "dictionary log flush")
 			}
 		}
 		st.dictLog.mu.Unlock()
@@ -195,9 +221,9 @@ func Open(opts Options) (*Store, error) {
 	return st, nil
 }
 
-func loadOrCreateManifest(opts Options) (int, error) {
+func loadOrCreateManifest(opts Options, fs fsim.FS) (int, error) {
 	path := filepath.Join(opts.Dir, "MANIFEST.json")
-	buf, err := os.ReadFile(path)
+	buf, err := fs.ReadFile(path)
 	switch {
 	case err == nil:
 		var m manifest
@@ -224,22 +250,22 @@ func loadOrCreateManifest(opts Options) (int, error) {
 			return 0, err
 		}
 		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		if err := fs.WriteFile(tmp, buf, 0o644); err != nil {
 			return 0, fmt.Errorf("store: writing %s: %w", tmp, err)
 		}
 		if opts.Sync {
-			if err := syncFile(tmp); err != nil {
+			if err := syncFile(fs, tmp); err != nil {
 				return 0, err
 			}
 		}
-		if err := os.Rename(tmp, path); err != nil {
+		if err := fs.Rename(tmp, path); err != nil {
 			return 0, fmt.Errorf("store: publishing %s: %w", path, err)
 		}
 		if opts.Sync {
 			// Without this, a machine crash could lose the manifest while
 			// fsynced shard data survives — and a re-created default
 			// manifest would silently change the shard count and hashing.
-			if err := syncDir(path); err != nil {
+			if err := syncDir(fs, path); err != nil {
 				return 0, err
 			}
 		}
@@ -281,33 +307,15 @@ func (st *Store) AttachIngester() error {
 	return nil
 }
 
-// Err returns the store's sticky error: the first unrecoverable I/O failure,
-// or nil while the store is healthy.
-func (st *Store) Err() error {
-	if p := st.sticky.Load(); p != nil {
-		return *p
-	}
-	return nil
-}
-
-func (st *Store) fail(err error) error {
-	st.errMu.Lock()
-	defer st.errMu.Unlock()
-	if p := st.sticky.Load(); p != nil {
-		return *p
-	}
-	st.sticky.Store(&err)
-	return err
-}
-
 // flushDict flushes the dictionary log. It must run before any shard WAL
 // flush so that, on disk, every event id a shard record references has its
-// dictionary record already persisted.
+// dictionary record already persisted. Transient faults are retried with
+// backoff; a fault that outlives the budget fails this barrier only.
 func (st *Store) flushDict() error {
 	st.dictLog.mu.Lock()
 	defer st.dictLog.mu.Unlock()
-	if err := st.dictLog.wal.flush(); err != nil {
-		return st.fail(err)
+	if err := st.retryTransient(st.dictLog.wal.flush); err != nil {
+		return st.ioError(err, "dictionary log flush")
 	}
 	return nil
 }
@@ -329,13 +337,13 @@ func (st *Store) Close() error {
 	err := st.flushDict()
 	st.dictLog.mu.Lock()
 	if cerr := st.dictLog.wal.close(); err == nil && cerr != nil {
-		err = st.fail(cerr)
+		err = st.ioError(cerr, "dictionary log close")
 	}
 	st.dictLog.mu.Unlock()
 	for _, sl := range st.shards {
 		sl.mu.Lock()
 		if ferr := sl.wal.close(); err == nil && ferr != nil {
-			err = st.fail(ferr)
+			err = st.ioError(ferr, fmt.Sprintf("shard %d WAL close", sl.shard))
 		}
 		sl.mu.Unlock()
 	}
@@ -396,8 +404,11 @@ type ShardLog struct {
 	rotateAt atomic.Int64
 }
 
-// Err returns the owning store's sticky error; nil while healthy.
+// Err returns the owning store's write-gating error; nil while healthy.
 func (sl *ShardLog) Err() error { return sl.st.Err() }
+
+// ReadErr returns the owning store's read-gating error; nil unless Failed.
+func (sl *ShardLog) ReadErr() error { return sl.st.ReadErr() }
 
 // RotateDue reports, without taking the lock, whether the active WAL
 // generation has outgrown its rotation threshold. The shard goroutine checks
@@ -726,11 +737,17 @@ func (sl *ShardLog) maybeFlushLocked() error {
 }
 
 func (sl *ShardLog) flushLocked() error {
+	// Fail fast once the store is degraded: barriers keep firing from the
+	// streaming layer, and each would otherwise burn a full retry-backoff
+	// cycle against a path already known permanent.
+	if err := sl.st.Err(); err != nil {
+		return err
+	}
 	if err := sl.st.flushDict(); err != nil {
 		return err
 	}
-	if err := sl.wal.flush(); err != nil {
-		return sl.st.fail(err)
+	if err := sl.st.retryTransient(sl.wal.flush); err != nil {
+		return sl.st.ioError(err, fmt.Sprintf("shard %d WAL flush", sl.shard))
 	}
 	return nil
 }
@@ -829,9 +846,19 @@ func (sl *ShardLog) writeSegmentTail(seqs []seqdb.Sequence) error {
 	}
 	from, to := sl.covered, len(seqs)
 	data := encodeSegment(seqs[from:to], sl.shard, from)
-	info, err := writeSegmentFile(sl.dir, from, to, data, sl.st.opts.Sync)
+	var info segmentInfo
+	err := sl.st.retryTransient(func() error {
+		var werr error
+		// writeSegmentFile truncates on create, so a retry after a short
+		// write starts from a clean file.
+		info, werr = writeSegmentFile(sl.st.fs, sl.dir, from, to, data, sl.st.opts.Sync)
+		return werr
+	})
 	if err != nil {
-		return sl.st.fail(err)
+		// covered is not advanced: the WAL still holds these traces, the next
+		// barrier re-attempts the publish, and recovery discards any torn
+		// partial file by checksum.
+		return sl.st.ioError(err, fmt.Sprintf("shard %d segment publish", sl.shard))
 	}
 	sl.covered = to
 	sl.st.segMu.Lock()
@@ -859,17 +886,25 @@ func (sl *ShardLog) RotateLocked(open []OpenTrace, sealedTotal int) error {
 	records, handles, next := openTraceRecords(sl.shard, sealedTotal, open)
 	newGen := sl.gen + 1
 	newPath := filepath.Join(sl.dir, walName(newGen))
-	wal, err := createWAL(newPath, sl.st.opts.Sync, records...)
+	wal, err := createWAL(sl.st.fs, newPath, sl.st.opts.Sync, records...)
 	if err != nil {
-		return sl.st.fail(err)
+		// The old generation stays active and valid; NeedRotate remains true,
+		// so the next barrier re-attempts the rotation. A torn publish of the
+		// new file is discarded at recovery by its missing commit marker.
+		return sl.st.ioError(err, fmt.Sprintf("shard %d WAL rotation", sl.shard))
 	}
 	oldPath := sl.wal.path
 	if err := sl.wal.f.Close(); err != nil {
-		// The old generation is already superseded; losing its handle is not
-		// a durability problem, but surface the leak.
-		sl.st.fail(fmt.Errorf("store: closing superseded %s: %w", oldPath, err))
+		// The old generation is already superseded — the new WAL covers all
+		// state — so a failed close leaks a handle, not durability. Record it
+		// and continue.
+		sl.st.warn("shard %d: closing superseded %s: %v", sl.shard, oldPath, err)
 	}
-	_ = os.Remove(oldPath)
+	if err := sl.st.fs.Remove(oldPath); err != nil {
+		// A leaked superseded generation is harmless (recovery prefers the
+		// newest complete one and re-deletes stale files) but observable.
+		sl.st.warn("shard %d: removing superseded %s: %v", sl.shard, oldPath, err)
+	}
 	sl.wal = wal
 	// Swap the handle table and generation atomically with respect to
 	// producer-side resolveHandle: a producer either resolves against the old
@@ -904,9 +939,10 @@ func (st *Store) compactor() {
 		case <-st.compactStop:
 			return
 		case <-st.compactNudge:
-			if err := st.Compact(); err != nil {
-				st.fail(err)
-			}
+			// Compact classifies its own failures into Health: transient
+			// faults are counted and the next publish re-nudges the loop;
+			// permanent ones degrade the store, which keeps serving reads.
+			_ = st.Compact()
 		}
 	}
 }
@@ -922,9 +958,12 @@ func (st *Store) compactor() {
 func (st *Store) Compact() error {
 	st.compactMu.Lock()
 	defer st.compactMu.Unlock()
+	if err := st.Err(); err != nil {
+		return err
+	}
 	for _, sl := range st.shards {
 		if err := st.compactShard(sl); err != nil {
-			return err
+			return st.ioError(err, "compaction")
 		}
 	}
 	return nil
@@ -965,7 +1004,12 @@ func (st *Store) compactShard(sl *ShardLog) error {
 
 		parts := make([][]byte, len(run))
 		for k, info := range run {
-			buf, err := os.ReadFile(info.path)
+			var buf []byte
+			err := st.retryTransient(func() error {
+				var rerr error
+				buf, rerr = st.fs.ReadFile(info.path)
+				return rerr
+			})
 			if err != nil {
 				return fmt.Errorf("store: compacting shard %d: %w", sl.shard, err)
 			}
@@ -975,7 +1019,12 @@ func (st *Store) compactShard(sl *ShardLog) error {
 		if err != nil {
 			return fmt.Errorf("store: compacting shard %d: %w", sl.shard, err)
 		}
-		info, err := writeSegmentFile(sl.dir, run[0].from, run[len(run)-1].to, merged, st.opts.Sync)
+		var info segmentInfo
+		err = st.retryTransient(func() error {
+			var werr error
+			info, werr = writeSegmentFile(st.fs, sl.dir, run[0].from, run[len(run)-1].to, merged, st.opts.Sync)
+			return werr
+		})
 		if err != nil {
 			return err
 		}
@@ -996,7 +1045,11 @@ func (st *Store) compactShard(sl *ShardLog) error {
 		sl.segs = spliced
 		st.segMu.Unlock()
 		for _, old := range run {
-			_ = os.Remove(old.path)
+			if err := st.fs.Remove(old.path); err != nil {
+				// The merged segment subsumes these files; recovery discards
+				// leftovers. A leak is observable, not fatal.
+				st.warn("shard %d: removing compacted %s: %v", sl.shard, old.path, err)
+			}
 		}
 	}
 }

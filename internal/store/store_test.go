@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"specmine/internal/fsim"
 	"specmine/internal/seqdb"
 )
 
@@ -390,7 +391,7 @@ func TestCompaction(t *testing.T) {
 	// Simulate a crash between a compaction's rename and its deletes: drop a
 	// subsumed small segment back in next to the merged one.
 	leftover := encodeSegment(sealed[3:5], 0, 3)
-	if _, err := writeSegmentFile(filepath.Join(dir, "shard-000"), 3, 5, leftover, false); err != nil {
+	if _, err := writeSegmentFile(fsim.OS(), filepath.Join(dir, "shard-000"), 3, 5, leftover, false); err != nil {
 		t.Fatal(err)
 	}
 	st2 := openStore(t, dir, nil)

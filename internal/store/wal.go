@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"specmine/internal/fsim"
 	"specmine/internal/seqdb"
 )
 
@@ -27,12 +28,25 @@ import (
 //	recOpen      uvarint handle | trace id bytes
 //	recEvents    uvarint handle | uvarint n | n x uvarint event id
 //	recSeal      uvarint handle
+//	recCommit    (empty) — generation commit marker, see below
 //
 // Handles are small integers assigned per WAL generation at trace open; they
 // keep per-event records free of trace-id strings. sealedBase in the header
 // is the number of sealed traces already covered by segment files when the
 // generation was created: replay skips seal records up to the segment
 // coverage and appends only the genuinely newer traces.
+//
+// recCommit guards against torn generation publishes. A fresh generation is
+// created with its initial records (header + re-log of open traces) followed
+// by one recCommit frame; everything later is appended past it. A rotation
+// publish interrupted mid-copy (a non-atomic rename on a faulty filesystem)
+// leaves a file whose surviving frame prefix is valid but incomplete — and
+// since recovery prefers the highest generation number, such a file would
+// silently shadow the intact predecessor and drop acked open traces. The
+// marker makes the tear detectable: a generation without recCommit is
+// discarded whenever an older generation survives to recover from. (A lone
+// marker-less WAL is still accepted: nothing older exists to fall back to,
+// and direct creation — a fresh shard — risks no predecessor either.)
 
 const (
 	recHeader   byte = 1
@@ -40,6 +54,7 @@ const (
 	recOpen     byte = 3
 	recEvents   byte = 4
 	recSeal     byte = 5
+	recCommit   byte = 6
 )
 
 const (
@@ -147,7 +162,7 @@ func encodeSeal(dst []byte, handle uint64) []byte {
 // serialises access (ShardLog.mu or dictLog.mu).
 type walFile struct {
 	path string
-	f    *os.File
+	f    fsim.File
 	buf  []byte
 	size int64 // bytes handed to the OS, excluding buf
 	sync bool
@@ -216,15 +231,16 @@ func (w *walFile) close() error {
 // rename dance. Only valid when no predecessor generation exists — a fresh
 // store or a fresh shard — where a crash mid-create loses nothing: the next
 // open simply finds a short (or absent) log and starts over.
-func createWALDirect(path string, sync bool, records ...[]byte) (*walFile, error) {
+func createWALDirect(fs fsim.FS, path string, sync bool, records ...[]byte) (*walFile, error) {
 	var buf []byte
 	for _, r := range records {
 		buf = appendFrame(buf, r)
 	}
+	buf = appendFrame(buf, []byte{recCommit})
 	// O_APPEND matters beyond convenience: flush pulls unsynced batches back
 	// with ftruncate on fsync failure, and appends must then continue at the
 	// new end of file, not at a stale offset past it.
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", path, err)
 	}
@@ -239,7 +255,7 @@ func createWALDirect(path string, sync bool, records ...[]byte) (*walFile, error
 		}
 		// The machine-crash guarantee covers the file's existence too, not
 		// just its contents.
-		if err := syncDir(path); err != nil {
+		if err := syncDir(fs, path); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -252,47 +268,57 @@ func createWALDirect(path string, sync bool, records ...[]byte) (*walFile, error
 // goes through a temporary name so a crash can never leave a half-written
 // file under the real name — required whenever an older generation still
 // holds the data being re-logged.
-func createWAL(path string, sync bool, records ...[]byte) (*walFile, error) {
+func createWAL(fs fsim.FS, path string, sync bool, records ...[]byte) (*walFile, error) {
 	tmp := path + ".tmp"
 	var buf []byte
 	for _, r := range records {
 		buf = appendFrame(buf, r)
 	}
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	buf = appendFrame(buf, []byte{recCommit})
+	if err := fs.WriteFile(tmp, buf, 0o644); err != nil {
 		return nil, fmt.Errorf("store: writing %s: %w", tmp, err)
 	}
 	if sync {
-		if err := syncFile(tmp); err != nil {
+		if err := syncFile(fs, tmp); err != nil {
 			return nil, err
 		}
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fs.Rename(tmp, path); err != nil {
 		return nil, fmt.Errorf("store: publishing %s: %w", path, err)
 	}
 	if sync {
-		if err := syncDir(path); err != nil {
+		if err := syncDir(fs, path); err != nil {
 			return nil, err
 		}
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: reopening %s: %w", path, err)
 	}
 	return &walFile{path: path, f: f, size: int64(len(buf)), sync: sync}, nil
 }
 
-func syncFile(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := f.Sync(); err != nil {
+// walHasCommit reports whether the intact frame prefix of a WAL image carries
+// the generation commit marker — i.e. the initial creation write survived in
+// full, not just a torn prefix of it.
+func walHasCommit(data []byte) bool {
+	found := false
+	_, _ = scanFrames(data, func(p []byte) error {
+		if len(p) == 1 && p[0] == recCommit {
+			found = true
+		}
+		return nil
+	})
+	return found
+}
+
+func syncFile(fs fsim.FS, path string) error {
+	if err := fs.SyncPath(path); err != nil {
 		return fmt.Errorf("store: fsync %s: %w", path, err)
 	}
 	return nil
 }
 
-func syncDir(path string) error {
-	return syncFile(filepath.Dir(path))
+func syncDir(fs fsim.FS, path string) error {
+	return syncFile(fs, filepath.Dir(path))
 }

@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"specmine/internal/fsim"
+	"specmine/internal/seqdb"
+	"specmine/internal/store"
+)
+
+// Deterministic failure-model tests for the streaming layer: the chaos suite
+// hits these paths probabilistically, these pin them one mechanism at a time.
+
+// TestDegradedStoreStillServesSnapshots: a permanent fault on the WAL flush
+// degrades the store to read-only. Ingest must fail fast with the typed
+// error, but snapshots must keep serving the exact in-memory state — the
+// degraded contract is "stop promising durability, keep answering reads".
+func TestDegradedStoreStillServesSnapshots(t *testing.T) {
+	// Write rank 0 on the shard path is the WAL creation at Open; rank 1 is
+	// the first flush. EIO is permanent, so the first barrier degrades.
+	ffs := fsim.NewFaultFS(fsim.OS(),
+		fsim.Rule{Op: fsim.OpWrite, Path: "shard-000", From: 1, To: 1 << 20, Err: syscall.EIO})
+	st, err := store.Open(store.Options{Dir: t.TempDir(), Shards: 1, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := Open(Config{FlushBatch: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []seqdb.Sequence{}
+	dict := ing.Dict()
+	for i, names := range [][]string{{"a", "b"}, {"b", "c", "a"}, {"c"}} {
+		id := string(rune('x' + i))
+		if err := ing.Ingest(id, names...); err != nil {
+			t.Fatal(err)
+		}
+		if err := ing.CloseTrace(id); err != nil {
+			t.Fatal(err)
+		}
+		seq := make(seqdb.Sequence, len(names))
+		for k, n := range names {
+			seq[k] = dict.Intern(n)
+		}
+		want = append(want, seq)
+	}
+
+	// The seals above crossed FlushBatch, so a barrier already fired and hit
+	// the fault; by the time the snapshot drains, the store is degraded —
+	// and the snapshot must succeed anyway, from memory.
+	v, err := ing.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot on a degraded store: %v", err)
+	}
+	if h := ing.Health(); h.State != store.DegradedReadOnly {
+		t.Fatalf("health is %v after a permanent flush fault, want DegradedReadOnly (%+v)", h.State, h)
+	}
+	if v.DB.NumSequences() != len(want) {
+		t.Fatalf("degraded snapshot has %d traces want %d", v.DB.NumSequences(), len(want))
+	}
+	for i, w := range want {
+		g := v.DB.Sequences[i]
+		if len(g) != len(w) {
+			t.Fatalf("trace %d has %d events want %d", i, len(g), len(w))
+		}
+		for j := range w {
+			if g[j] != w[j] {
+				t.Fatalf("trace %d event %d is %d want %d", i, j, g[j], w[j])
+			}
+		}
+	}
+
+	// Writes are rejected at the door with the typed error.
+	if err := ing.Ingest("y", "a"); !errors.Is(err, store.ErrDegraded) {
+		t.Fatalf("ingest on a degraded store returned %v, want ErrDegraded", err)
+	}
+	if err := ing.CloseTrace("y"); !errors.Is(err, store.ErrDegraded) {
+		t.Fatalf("seal on a degraded store returned %v, want ErrDegraded", err)
+	}
+	// And reads keep working after the rejections.
+	if _, err := ing.Snapshot(); err != nil {
+		t.Fatalf("second degraded snapshot: %v", err)
+	}
+	h := ing.Health()
+	if !errors.Is(h.Err, syscall.EIO) || h.Cause == "" {
+		t.Fatalf("degraded Health lost its cause: %+v", h)
+	}
+	_ = ing.Close()
+	_ = st.Close()
+}
+
+// TestSnapshotNotDurableDuringTransientWindow: a transient fault window that
+// outlives the retry budget must fail the snapshot (its barrier flush did not
+// reach the OS, so the exposed state would not be recoverable) while leaving
+// the store Healthy — and the snapshot must succeed, with full data, as soon
+// as the window clears. No reopen, no degradation.
+func TestSnapshotNotDurableDuringTransientWindow(t *testing.T) {
+	// Ranks 1 and 2 on the shard path are the first two flush attempts
+	// (retries disabled below, so each barrier burns exactly one rank).
+	ffs := fsim.NewFaultFS(fsim.OS(),
+		fsim.Rule{Op: fsim.OpWrite, Path: "shard-000", From: 1, To: 3, Err: syscall.ENOSPC})
+	st, err := store.Open(store.Options{
+		Dir: t.TempDir(), Shards: 1, FS: ffs,
+		RetryAttempts: -1, RetryBackoff: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := Open(Config{FlushBatch: 1 << 20, Store: st}) // barriers only via Snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Ingest("t1", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.CloseTrace("t1"); err != nil {
+		t.Fatal(err)
+	}
+
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := ing.Snapshot(); err == nil {
+			t.Fatalf("snapshot %d inside the ENOSPC window succeeded, want not-durable rejection", attempt)
+		} else if errors.Is(err, store.ErrDegraded) || errors.Is(err, store.ErrFailed) {
+			t.Fatalf("snapshot %d rejected with %v, want a plain transient error", attempt, err)
+		}
+		if h := ing.Health(); h.State != store.Healthy {
+			t.Fatalf("transient window degraded the store: %+v", h)
+		}
+	}
+
+	// Window cleared: the same handle resumes, no reopen.
+	v, err := ing.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot after the window cleared: %v", err)
+	}
+	if v.DB.NumSequences() != 1 || len(v.DB.Sequences[0]) != 2 {
+		t.Fatalf("post-window snapshot lost data: %d traces", v.DB.NumSequences())
+	}
+	h := ing.Health()
+	if h.State != store.Healthy || h.Faults == 0 {
+		t.Fatalf("want Healthy with fault count after a cleared window, got %+v", h)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

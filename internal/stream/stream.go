@@ -204,6 +204,17 @@ func Open(cfg Config) (*Ingester, error) {
 // Dict returns the ingester's event dictionary.
 func (ing *Ingester) Dict() *seqdb.Dictionary { return ing.dict }
 
+// Health reports the backing store's health: Healthy, DegradedReadOnly
+// (a permanent I/O fault stopped durable ingest; snapshots and mining
+// continue from memory), or Failed. A memory-only ingester is always
+// Healthy.
+func (ing *Ingester) Health() store.Health {
+	if ing.cfg.Store == nil {
+		return store.Health{State: store.Healthy}
+	}
+	return ing.cfg.Store.Health()
+}
+
 // ErrClosed is returned by operations on a closed ingester.
 var ErrClosed = errors.New("stream: ingester is closed")
 
@@ -370,6 +381,11 @@ type shard struct {
 	reports  []verify.RuleReport
 	free     []*verify.Checker
 	unsynced int // sealed traces not yet flushed into the index
+	// lastFlushErr is the result of the most recent barrier WAL flush. A
+	// snapshot answered right after a failed flush on a still-healthy store
+	// (a transient fault that outlived the retry budget) must not be served
+	// as durable; the next barrier retries and clears it.
+	lastFlushErr error
 	// draining marks a nested drain inside withLogLock — barriers reached
 	// while draining are deferred to the enclosing one.
 	draining bool
@@ -393,8 +409,9 @@ func (sh *shard) run() {
 		// Clean shutdown: everything applied is flushed, so a reopened store
 		// resumes from exactly this state (open traces included). No producer
 		// can hold the log's lock anymore (the ingester is closed), so the
-		// blocking Flush is safe here.
-		_ = sh.log.Flush()
+		// blocking Flush is safe here. On a degraded store the flush fails —
+		// recovery then resumes from the last successful barrier instead.
+		sh.lastFlushErr = sh.log.Flush()
 	}
 	// A drain interrupted by Close may have parked snapshot ops; answer them
 	// so their callers never hang.
@@ -466,7 +483,7 @@ func (sh *shard) handle(o op) {
 			if sh.log.RotateDue() {
 				sh.barrier()
 			} else {
-				sh.withLogLock(func() { _ = sh.log.FlushLocked() })
+				sh.withLogLock(func() { sh.lastFlushErr = sh.log.FlushLocked() })
 			}
 			sh.flush()
 		}
@@ -480,11 +497,21 @@ func (sh *shard) answerSnap(o op) {
 		sv.reports = cloneReports(sh.reports)
 	}
 	if sh.log != nil {
-		// The durability contract says everything a snapshot exposed is
-		// recoverable; once the store has failed that promise cannot be
-		// kept, so the snapshot must fail rather than quietly return the
-		// unflushed state.
-		sv.err = sh.log.Err()
+		// A healthy store promises everything a snapshot exposes is
+		// recoverable, so a snapshot whose barrier flush failed — a
+		// transient fault that outlived the retry budget — must fail too;
+		// the caller retries once the condition clears. Once the store has
+		// degraded to read-only that promise is explicitly narrowed to the
+		// acked-and-flushed prefix: the in-memory state is still exact,
+		// ingest is rejected at the door, and mining/checking over a memory
+		// view remains useful, so snapshots keep being served. Only a
+		// Failed store (invariants violated, memory state untrusted)
+		// refuses outright.
+		if err := sh.log.ReadErr(); err != nil {
+			sv.err = err
+		} else if sh.log.Err() == nil && sh.lastFlushErr != nil {
+			sv.err = sh.lastFlushErr
+		}
 	}
 	o.reply <- sv
 }
@@ -520,12 +547,15 @@ func (sh *shard) barrier() {
 	if sh.log == nil {
 		return
 	}
-	rotated := false
+	flushed, rotated := false, false
 	sh.withLogLock(func() {
 		sh.flush() // cover seals applied by the drain
-		if sh.log.FlushLocked() != nil {
+		if err := sh.log.FlushLocked(); err != nil {
+			sh.lastFlushErr = err
 			return
 		}
+		sh.lastFlushErr = nil
+		flushed = true
 		if sh.log.NeedRotateLocked() {
 			// Rotation needs the segment first (sealedBase must equal the
 			// coverage) and exclusivity throughout; it is budget-bounded
@@ -536,7 +566,10 @@ func (sh *shard) barrier() {
 			rotated = true
 		}
 	})
-	if !rotated {
+	if flushed && !rotated {
+		// Publishing after a failed flush would break the segment layer's
+		// resurrection invariant: a surviving segment whose seals the on-disk
+		// WAL never recorded would duplicate its traces at recovery.
 		_ = sh.log.PublishSegment(sh.db.Sequences)
 	}
 }
