@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"specmine/internal/bench/baseline"
+	"specmine/internal/core"
 	"specmine/internal/episode"
 	"specmine/internal/iterpattern"
 	"specmine/internal/rules"
@@ -260,7 +261,7 @@ func BenchmarkBuildIndex(b *testing.B) {
 	})
 }
 
-// --- BENCH_mining.json trajectory (schema v6) ------------------------------
+// --- BENCH_mining.json trajectory (schema v7) ------------------------------
 
 // scalingRow is one point of a worker-scaling curve. GOMAXPROCS and the
 // machine's processor count are recorded per row — a parallel ns/op is
@@ -410,6 +411,32 @@ type storeTrajectoryCase struct {
 	Segments            int     `json:"segments"`
 }
 
+// oocoreTrajectoryCase is one out-of-core row (schema v7): the clustered
+// fixture of internal/bench/oocore.go mined through the pin-and-evict
+// segment cache at one cache budget, against the in-memory cold path (eager
+// open + index + mine) on the same store. Three rows per fixture sweep the
+// budget — a quarter of the decoded size, half of it, and unlimited — so the
+// trajectory records how the ratio degrades as the cache tightens.
+// SelectiveSkipRate is the fraction of segment bodies the cluster-0 rule
+// check never decoded (benchguard's segment-skip floor asserts ≥ 0.9 live);
+// the cache counters come from one instrumented full-sweep mining run.
+type oocoreTrajectoryCase struct {
+	Name              string  `json:"name"`
+	Clusters          int     `json:"clusters"`
+	Traces            int     `json:"traces"`
+	Segments          int     `json:"segments"`
+	DecodedBytes      int64   `json:"decoded_bytes"`
+	CacheBytes        int64   `json:"cache_bytes"` // 0 = unlimited
+	InMemoryNsPerOp   int64   `json:"inmemory_ns_per_op"`
+	OocoreNsPerOp     int64   `json:"oocore_ns_per_op"`
+	OocoreVsInMemory  float64 `json:"oocore_vs_inmemory"`
+	CheckNsPerOp      int64   `json:"check_ns_per_op"`
+	SelectiveSkipRate float64 `json:"selective_skip_rate"`
+	BodiesOpened      int64   `json:"bodies_opened"`
+	CacheEvictions    int64   `json:"cache_evictions"`
+	PeakCacheBytes    int64   `json:"peak_cache_bytes"`
+}
+
 type trajectory struct {
 	Schema          string                     `json:"schema"`
 	Generator       string                     `json:"generator"`
@@ -423,6 +450,7 @@ type trajectory struct {
 	VerifyCases     []verifyTrajectoryCase     `json:"verify_cases"`
 	StreamCases     []streamTrajectoryCase     `json:"stream_cases"`
 	StoreCases      []storeTrajectoryCase      `json:"store_cases"`
+	OocoreCases     []oocoreTrajectoryCase     `json:"oocore_cases"`
 }
 
 // benchOnce measures one case best-of-3: a single testing.Benchmark sample
@@ -456,7 +484,7 @@ func TestWriteBenchTrajectory(t *testing.T) {
 		t.Skip("set SPECMINE_WRITE_BENCH=1 to regenerate BENCH_mining.json")
 	}
 	out := trajectory{
-		Schema:     "specmine/bench-mining/v6",
+		Schema:     "specmine/bench-mining/v7",
 		Generator:  "SPECMINE_WRITE_BENCH=1 go test ./internal/bench -run TestWriteBenchTrajectory",
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
@@ -811,6 +839,117 @@ func TestWriteBenchTrajectory(t *testing.T) {
 		out.StoreCases = append(out.StoreCases, sc)
 		t.Logf("%s: durable %.0f events/sec (%.2fx of memory), recover %.0f events/sec, %d segments / %d KiB",
 			c.Name, sc.DurableEventsPerSec, sc.DurableVsMemory, sc.RecoverEventsPerSec, sc.Segments, (walBytes+segBytes)>>10)
+	}
+
+	for _, c := range OocoreCases() {
+		dir := t.TempDir()
+		decoded, err := c.BuildStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eager, err := store.Open(c.OpenOptions(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := eager.Recovered().Database(eager.Dict())
+		db.FlatIndex()
+		popts := core.PatternOptions{MinSupport: c.MinSupport(), MaxLength: 3}
+		ref, err := core.MinePatterns(db, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selective := c.SelectiveRules(db)
+		traces := db.NumSequences()
+		if err := eager.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The in-memory side is the cold path a caller actually pays to mine
+		// a durable store in memory: eager open (decode every segment), build
+		// the index, mine, close. Measured once — the budget sweep below only
+		// varies the out-of-core side.
+		inmem := benchOnce(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := store.Open(c.OpenOptions(dir))
+				if err != nil {
+					b.Fatal(err)
+				}
+				mdb := st.Recovered().Database(st.Dict())
+				mdb.FlatIndex()
+				if _, err := core.MinePatterns(mdb, popts); err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		lazyOpts := c.OpenOptions(dir)
+		lazyOpts.OutOfCore = true
+		lazy, err := store.Open(lazyOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budgets := []struct {
+			label string
+			bytes int64
+		}{
+			{"quarter", decoded / 4},
+			{"half", decoded / 2},
+			{"unlimited", 0},
+		}
+		for _, bd := range budgets {
+			oo := core.OutOfCoreOptions{CacheBytes: bd.bytes}
+			res, mstats, err := core.MineStore(lazy, popts, oo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Patterns) != len(ref.Patterns) {
+				t.Fatalf("%s/%s: MineStore found %d patterns, in-memory %d",
+					c.Name, bd.label, len(res.Patterns), len(ref.Patterns))
+			}
+			mine := benchOnce(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.MineStore(lazy, popts, oo); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			_, cstats, err := core.CheckStore(lazy, selective, oo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := benchOnce(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.CheckStore(lazy, selective, oo); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			oc := oocoreTrajectoryCase{
+				Name:              c.Name + "/budget=" + bd.label,
+				Clusters:          c.Clusters,
+				Traces:            traces,
+				Segments:          mstats.SegmentsTotal,
+				DecodedBytes:      decoded,
+				CacheBytes:        bd.bytes,
+				InMemoryNsPerOp:   inmem.NsPerOp(),
+				OocoreNsPerOp:     mine.NsPerOp(),
+				OocoreVsInMemory:  round2(float64(inmem.NsPerOp()) / float64(mine.NsPerOp())),
+				CheckNsPerOp:      check.NsPerOp(),
+				SelectiveSkipRate: round2(float64(cstats.SegmentsSkipped) / float64(cstats.SegmentsTotal)),
+				BodiesOpened:      mstats.BodiesOpened,
+				CacheEvictions:    mstats.CacheEvictions,
+				PeakCacheBytes:    mstats.PeakCacheBytes,
+			}
+			out.OocoreCases = append(out.OocoreCases, oc)
+			t.Logf("%s: oocore %v ns/op vs in-memory %v ns/op (%.2fx), skip %.2f, %d bodies opened",
+				oc.Name, oc.OocoreNsPerOp, oc.InMemoryNsPerOp, oc.OocoreVsInMemory, oc.SelectiveSkipRate, oc.BodiesOpened)
+		}
+		if err := lazy.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	buf, err := json.MarshalIndent(out, "", "  ")

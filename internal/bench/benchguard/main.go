@@ -17,13 +17,19 @@
 // so the human-readable delta report comes from benchstat while the
 // pass/fail decision stays hermetic (no external tooling needed to gate).
 //
-// Beyond the per-case regression budget, the guard enforces two ratio floors
-// (schema v6): a parallel-speedup floor on the closed-mining headline
-// (workers=4 vs workers=1, measured live at GOMAXPROCS >= 4) that fails hard
-// on multi-core runners and downgrades to report-only where the machine
-// cannot physically exhibit parallelism, and a soft durable-vs-memory
-// throughput floor on the store headline. Both are measured live rather than
-// read from the trajectory, so the gate cannot be satisfied by a stale file.
+// Beyond the per-case regression budget, the guard enforces ratio floors: a
+// parallel-speedup floor on the closed-mining headline (workers=4 vs
+// workers=1, measured live at GOMAXPROCS >= 4) that fails hard on multi-core
+// runners and downgrades to report-only where the machine cannot physically
+// exhibit parallelism, a soft durable-vs-memory throughput floor on the
+// store headline, and — since schema v7 — two out-of-core floors on the
+// clustered fixture of internal/bench/oocore.go: a soft oo-core-ratio floor
+// (out-of-core mining throughput vs the in-memory cold path on a
+// fits-in-RAM store, unlimited cache) and a hard segment-skip floor (the
+// selective-rule check must answer >= 90% of segment bodies from statistics
+// alone — a drop means segment statistics or the skip predicate regressed).
+// All floors are measured live rather than read from the trajectory, so the
+// gate cannot be satisfied by a stale file.
 //
 // The SPECMINE_CPUPROFILE / SPECMINE_MUTEXPROFILE environment toggles (see
 // internal/bench/profile.go) capture profiles of exactly what the guard
@@ -41,6 +47,7 @@ import (
 	"testing"
 
 	"specmine/internal/bench"
+	"specmine/internal/core"
 	"specmine/internal/iterpattern"
 	"specmine/internal/seqdb"
 	"specmine/internal/seqpattern"
@@ -128,6 +135,8 @@ func main() {
 	speedupFloor := flag.Float64("speedup-floor", 2.5, "minimum closed-mining speedup at workers=4 vs workers=1 (hard when NumCPU >= 4)")
 	durableFloor := flag.Float64("durable-floor", 0.7, "minimum durable-ingest throughput as a fraction of memory-only (report-only)")
 	fsimFloor := flag.Float64("fsim-floor", 0.97, "minimum durable-ingest throughput vs the pre-fsim trajectory value (report-only; <3% filesystem-indirection overhead)")
+	oocoreFloor := flag.Float64("oocore-floor", 0.5, "minimum out-of-core mining throughput as a fraction of the in-memory cold path (report-only)")
+	skipFloor := flag.Float64("skip-floor", 0.9, "minimum segment skip rate on the selective-rule check workload (hard)")
 	flag.Parse()
 
 	stop, err := bench.StartProfiles()
@@ -202,6 +211,7 @@ func main() {
 	if sg != nil {
 		checks = append(checks, fsimOverheadCheck(*fsimFloor, sg))
 	}
+	checks = append(checks, oocoreChecks(*oocoreFloor, *skipFloor)...)
 	fmt.Printf("benchguard: live ratio floors (gomaxprocs raised per measurement, num_cpu=%d)\n", runtime.NumCPU())
 	fmt.Printf("  %-42s %8s %8s %7s\n", "check", "floor", "value", "status")
 	for _, c := range checks {
@@ -361,6 +371,114 @@ func fsimOverheadCheck(floor float64, sg *gate) *ratioCheck {
 		value: float64(sg.oldNs) / float64(sg.best),
 		soft:  true,
 		note:  "report-only; durable ingest vs pre-fsim trajectory",
+	}
+}
+
+// oocoreChecks measures the two out-of-core floors on the shared clustered
+// fixture (internal/bench/oocore.go): the mining-throughput ratio of
+// MineStore (unlimited cache — the fits-in-RAM configuration) against the
+// in-memory cold path (eager open + index + mine on the same store), and the
+// fraction of segment bodies the selective cluster-0 rule check answered
+// from per-segment statistics without decoding. The ratio is soft — the
+// out-of-core path rebuilds a per-seed index that the in-memory side builds
+// once, so its cost model is workload-shaped — but the skip rate is a pure
+// correctness-of-pruning property and fails hard.
+func oocoreChecks(ratioFloor, skipFloor float64) []*ratioCheck {
+	c := bench.OocoreCases()[0]
+	dir, err := os.MkdirTemp("", "benchguard-oocore-*")
+	if err != nil {
+		fatalf("oocore fixture dir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	if _, err := c.BuildStore(dir); err != nil {
+		fatalf("building oocore fixture: %v", err)
+	}
+	popts := core.PatternOptions{MinSupport: c.MinSupport(), MaxLength: 3}
+
+	eager, err := store.Open(c.OpenOptions(dir))
+	if err != nil {
+		fatalf("opening oocore fixture: %v", err)
+	}
+	db := eager.Recovered().Database(eager.Dict())
+	db.FlatIndex()
+	refPatterns, err := core.MinePatterns(db, popts)
+	if err != nil {
+		fatalf("oocore in-memory reference: %v", err)
+	}
+	selective := c.SelectiveRules(db)
+	if err := eager.Close(); err != nil {
+		fatalf("closing oocore fixture: %v", err)
+	}
+
+	best := func(run func(b *testing.B)) int64 {
+		var best int64
+		for i := 0; i < 3; i++ {
+			ns := testing.Benchmark(run).NsPerOp()
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	inmem := best(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := store.Open(c.OpenOptions(dir))
+			if err != nil {
+				b.Fatal(err)
+			}
+			mdb := st.Recovered().Database(st.Dict())
+			mdb.FlatIndex()
+			if _, err := core.MinePatterns(mdb, popts); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	lazyOpts := c.OpenOptions(dir)
+	lazyOpts.OutOfCore = true
+	lazy, err := store.Open(lazyOpts)
+	if err != nil {
+		fatalf("opening oocore fixture out-of-core: %v", err)
+	}
+	defer lazy.Close()
+	res, _, err := core.MineStore(lazy, popts, core.OutOfCoreOptions{})
+	if err != nil {
+		fatalf("oocore MineStore: %v", err)
+	}
+	if len(res.Patterns) != len(refPatterns.Patterns) {
+		fatalf("oocore MineStore found %d patterns, in-memory %d — equivalence broken, ratio meaningless",
+			len(res.Patterns), len(refPatterns.Patterns))
+	}
+	oocore := best(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.MineStore(lazy, popts, core.OutOfCoreOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_, stats, err := core.CheckStore(lazy, selective, core.OutOfCoreOptions{})
+	if err != nil {
+		fatalf("oocore CheckStore: %v", err)
+	}
+	if stats.SegmentsTotal == 0 {
+		fatalf("oocore fixture has no segments")
+	}
+	return []*ratioCheck{
+		{
+			label: "oo-core-ratio/" + c.Name,
+			floor: ratioFloor,
+			value: float64(inmem) / float64(oocore),
+			soft:  true,
+			note:  "report-only; unlimited cache vs in-memory cold path",
+		},
+		{
+			label: "segment-skip/" + c.Name,
+			floor: skipFloor,
+			value: float64(stats.SegmentsSkipped) / float64(stats.SegmentsTotal),
+		},
 	}
 }
 

@@ -343,13 +343,19 @@ type StoreOptions struct {
 	// Sync extends durability from process crashes to machine crashes by
 	// fsyncing every flush barrier — at a heavy throughput cost.
 	Sync bool
+	// OutOfCore opens the store without materialising sealed trace bodies:
+	// segments are checksum-validated but stay on disk until MineStore /
+	// MineStoreRules / CheckStore pin them, so opening a store much larger
+	// than RAM is metadata-cheap. Recovered() then reports open traces only,
+	// and attaching a streamer is refused.
+	OutOfCore bool
 }
 
 // OpenStore opens (creating if needed) the durable trace store at dir and
 // recovers its state: the event dictionary, every sealed trace, and the
 // traces that were still open mid-ingestion when the previous process died.
 func OpenStore(dir string, opts StoreOptions) (*TraceStore, error) {
-	return store.Open(store.Options{Dir: dir, Shards: opts.Shards, Sync: opts.Sync})
+	return store.Open(store.Options{Dir: dir, Shards: opts.Shards, Sync: opts.Sync, OutOfCore: opts.OutOfCore})
 }
 
 // Recover is the cold-start path: it opens the store at dir, merges every

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"specmine/internal/iterpattern"
+	"specmine/internal/mine"
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+	"specmine/internal/store"
+	"specmine/internal/store/cache"
+	"specmine/internal/verify"
+)
+
+// Out-of-core mining and checking: MineStore, MineStoreRules and CheckStore
+// run directly against a TraceStore's sealed segment catalog through a
+// pin-and-evict segment cache, instead of materialising the whole database
+// with Recover. Per-segment statistics (event occurrence counts and a bloom
+// filter, written into every segment at seal time) decide which segment
+// bodies each seed or rule set actually needs; segments that provably cannot
+// contribute are never decoded. Results are byte-identical to running the
+// in-memory miners over Recover(dir) — same patterns, rules, reports and
+// internal counters — for any cache budget and worker count.
+
+// OutOfCoreOptions configures the out-of-core entry points.
+type OutOfCoreOptions struct {
+	// CacheBytes caps the estimated decoded bytes the segment cache keeps
+	// resident; <= 0 means unlimited (everything touched stays cached). The
+	// budget is a target: segments pinned by in-flight work are never evicted,
+	// so a single seed's working set may exceed it transiently.
+	CacheBytes int64
+}
+
+// OutOfCoreStats reports how much work segment statistics saved and how the
+// cache behaved during one out-of-core run.
+type OutOfCoreStats struct {
+	// SegmentsTotal is the catalog size; SegmentsSkipped counts segments whose
+	// bodies were never decoded because their statistics proved them
+	// irrelevant to every seed (mining) or every rule (checking).
+	SegmentsTotal   int
+	SegmentsSkipped int
+	// BodiesOpened counts segment body decodes, re-decodes after eviction
+	// included.
+	BodiesOpened int64
+	// Cache counters, straight from the pool.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	PeakCacheBytes int64
+}
+
+func poolStats(p *cache.Pool) *OutOfCoreStats {
+	m := p.Metrics()
+	return &OutOfCoreStats{
+		SegmentsTotal:   p.NumSegments(),
+		SegmentsSkipped: p.NumSegments() - m.SegmentsOpened,
+		BodiesOpened:    m.BodiesOpened,
+		CacheHits:       m.Hits,
+		CacheMisses:     m.Misses,
+		CacheEvictions:  m.Evictions,
+		PeakCacheBytes:  m.PeakBytes,
+	}
+}
+
+// segSource adapts the segment catalog + cache to the miners' mine.Source:
+// global event frequencies come from summed segment statistics, and each
+// seed's view is assembled by pinning exactly the segments whose statistics
+// show the seed event, collecting the traces that contain it. Safe for
+// concurrent AcquireSeed calls (the pool serialises internally).
+type segSource struct {
+	pool *cache.Pool
+	dict *seqdb.Dictionary
+
+	numTraces int
+	stats     []*store.SegmentStats // per catalog segment, resident
+	occ       []int64               // global occurrence count per event id
+	sup       []int64               // global sequence support per event id
+}
+
+// newSegSource loads every segment's statistics (metadata-sized; bodies stay
+// closed) and aggregates the global event frequencies the miners seed from.
+func newSegSource(st *store.Store, budget int64) (*segSource, error) {
+	pool := cache.New(st, cache.Options{BudgetBytes: budget})
+	n := st.Dict().Size()
+	s := &segSource{
+		pool:  pool,
+		dict:  st.Dict(),
+		stats: make([]*store.SegmentStats, pool.NumSegments()),
+		occ:   make([]int64, n),
+		sup:   make([]int64, n),
+	}
+	for i := 0; i < pool.NumSegments(); i++ {
+		ss, err := pool.Stats(i)
+		if err != nil {
+			return nil, err
+		}
+		s.stats[i] = ss
+		s.numTraces += pool.Meta(i).NumTraces()
+		ss.ForEachEvent(func(e seqdb.EventID, occurrences, traces int64) {
+			if int(e) < n {
+				s.occ[e] += occurrences
+				s.sup[e] += traces
+			}
+		})
+	}
+	return s, nil
+}
+
+func (s *segSource) NumSequences() int { return s.numTraces }
+func (s *segSource) NumEvents() int    { return len(s.occ) }
+
+func (s *segSource) FrequentByInstanceCount(min int) []seqdb.EventID {
+	return frequent(s.occ, min)
+}
+
+func (s *segSource) FrequentBySeqSupport(min int) []seqdb.EventID {
+	return frequent(s.sup, min)
+}
+
+// frequent mirrors PositionIndex.FrequentEventsByInstanceCount /
+// BySeqSupport: events meeting the threshold, ascending by id.
+func frequent(counts []int64, min int) []seqdb.EventID {
+	var out []seqdb.EventID
+	for e := range counts {
+		if counts[e] >= int64(min) {
+			out = append(out, seqdb.EventID(e))
+		}
+	}
+	return out
+}
+
+// AcquireSeed pins every segment whose statistics show the seed event (exact
+// counts — no bloom false positives here) and assembles the seed's view:
+// the traces containing the event, in ascending global order, with the
+// local→global id table. The pins hold until Release, so the view's memory
+// is accounted against the cache budget for its whole lifetime.
+func (s *segSource) AcquireSeed(e seqdb.EventID) (*mine.SeedView, error) {
+	var pins []*cache.Segment
+	release := func() {
+		for _, sg := range pins {
+			sg.Unpin()
+		}
+	}
+	db := seqdb.NewDatabaseWithDict(s.dict)
+	var global []int32
+	for i := range s.stats {
+		if occ, _ := s.stats[i].Count(e); occ == 0 {
+			continue
+		}
+		sg, err := s.pool.Pin(i)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		pins = append(pins, sg)
+		frag := sg.Fragment()
+		for _, l := range frag.SeqsContaining(e) {
+			db.Append(sg.Seqs[l])
+			global = append(global, int32(sg.Base)+l)
+		}
+	}
+	return &mine.SeedView{DB: db, Idx: db.FlatIndex(), Global: global, Release: release}, nil
+}
+
+// MineStore mines iterative patterns straight from the store's sealed
+// segments — byte-identical to MinePatterns over Recover of the same store,
+// without ever materialising the full database. PatternOptions carries the
+// same knobs as MinePatterns; pattern count limits are not supported
+// out-of-core.
+func MineStore(st *TraceStore, opts PatternOptions, oo OutOfCoreOptions) (*PatternResult, *OutOfCoreStats, error) {
+	src, err := newSegSource(st, oo.CacheBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	iopts := iterpattern.Options{
+		MinInstanceSupport: opts.MinSupport,
+		MinSupportRel:      opts.MinSupportRel,
+		MaxPatternLength:   opts.MaxLength,
+		IncludeInstances:   opts.KeepInstances,
+		Workers:            opts.Workers,
+	}
+	res, err := iterpattern.MineSource(src, iopts, !opts.Full)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mining iterative patterns out-of-core: %w", err)
+	}
+	return &PatternResult{
+		Patterns:   res.Patterns,
+		Closed:     !opts.Full,
+		MinSupport: res.MinSupport,
+		Stats:      res.Stats,
+	}, poolStats(src.pool), nil
+}
+
+// MineStoreRules mines recurrent rules straight from the store's sealed
+// segments — byte-identical to MineRules over Recover of the same store.
+func MineStoreRules(st *TraceStore, opts RuleOptions, oo OutOfCoreOptions) (*RuleResult, *OutOfCoreStats, error) {
+	if opts.MinInstanceSupport == 0 {
+		opts.MinInstanceSupport = 1
+	}
+	if opts.MinConfidence == 0 {
+		opts.MinConfidence = 0.9
+	}
+	src, err := newSegSource(st, oo.CacheBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	ropts := rules.Options{
+		MinSeqSupport:       opts.MinSeqSupport,
+		MinSeqSupportRel:    opts.MinSeqSupportRel,
+		MinInstanceSupport:  opts.MinInstanceSupport,
+		MinConfidence:       opts.MinConfidence,
+		MaxPremiseLength:    opts.MaxPremiseLength,
+		MaxConsequentLength: opts.MaxConsequentLength,
+		Workers:             opts.Workers,
+	}
+	res, err := rules.MineSource(src, ropts, !opts.Full)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mining recurrent rules out-of-core: %w", err)
+	}
+	return &RuleResult{Rules: res.Rules, NonRedundant: !opts.Full, Stats: res.Stats}, poolStats(src.pool), nil
+}
+
+// CheckStore verifies a rule set against the store's sealed traces segment by
+// segment — byte-identical to CheckRules over Recover of the same store. A
+// segment in which every rule has at least one premise event that provably
+// never occurs is answered from its statistics alone (each of its traces
+// satisfies every rule with zero temporal points), without decoding the body.
+func CheckStore(st *TraceStore, ruleSet []Rule, oo OutOfCoreOptions) (verify.Summary, *OutOfCoreStats, error) {
+	engine, err := verify.NewEngine(ruleSet)
+	if err != nil {
+		return verify.Summary{}, nil, err
+	}
+	pool := cache.New(st, cache.Options{BudgetBytes: oo.CacheBytes})
+	reports := engine.NewReports()
+	checker := engine.NewChecker()
+	si := 0
+	for i := 0; i < pool.NumSegments(); i++ {
+		stats, err := pool.Stats(i)
+		if err != nil {
+			return verify.Summary{}, nil, err
+		}
+		n := pool.Meta(i).NumTraces()
+		if engine.SegmentSkippable(func(e seqdb.EventID) bool {
+			occ, _ := stats.Count(e)
+			return occ > 0
+		}) {
+			verify.AccountSkippedTraces(reports, n)
+			si += n
+			continue
+		}
+		sg, err := pool.Pin(i)
+		if err != nil {
+			return verify.Summary{}, nil, err
+		}
+		for _, s := range sg.Seqs {
+			for _, ev := range s {
+				checker.Advance(ev)
+			}
+			checker.Close(si, reports)
+			si++
+		}
+		sg.Unpin()
+	}
+	return verify.NewSummary(reports), poolStats(pool), nil
+}

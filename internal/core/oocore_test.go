@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// buildSegmentedStore ingests a clustered workload across several durable
+// sessions — each open/close cycle canonicalises the shard WALs into one
+// segment per shard — and reopens the store quiescent. Session s's traces mix
+// a shared protocol (open/use/close, with occasional missing close) with
+// session-local events c{s}_a / c{s}_b, so segments from different sessions
+// have provably disjoint cluster alphabets: the raw material for skipping.
+func buildSegmentedStore(t *testing.T, shards, sessions, perSession int) *TraceStore {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "traces")
+	for s := 0; s < sessions; s++ {
+		ts, err := OpenStore(dir, StoreOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewStreamer(StreamOptions{FlushBatch: 4, Store: ts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ca, cb := fmt.Sprintf("c%d_a", s), fmt.Sprintf("c%d_b", s)
+		for i := 0; i < perSession; i++ {
+			id := fmt.Sprintf("s%dtr%03d", s, i)
+			evs := []string{"open", ca, cb, "use", "close"}
+			if i%5 == 4 {
+				evs = []string{"open", ca, "use"} // drops cb and close: violations
+			}
+			if err := st.Ingest(id, evs...); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.CloseTrace(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ts.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	return ts
+}
+
+// TestOutOfCoreEquivalence checks that MineStore, MineStoreRules and
+// CheckStore are byte-identical to the in-memory miners over the recovered
+// database, across cache budgets (unlimited and starvation-tiny) and worker
+// counts.
+func TestOutOfCoreEquivalence(t *testing.T) {
+	ts := buildSegmentedStore(t, 3, 4, 20)
+	db := ts.Recovered().Database(ts.Dict())
+
+	ruleSet, err := MineRules(db, RuleOptions{MinSeqSupportRel: 0.2, MinConfidence: 0.6,
+		MaxPremiseLength: 2, MaxConsequentLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ruleSet.Rules) == 0 {
+		t.Fatal("fixture mined no rules")
+	}
+	wantCheck, err := CheckRules(db, ruleSet.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantCheck.TotalViolations() == 0 {
+		t.Fatal("fixture produced no violations")
+	}
+
+	for _, budget := range []int64{0, 2 << 10} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("budget=%d/workers=%d", budget, workers)
+			oo := OutOfCoreOptions{CacheBytes: budget}
+
+			// Closed patterns with instances: exercises the closedness filter
+			// and the local→global instance remap.
+			popts := PatternOptions{MinSupportRel: 0.2, MaxLength: 4, KeepInstances: true, Workers: workers}
+			want, err := MinePatterns(db, popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := MineStore(ts, popts, oo)
+			if err != nil {
+				t.Fatalf("%s: MineStore: %v", name, err)
+			}
+			want.Stats.Duration, got.Stats.Duration = 0, 0
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: MineStore diverges from in-memory mining:\n got %+v\nwant %+v", name, got, want)
+			}
+
+			// Full (non-closed) patterns, no instances.
+			popts = PatternOptions{MinSupportRel: 0.3, Full: true, MaxLength: 3, Workers: workers}
+			want, err = MinePatterns(db, popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err = MineStore(ts, popts, oo)
+			if err != nil {
+				t.Fatalf("%s: MineStore full: %v", name, err)
+			}
+			want.Stats.Duration, got.Stats.Duration = 0, 0
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: full MineStore diverges:\n got %+v\nwant %+v", name, got, want)
+			}
+
+			// Non-redundant rules.
+			ropts := RuleOptions{MinSeqSupportRel: 0.2, MinConfidence: 0.6,
+				MaxPremiseLength: 2, MaxConsequentLength: 2, Workers: workers}
+			wantR, err := MineRules(db, ropts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotR, _, err := MineStoreRules(ts, ropts, oo)
+			if err != nil {
+				t.Fatalf("%s: MineStoreRules: %v", name, err)
+			}
+			wantR.Stats.Duration, gotR.Stats.Duration = 0, 0
+			if !reflect.DeepEqual(wantR, gotR) {
+				t.Fatalf("%s: MineStoreRules diverges:\n got %+v\nwant %+v", name, gotR, wantR)
+			}
+
+			// Full rules.
+			ropts.Full = true
+			wantR, err = MineRules(db, ropts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotR, _, err = MineStoreRules(ts, ropts, oo)
+			if err != nil {
+				t.Fatalf("%s: full MineStoreRules: %v", name, err)
+			}
+			wantR.Stats.Duration, gotR.Stats.Duration = 0, 0
+			if !reflect.DeepEqual(wantR, gotR) {
+				t.Fatalf("%s: full MineStoreRules diverges:\n got %+v\nwant %+v", name, gotR, wantR)
+			}
+
+			// Conformance checking.
+			gotC, _, err := CheckStore(ts, ruleSet.Rules, oo)
+			if err != nil {
+				t.Fatalf("%s: CheckStore: %v", name, err)
+			}
+			if gotC.Render(db.Dict, 5) != wantCheck.Render(db.Dict, 5) {
+				t.Fatalf("%s: CheckStore diverges from CheckRules:\n%s\nvs\n%s",
+					name, gotC.Render(db.Dict, 5), wantCheck.Render(db.Dict, 5))
+			}
+		}
+	}
+}
+
+// TestOutOfCoreLazyOpen: a store opened with StoreOptions.OutOfCore holds no
+// sealed traces in memory, refuses a streamer, and still mines and checks
+// byte-identically to an eager open of the same directory.
+func TestOutOfCoreLazyOpen(t *testing.T) {
+	ts := buildSegmentedStore(t, 2, 3, 20)
+	dir := ts.Dir()
+	db := ts.Recovered().Database(ts.Dict())
+
+	popts := PatternOptions{MinSupportRel: 0.2, MaxLength: 4}
+	wantP, err := MinePatterns(db, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropts := RuleOptions{MinSeqSupportRel: 0.2, MinConfidence: 0.6,
+		MaxPremiseLength: 2, MaxConsequentLength: 2}
+	wantR, err := MineRules(db, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, err := CheckRules(db, wantR.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lazy, err := OpenStore(dir, StoreOptions{OutOfCore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lazy.Close()
+	if n := lazy.Recovered().NumSealed(); n != 0 {
+		t.Fatalf("lazy open materialised %d sealed traces", n)
+	}
+	if _, err := NewStreamer(StreamOptions{Store: lazy}); err == nil {
+		t.Fatal("lazy-open store accepted a streamer")
+	}
+
+	oo := OutOfCoreOptions{CacheBytes: 2 << 10}
+	gotP, _, err := MineStore(lazy, popts, oo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP.Stats.Duration, gotP.Stats.Duration = 0, 0
+	if !reflect.DeepEqual(wantP, gotP) {
+		t.Fatalf("lazy MineStore diverges:\n got %+v\nwant %+v", gotP, wantP)
+	}
+	gotR, _, err := MineStoreRules(lazy, ropts, oo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR.Stats.Duration, gotR.Stats.Duration = 0, 0
+	if !reflect.DeepEqual(wantR, gotR) {
+		t.Fatalf("lazy MineStoreRules diverges:\n got %+v\nwant %+v", gotR, wantR)
+	}
+	gotC, _, err := CheckStore(lazy, wantR.Rules, oo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotC.Render(db.Dict, 5) != wantC.Render(db.Dict, 5) {
+		t.Fatalf("lazy CheckStore diverges:\n%s\nvs\n%s",
+			gotC.Render(db.Dict, 5), wantC.Render(db.Dict, 5))
+	}
+}
+
+// TestOutOfCoreSegmentSkipping checks that a rule set touching only one
+// session's cluster events opens only that session's segments, and that the
+// answers still match the in-memory check exactly.
+func TestOutOfCoreSegmentSkipping(t *testing.T) {
+	const shards, sessions = 3, 6
+	ts := buildSegmentedStore(t, shards, sessions, 20)
+	db := ts.Recovered().Database(ts.Dict())
+
+	// Rules over session-0 cluster events only: c0_a -> c0_b (violated by the
+	// every-5th truncated trace) plus c0_b -> use.
+	selective := []Rule{
+		EvaluateRule(db, ParsePattern(db.Dict, "c0_a"), ParsePattern(db.Dict, "c0_b")),
+		EvaluateRule(db, ParsePattern(db.Dict, "c0_b"), ParsePattern(db.Dict, "use")),
+	}
+	want, err := CheckRules(db, selective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.TotalViolations() == 0 {
+		t.Fatal("selective rules produced no violations")
+	}
+	got, stats, err := CheckStore(ts, selective, OutOfCoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render(db.Dict, 5) != want.Render(db.Dict, 5) {
+		t.Fatalf("skipping check diverges:\n%s\nvs\n%s", got.Render(db.Dict, 5), want.Render(db.Dict, 5))
+	}
+	// Only session 0's segments (one per shard) contain c0_a/c0_b; everything
+	// else must be answered from stats alone.
+	if want := stats.SegmentsTotal - shards; stats.SegmentsSkipped < want {
+		t.Fatalf("skipped %d of %d segments, want at least %d: %+v",
+			stats.SegmentsSkipped, stats.SegmentsTotal, want, stats)
+	}
+	if stats.BodiesOpened > int64(shards) {
+		t.Fatalf("opened %d segment bodies, want at most %d", stats.BodiesOpened, shards)
+	}
+}
+
+// TestOutOfCoreMiningSkipsSegments mines a store whose sessions share no
+// events, with a support threshold only the first (large) session's events
+// meet: every seed's view lives in session 0, so the other sessions' segment
+// bodies are never decoded — and the result still matches in-memory mining.
+func TestOutOfCoreMiningSkipsSegments(t *testing.T) {
+	const shards = 2
+	dir := filepath.Join(t.TempDir(), "traces")
+	sizes := []int{40, 10, 10, 10, 10}
+	for s, n := range sizes {
+		ts, err := OpenStore(dir, StoreOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewStreamer(StreamOptions{FlushBatch: 4, Store: ts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("s%dtr%03d", s, i)
+			evs := []string{
+				fmt.Sprintf("c%d_open", s), fmt.Sprintf("c%d_op%d", s, i%3),
+				fmt.Sprintf("c%d_use", s), fmt.Sprintf("c%d_close", s),
+			}
+			if err := st.Ingest(id, evs...); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.CloseTrace(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ts.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	db := ts.Recovered().Database(ts.Dict())
+
+	// Only session 0's c0_open/c0_use/c0_close reach 20 occurrences.
+	popts := PatternOptions{MinSupport: 20, MaxLength: 4}
+	want, err := MinePatterns(db, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Patterns) == 0 {
+		t.Fatal("fixture mined no patterns")
+	}
+	got, stats, err := MineStore(ts, popts, OutOfCoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Stats.Duration, got.Stats.Duration = 0, 0
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("selective MineStore diverges:\n got %+v\nwant %+v", got, want)
+	}
+	if skipWant := stats.SegmentsTotal - shards; stats.SegmentsSkipped < skipWant {
+		t.Fatalf("skipped %d of %d segments, want at least %d: %+v",
+			stats.SegmentsSkipped, stats.SegmentsTotal, skipWant, stats)
+	}
+}

@@ -1,0 +1,106 @@
+package iterpattern
+
+import (
+	"errors"
+	"time"
+
+	"specmine/internal/mine"
+)
+
+// Out-of-core mining: MineSource runs the same search as Mine, but pulls a
+// per-seed database view from a mine.Source instead of walking one global
+// index. Every structure the search consults for a seed e — instance lists,
+// extension windows, closedness witnesses — lives entirely in the traces
+// containing e (patterns grown from e always start with e), so mining each
+// seed against its view reproduces the in-memory run exactly; only the
+// sequence ids inside exported instances are view-local and get remapped to
+// global ids before the merge. Fresh landmark tables per SEED (not per
+// worker, as the in-memory parallel path has): landmark matching compares
+// view-local instance lists, which are only meaningful within one seed's
+// view.
+func MineSource(src mine.Source, opts Options, closed bool) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxPatterns > 0 {
+		// The early-stop cutoff is defined by sequential emission order over
+		// one global database; a per-seed run cannot honour it faithfully.
+		return nil, errors.New("iterpattern: MaxPatterns is not supported by out-of-core mining")
+	}
+	start := time.Now()
+	minSup := opts.absoluteSupport(src.NumSequences())
+	events := src.FrequentByInstanceCount(minSup)
+	workers := opts.effectiveWorkers()
+	if workers > len(events) {
+		workers = len(events)
+	}
+
+	type seedOut struct {
+		emitted []MinedPattern
+		stats   Stats
+		err     error
+	}
+	type seedWorker struct {
+		m     *miner
+		ready bool
+	}
+	outs := mine.ForSeeds(len(events), workers, func() *seedWorker {
+		return &seedWorker{m: &miner{opts: opts, minSup: minSup, closed: closed}}
+	}, func(w *seedWorker, i int) seedOut {
+		sv, err := src.AcquireSeed(events[i])
+		if err != nil {
+			return seedOut{err: err}
+		}
+		defer sv.Release()
+		sub := w.m
+		sub.db, sub.idx = sv.DB, sv.Idx
+		if !w.ready {
+			// Scratch tables size by the event-id space, which every view
+			// shares (indexes are built over the full dictionary).
+			sub.initScratch()
+			w.ready = true
+		}
+		sub.emitted = nil
+		sub.stats = Stats{}
+		if closed {
+			sub.landmarks = make(map[uint64][]landmark)
+		}
+		sub.mineSeed(events[i])
+		patterns := sub.emitted
+		if closed {
+			// The filter only touches traces containing the seed (witness
+			// candidates embed the seed event), all present in the view. Run
+			// it sequentially: the worker pool already spans seeds.
+			seq := sub.opts.Workers
+			sub.opts.Workers = 1
+			patterns = sub.closednessFilter(patterns)
+			sub.opts.Workers = seq
+			if !opts.IncludeInstances {
+				for k := range patterns {
+					patterns[k].Instances = nil
+				}
+			}
+		}
+		if opts.IncludeInstances {
+			for k := range patterns {
+				for x := range patterns[k].Instances {
+					patterns[k].Instances[x].Seq = int(sv.Global[patterns[k].Instances[x].Seq])
+				}
+			}
+		}
+		return seedOut{emitted: patterns, stats: sub.stats}
+	})
+
+	res := &Result{MinSupport: minSup}
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		res.Patterns = append(res.Patterns, outs[i].emitted...)
+		res.Stats.merge(outs[i].stats)
+	}
+	res.Stats.PatternsEmitted = len(res.Patterns)
+	res.Stats.Duration = time.Since(start)
+	res.Sort()
+	return res, nil
+}

@@ -1,0 +1,17 @@
+package iterpattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMineSourceRejectsMaxPatterns: the early-stop cutoff depends on
+// sequential emission order over one global database, which a per-seed run
+// cannot honour — the option must be rejected before any source access (nil
+// is safe here precisely because the check fires first).
+func TestMineSourceRejectsMaxPatterns(t *testing.T) {
+	_, err := MineSource(nil, Options{MinInstanceSupport: 1, MaxPatterns: 3}, true)
+	if err == nil || !strings.Contains(err.Error(), "MaxPatterns") {
+		t.Fatalf("MaxPatterns accepted out-of-core: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package mine
+
+import "specmine/internal/seqdb"
+
+// Out-of-core seed fan-out. The in-memory miners walk one global
+// PositionIndex; the out-of-core variants instead pull a per-seed view from a
+// Source — typically backed by the segment catalog and the pin-and-evict
+// cache — that contains exactly the traces the seed's subtree can ever
+// touch. Segment skipping lives in the Source: per-segment statistics decide
+// which bodies a seed needs, so a segment whose stats prove the seed event
+// absent is never opened.
+//
+// The contract that makes per-seed mining byte-identical to the in-memory
+// path:
+//
+//   - every pattern/premise grown from seed e starts with e, so its
+//     supporting traces, extension counts and closedness witnesses all live
+//     in traces containing e;
+//   - SeedView.DB holds exactly those traces, in ascending global order, and
+//     Global maps local sequence ids back to global ones;
+//   - the view's index is built over the full event-id space (NumEvents), so
+//     per-event scratch tables size identically.
+
+// SeedView is one seed's slice of the database: the traces containing the
+// seed event, their index, and the local→global id mapping. Release returns
+// the view's pinned segments to the cache; the view must not be used after.
+type SeedView struct {
+	DB     *seqdb.Database
+	Idx    *seqdb.PositionIndex
+	Global []int32
+	// Release unpins the backing segments. Always non-nil.
+	Release func()
+}
+
+// GlobalOf maps a view-local sequence id to its global id.
+func (v *SeedView) GlobalOf(local int32) int32 { return v.Global[local] }
+
+// LocalOf maps a global sequence id back to the view-local id via binary
+// search over the ascending Global table. The id must be present.
+func (v *SeedView) LocalOf(global int32) int32 {
+	lo, hi := 0, len(v.Global)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v.Global[mid] < global {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// Source supplies per-seed views of a database that never materialises
+// whole. Implementations must be safe for concurrent AcquireSeed calls from
+// multiple mining workers.
+type Source interface {
+	// NumSequences is the global trace count — the denominator for relative
+	// support thresholds.
+	NumSequences() int
+	// NumEvents is the event-id space (dictionary size).
+	NumEvents() int
+	// FrequentByInstanceCount lists, ascending, the events whose global
+	// occurrence count (summed from segment stats) reaches min — the
+	// out-of-core analogue of PositionIndex.FrequentEventsByInstanceCount.
+	FrequentByInstanceCount(min int) []seqdb.EventID
+	// FrequentBySeqSupport lists, ascending, the events whose global
+	// sequence support reaches min.
+	FrequentBySeqSupport(min int) []seqdb.EventID
+	// AcquireSeed pins and assembles the view for one seed event. The caller
+	// must call Release exactly once.
+	AcquireSeed(e seqdb.EventID) (*SeedView, error)
+}

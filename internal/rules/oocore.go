@@ -1,0 +1,216 @@
+package rules
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"specmine/internal/mine"
+	"specmine/internal/seqdb"
+)
+
+// Out-of-core rule mining. MineSource runs the same three-phase search as
+// Mine, but pulls a per-seed database view from a mine.Source instead of
+// walking one global index.
+//
+// Why per-seed views are exact here: a premise grown from seed e starts with
+// e, so its projection, its backward-insertion windows (hasEquivalentInsertion
+// reads only db.Sequences[pr.Seq] for supporting traces) and its whole
+// consequent subtree (CountFrom/PositionsFrom/Extensions over supporting
+// traces only) live entirely in traces containing e — exactly the traces a
+// SeedView holds. The only view-local artefacts are the sequence ids inside
+// projections; phase 1 remaps them to global ids before jobs leave the seed,
+// which also makes the canonical premise signatures (and hence the global
+// dedup of phase 2) identical to the in-memory run. Global ids map back to
+// view-local ones in phase 3 via binary search; the ascending Global table
+// preserves projection order in both directions, so every count, extension
+// set and emitted rule is byte-identical to the in-memory miner's.
+func MineSource(src mine.Source, opts Options, nonRedundant bool) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxRules > 0 {
+		// The early-stop cutoff is defined by sequential emission order over
+		// one global database; a per-seed run cannot honour it faithfully.
+		return nil, errors.New("rules: MaxRules is not supported by out-of-core mining")
+	}
+	start := time.Now()
+	minSeqSup := opts.absoluteSeqSupport(src.NumSequences())
+	events := src.FrequentBySeqSupport(minSeqSup)
+	workers := opts.effectiveWorkers()
+
+	// Shell miner: carries opts and stats for the phase-2 dedup and the final
+	// redundancy filter, both of which are pure over their inputs.
+	shell := &ruleMiner{opts: opts, minSeqSup: minSeqSup, nr: nonRedundant}
+
+	// Phase 1: premise enumeration, one seed's view at a time. The walker's
+	// per-event scratch sizes by the shared dictionary space; db and extender
+	// rebind per seed.
+	type seedOut struct {
+		jobs     []consequentJob
+		explored int
+		pruned   int
+		err      error
+	}
+	numEvents := src.NumEvents()
+	outs := mine.ForSeeds(len(events), workers, func() *premiseWalker {
+		return &premiseWalker{
+			opts:      opts,
+			minSeqSup: minSeqSup,
+			nr:        nonRedundant,
+			path:      make(seqdb.Pattern, 0, 32),
+			seen:      mine.NewStampSet(numEvents),
+			cnt:       make([]int32, numEvents),
+			cntStamp:  make([]uint32, numEvents),
+		}
+	}, func(wk *premiseWalker, i int) seedOut {
+		sv, err := src.AcquireSeed(events[i])
+		if err != nil {
+			return seedOut{err: err}
+		}
+		defer sv.Release()
+		wk.db = sv.DB
+		wk.ext = mine.NewExtender(sv.DB.Sequences, sv.Idx)
+		wk.jobs = nil
+		wk.explored = 0
+		wk.pruned = 0
+		wk.walkSeed(events[i])
+		// Remap every job's projection to global sequence ids and recompute
+		// its signature over them. The fresh slices also free the jobs from
+		// the per-seed extender arenas, so the view is collectable once
+		// released.
+		for j := range wk.jobs {
+			gp := make([]mine.Proj, len(wk.jobs[j].proj))
+			for k, pr := range wk.jobs[j].proj {
+				gp[k] = mine.Proj{Seq: sv.Global[pr.Seq], Pos: pr.Pos}
+			}
+			wk.jobs[j].proj = gp
+			wk.jobs[j].sig = premiseSignature(wk.jobs[j].pre.Last(), gp)
+		}
+		return seedOut{jobs: wk.jobs, explored: wk.explored, pruned: wk.pruned}
+	})
+	var jobs []consequentJob
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		jobs = append(jobs, outs[i].jobs...)
+		shell.stats.PremisesExplored += outs[i].explored
+		shell.stats.PremisesPrunedRedundant += outs[i].pruned
+	}
+
+	// Phase 2: canonical premise dedup over global projections — unchanged
+	// from the in-memory run, since signatures and projections now carry
+	// global ids.
+	if nonRedundant {
+		jobs = shell.dedupPremises(jobs)
+	}
+
+	// Phase 3: consequent mining. Jobs arrive seed-major (phase 1 merges in
+	// seed order and dedup preserves order), so each worker caches the view of
+	// the last seed it served and only re-acquires on a seed change.
+	type jobOut struct {
+		rules []Rule
+		stats Stats
+		err   error
+	}
+	var (
+		liveMu sync.Mutex
+		live   []*consequentWorker
+	)
+	jouts := mine.ForSeeds(len(jobs), workers, func() *consequentWorker {
+		cw := &consequentWorker{src: src, opts: opts, nr: nonRedundant}
+		liveMu.Lock()
+		live = append(live, cw)
+		liveMu.Unlock()
+		return cw
+	}, func(cw *consequentWorker, i int) jobOut {
+		seed := jobs[i].pre[0]
+		if err := cw.bind(seed); err != nil {
+			return jobOut{err: err}
+		}
+		lp := make([]mine.Proj, len(jobs[i].proj))
+		for k, pr := range jobs[i].proj {
+			lp[k] = mine.Proj{Seq: cw.sv.LocalOf(pr.Seq), Pos: pr.Pos}
+		}
+		cw.w.rules = nil
+		cw.w.mineConsequents(jobs[i].pre, lp)
+		var out jobOut
+		out.rules = cw.w.rules
+		cw.w.drainStats(&out.stats)
+		return out
+	})
+	// ForSeeds offers no per-worker teardown, so the workers' final views are
+	// released here.
+	for _, cw := range live {
+		cw.release()
+	}
+	var firstErr error
+	for i := range jouts {
+		if jouts[i].err != nil && firstErr == nil {
+			firstErr = jouts[i].err
+		}
+		shell.rules = append(shell.rules, jouts[i].rules...)
+		shell.stats.ConsequentNodesExplored += jouts[i].stats.ConsequentNodesExplored
+		shell.stats.RulesSuppressedRedundant += jouts[i].stats.RulesSuppressedRedundant
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	mined := shell.rules
+	if nonRedundant {
+		mined = shell.removeRedundant(mined)
+	}
+	res := &Result{
+		Rules:      mined,
+		Stats:      shell.stats,
+		MinSeqSup:  minSeqSup,
+		MinInstSup: opts.MinInstanceSupport,
+		MinConf:    opts.MinConfidence,
+	}
+	res.Stats.RulesEmitted = len(res.Rules)
+	res.Stats.Duration = time.Since(start)
+	res.Sort()
+	return res, nil
+}
+
+// consequentWorker is one phase-3 pool goroutine's state: the ruleWorker for
+// the currently bound seed view. Rebinding releases the previous view.
+type consequentWorker struct {
+	src  mine.Source
+	opts Options
+	nr   bool
+
+	seed  seqdb.EventID
+	sv    *mine.SeedView
+	w     *ruleWorker
+	bound bool
+}
+
+// bind ensures the worker holds seed's view.
+func (cw *consequentWorker) bind(seed seqdb.EventID) error {
+	if cw.bound && cw.seed == seed {
+		return nil
+	}
+	cw.release()
+	sv, err := cw.src.AcquireSeed(seed)
+	if err != nil {
+		return err
+	}
+	cw.seed, cw.sv, cw.bound = seed, sv, true
+	cw.w = &ruleWorker{
+		idx:  sv.Idx,
+		opts: cw.opts,
+		nr:   cw.nr,
+		ext:  mine.NewExtender(sv.DB.Sequences, sv.Idx),
+	}
+	return nil
+}
+
+func (cw *consequentWorker) release() {
+	if cw.bound {
+		cw.sv.Release()
+		cw.sv, cw.w, cw.bound = nil, nil, false
+	}
+}

@@ -1,0 +1,18 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMineSourceRejectsMaxRules: the rule-count cutoff depends on sequential
+// emission order over one global database, which a per-seed run cannot
+// honour — the option must be rejected before any source access (nil is safe
+// here precisely because the check fires first).
+func TestMineSourceRejectsMaxRules(t *testing.T) {
+	_, err := MineSource(nil, Options{MinSeqSupport: 1, MinInstanceSupport: 1,
+		MinConfidence: 0.5, MaxRules: 2}, true)
+	if err == nil || !strings.Contains(err.Error(), "MaxRules") {
+		t.Fatalf("MaxRules accepted out-of-core: %v", err)
+	}
+}

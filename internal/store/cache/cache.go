@@ -1,0 +1,313 @@
+// Package cache implements a pin-and-evict buffer pool over a store's sealed
+// segments. Out-of-core mining iterates per-seed or per-segment views of the
+// database; the pool keeps recently used decoded segments (and the
+// per-segment PositionIndex fragments built over them) resident up to a
+// configurable byte budget, evicting least-recently-used unpinned entries
+// when the budget overflows. Pinned entries are never evicted, so the budget
+// is a target, not a hard ceiling: the working set of the in-flight
+// pins may exceed it transiently, exactly like a database buffer pool.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"specmine/internal/seqdb"
+	"specmine/internal/store"
+)
+
+// Options configures a Pool.
+type Options struct {
+	// BudgetBytes caps the estimated decoded bytes the pool keeps resident
+	// across unpinned entries; <= 0 means unlimited (everything touched stays
+	// cached — the fits-in-RAM fast path).
+	BudgetBytes int64
+}
+
+// Metrics is a snapshot of the pool's counters.
+type Metrics struct {
+	// Hits and Misses count Pin calls served from cache versus decoded.
+	Hits, Misses int64
+	// Evictions counts entries dropped to fit the byte budget.
+	Evictions int64
+	// BodiesOpened counts segment body decodes — equal to Misses, named for
+	// the skip-rate accounting (a skipped segment never opens its body).
+	BodiesOpened int64
+	// SegmentsOpened counts DISTINCT segments ever decoded; with stats-driven
+	// skipping it stays below the catalog size on selective workloads.
+	SegmentsOpened int
+	// CurBytes and PeakBytes track the pool's estimated resident decoded
+	// bytes (pinned + cached), now and at its high-water mark.
+	CurBytes, PeakBytes int64
+}
+
+// entry is one cached segment: decoded traces plus the lazily built
+// per-segment index fragment. Lifecycle: created under mu with pins=1, loaded
+// once outside mu (once), then repinned/unpinned; unpinned entries sit on the
+// LRU list and are evicted map-and-all when the budget overflows.
+type entry struct {
+	idx  int
+	once sync.Once
+	err  error
+
+	seqs  []seqdb.Sequence
+	stats *store.SegmentStats
+	frag  *seqdb.PositionIndex
+	bytes int64 // estimated resident size, updated when frag materialises
+
+	pins int
+	elem *list.Element // non-nil while on the LRU list (pins == 0)
+}
+
+// Pool is the pin-and-evict segment cache. It snapshots the store's segment
+// catalog at construction; safe for concurrent use.
+type Pool struct {
+	st        *store.Store
+	metas     []store.SegmentMeta
+	numEvents int
+
+	mu      sync.Mutex
+	entries map[int]*entry
+	lru     *list.List // front = most recently unpinned
+	budget  int64
+	used    int64
+	opened  map[int]bool
+	m       Metrics
+}
+
+// New builds a pool over the store's current segment catalog. numEvents is
+// the event-id space (dict.Size()) that per-segment index fragments are built
+// against.
+func New(st *store.Store, opts Options) *Pool {
+	return &Pool{
+		st:        st,
+		metas:     st.Segments(),
+		numEvents: st.Dict().Size(),
+		entries:   make(map[int]*entry),
+		lru:       list.New(),
+		budget:    opts.BudgetBytes,
+		opened:    make(map[int]bool),
+	}
+}
+
+// NumSegments returns the catalog size.
+func (p *Pool) NumSegments() int { return len(p.metas) }
+
+// Meta returns the catalog entry for segment i (global order).
+func (p *Pool) Meta(i int) store.SegmentMeta { return p.metas[i] }
+
+// NumTraces returns the total trace count across the catalog.
+func (p *Pool) NumTraces() int {
+	n := 0
+	for _, m := range p.metas {
+		n += m.NumTraces()
+	}
+	return n
+}
+
+// Stats returns segment i's statistics, loading them on first use. Stats are
+// metadata-sized and stay resident for the pool's lifetime — they are the
+// map that decides which bodies are worth opening, so evicting them would
+// defeat the point. Loading stats does NOT count as opening the body (v2
+// segments carry them pre-computed; v1 backfill decodes once, transiently).
+func (p *Pool) Stats(i int) (*store.SegmentStats, error) {
+	p.mu.Lock()
+	e := p.entries[i]
+	if e != nil && e.stats != nil {
+		s := e.stats
+		p.mu.Unlock()
+		return s, nil
+	}
+	p.mu.Unlock()
+	// Loaded outside the lock; a racing duplicate load is harmless (same
+	// bytes, last writer wins).
+	s, err := p.st.LoadSegmentStats(p.metas[i])
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if e := p.entries[i]; e != nil {
+		e.stats = s
+	} else {
+		p.entries[i] = &entry{idx: i, stats: s}
+	}
+	p.mu.Unlock()
+	return s, nil
+}
+
+// Segment is a pinned view of one decoded segment. It stays valid (and the
+// backing entry unevictable) until Unpin.
+type Segment struct {
+	p *Pool
+	e *entry
+	// Seqs holds the segment's traces in seal order; trace i has global id
+	// Base+i.
+	Seqs []seqdb.Sequence
+	// Base is the segment's first global trace id (shard-major order).
+	Base int
+}
+
+// Pin returns segment i decoded, loading it on a miss and evicting
+// least-recently-used unpinned entries if the byte budget overflows. Every
+// Pin must be matched by exactly one Unpin.
+func (p *Pool) Pin(i int) (*Segment, error) {
+	p.mu.Lock()
+	e := p.entries[i]
+	if e == nil {
+		e = &entry{idx: i}
+		p.entries[i] = e
+	}
+	if e.seqs != nil {
+		p.m.Hits++
+	}
+	e.pins++
+	if e.elem != nil {
+		p.lru.Remove(e.elem)
+		e.elem = nil
+	}
+	p.mu.Unlock()
+
+	e.once.Do(func() {
+		seqs, stats, err := p.st.LoadSegment(p.metas[i])
+		p.mu.Lock()
+		p.m.Misses++
+		p.m.BodiesOpened++
+		if !p.opened[i] {
+			p.opened[i] = true
+			p.m.SegmentsOpened++
+		}
+		p.mu.Unlock()
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.seqs = seqs
+		if e.stats == nil {
+			e.stats = stats
+		}
+		e.bytes = estimateBytes(seqs)
+		p.mu.Lock()
+		p.account(e.bytes)
+		p.mu.Unlock()
+	})
+	if e.err != nil {
+		err := e.err
+		p.unpin(e)
+		return nil, err
+	}
+	return &Segment{p: p, e: e, Seqs: e.seqs, Base: p.metas[i].Base}, nil
+}
+
+// account adds delta to the pool's resident estimate and evicts to budget.
+// Caller holds p.mu.
+func (p *Pool) account(delta int64) {
+	p.used += delta
+	if p.used > p.m.PeakBytes {
+		p.m.PeakBytes = p.used
+	}
+	if p.budget <= 0 {
+		return
+	}
+	for p.used > p.budget {
+		back := p.lru.Back()
+		if back == nil {
+			return // everything resident is pinned; over budget until unpins
+		}
+		victim := back.Value.(*entry)
+		p.lru.Remove(back)
+		victim.elem = nil
+		delete(p.entries, victim.idx)
+		p.used -= victim.bytes
+		p.m.Evictions++
+		// The stats stay resident: re-register a stats-only entry so skip
+		// decisions never re-read the file.
+		if victim.stats != nil {
+			p.entries[victim.idx] = &entry{idx: victim.idx, stats: victim.stats}
+		}
+	}
+}
+
+func (p *Pool) unpin(e *entry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e.pins--
+	if e.pins > 0 {
+		return
+	}
+	if e.err != nil || e.seqs == nil {
+		// Failed load: drop the entry so a later Pin retries.
+		if e.err != nil {
+			delete(p.entries, e.idx)
+		}
+		return
+	}
+	e.elem = p.lru.PushFront(e)
+	if p.budget > 0 && p.used > p.budget {
+		p.account(0)
+	}
+}
+
+// Unpin releases the pin. The Segment (and any Fragment obtained from it)
+// must not be used afterwards.
+func (s *Segment) Unpin() { s.p.unpin(s.e) }
+
+// Fragment returns the per-segment PositionIndex, building it on first use
+// and charging its estimated footprint to the pool budget. Only valid while
+// the segment is pinned.
+func (s *Segment) Fragment() *seqdb.PositionIndex {
+	p := s.p
+	p.mu.Lock()
+	if s.e.frag != nil {
+		f := s.e.frag
+		p.mu.Unlock()
+		return f
+	}
+	p.mu.Unlock()
+	frag := seqdb.BuildPositionIndex(s.e.seqs, p.numEvents)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s.e.frag == nil {
+		s.e.frag = frag
+		cost := fragmentBytes(s.e.seqs, p.numEvents)
+		s.e.bytes += cost
+		p.account(cost)
+	}
+	return s.e.frag
+}
+
+// Metrics returns a snapshot of the pool counters.
+func (p *Pool) Metrics() Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.m
+	m.CurBytes = p.used
+	return m
+}
+
+// estimateBytes approximates the resident size of decoded traces: 4 bytes
+// per event plus slice headers.
+func estimateBytes(seqs []seqdb.Sequence) int64 {
+	n := int64(len(seqs)) * 24
+	for _, s := range seqs {
+		n += int64(len(s)) * 4
+	}
+	return n
+}
+
+// fragmentBytes approximates a PositionIndex fragment's footprint: postings
+// and previous-occurrence arrays cost ~8 bytes per event, the per-event
+// offset tables ~8 bytes per event id.
+func fragmentBytes(seqs []seqdb.Sequence, numEvents int) int64 {
+	n := int64(numEvents) * 8
+	for _, s := range seqs {
+		n += int64(len(s)) * 8
+	}
+	return n
+}
+
+// String implements fmt.Stringer for debugging.
+func (m Metrics) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d opened=%d cur=%dB peak=%dB",
+		m.Hits, m.Misses, m.Evictions, m.SegmentsOpened, m.CurBytes, m.PeakBytes)
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -62,9 +63,11 @@ func TestSegmentWriteENOSPCDiscardedOnReopen(t *testing.T) {
 	internEvents(t, st, 10)
 	sl := st.Shard(0)
 	rng := rand.New(rand.NewSource(7))
+	// Enough traces that a half-written file (Short) tears inside the segment
+	// core, not just the advisory stats block behind the trailer.
 	var sealed []seqdb.Sequence
-	for i := 0; i < 8; i++ {
-		id := "tr" + string(rune('a'+i))
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("tr%03d", i)
 		evs := randomTrace(rng, 10)
 		if err := sl.LogEvents(id, evs, noSend); err != nil {
 			t.Fatal(err)

@@ -68,10 +68,10 @@ func goldenCompare(t *testing.T, path string, got []byte) {
 
 func TestGoldenSegmentFormat(t *testing.T) {
 	seqs, data := goldenSegmentFixture()
-	goldenCompare(t, filepath.Join("testdata", "segment-v1.golden"), data)
+	goldenCompare(t, filepath.Join("testdata", "segment-v2.golden"), data)
 
-	// And the frozen bytes must still decode to the fixture.
-	want, err := os.ReadFile(filepath.Join("testdata", "segment-v1.golden"))
+	// And the frozen bytes must still decode to the fixture, stats included.
+	want, err := os.ReadFile(filepath.Join("testdata", "segment-v2.golden"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,6 +87,46 @@ func TestGoldenSegmentFormat(t *testing.T) {
 		t.Fatal(err)
 	}
 	sequencesEqual(t, "golden segment", got, seqs)
+	if v.stats == nil {
+		t.Fatal("golden v2 segment parsed without stats")
+	}
+	if occ, tr := v.stats.Count(2); occ != 5 || tr != 3 {
+		t.Fatalf("golden stats Count(2) = %d/%d, want 5/3", occ, tr)
+	}
+}
+
+// TestGoldenSegmentV1Compat: v1 files are a decode-only compatibility
+// contract — the frozen first-generation golden must keep parsing (with stats
+// absent, backfilled on demand) under every later build. The v1 golden is
+// never regenerated; SPECMINE_WRITE_GOLDEN intentionally does not touch it.
+func TestGoldenSegmentV1Compat(t *testing.T) {
+	seqs, _ := goldenSegmentFixture()
+	want, err := os.ReadFile(filepath.Join("testdata", "segment-v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := parseSegment(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.shard != 2 || v.from != 7 {
+		t.Fatalf("v1 golden segment parsed shard=%d from=%d", v.shard, v.from)
+	}
+	if v.stats != nil {
+		t.Fatal("v1 golden segment cannot carry stats")
+	}
+	got, err := v.decodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequencesEqual(t, "v1 golden segment", got, seqs)
+	stats, err := v.ensureStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ, tr := stats.Count(2); occ != 5 || tr != 3 {
+		t.Fatalf("backfilled stats Count(2) = %d/%d, want 5/3", occ, tr)
+	}
 }
 
 func TestGoldenWALFormat(t *testing.T) {

@@ -233,13 +233,17 @@ func (st *Store) recoverShard(i int) (*ShardLog, RecoveredShard, error) {
 	// Ordering matters for crash safety: the old generation keeps covering
 	// everything until the new one is renamed into place.
 	sl := &ShardLog{st: st, shard: i, dir: dir, covered: covered, segs: chain}
+	// In an out-of-core open, sealed holds only the WAL tail (chain bodies
+	// were not decoded), so the shard total is computed from the chain
+	// coverage instead of len(sealed).
+	total := covered + len(walSealed)
 	if len(walSealed) > 0 {
 		data := encodeSegment(walSealed, i, covered)
-		info, err := writeSegmentFile(st.fs, dir, covered, len(sealed), data, st.opts.Sync)
+		info, err := writeSegmentFile(st.fs, dir, covered, total, data, st.opts.Sync)
 		if err != nil {
 			return nil, RecoveredShard{}, err
 		}
-		sl.covered = len(sealed)
+		sl.covered = total
 		sl.segs = append(sl.segs, info)
 	}
 	records, handles, next := openTraceRecords(i, sl.covered, open)
@@ -268,6 +272,12 @@ func (st *Store) recoverShard(i int) (*ShardLog, RecoveredShard, error) {
 	sl.nextHandle = next
 	sl.walSize.Store(wal.pending())
 	sl.setRotateThreshold(wal.pending())
+	if st.opts.OutOfCore {
+		// The WAL tail was just canonicalised into a segment, so every
+		// sealed trace is reachable through the catalog; Recovered reports
+		// open traces only, keeping the handle metadata-sized.
+		sealed = nil
+	}
 	return sl, RecoveredShard{Sequences: sealed, Open: open}, nil
 }
 
@@ -315,7 +325,13 @@ func (st *Store) loadSegmentChain(infos []segmentInfo, shard int) ([]segmentInfo
 				perr = fmt.Errorf("footer (shard %d, from %d, %d traces) contradicts the name", v.shard, v.from, v.numTraces())
 			}
 			var seqs []seqdb.Sequence
-			if perr == nil {
+			if perr == nil && !st.opts.OutOfCore {
+				// Out-of-core opens stop at the checksum: body and footer
+				// CRCs already prove the file intact end to end, and the
+				// traces stay on disk until a cache pool pins them. (A
+				// valid-CRC body whose varint stream is malformed — a writer
+				// bug, not a crash artifact — would surface at first decode
+				// instead of here.)
 				seqs, perr = v.decodeAll()
 			}
 			if perr != nil {

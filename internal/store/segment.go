@@ -11,36 +11,53 @@ import (
 )
 
 // Sealed segment files. A segment is the immutable, compacted resting place
-// of a run of sealed traces from one shard:
+// of a run of sealed traces from one shard. The current (v2) layout:
 //
-//	magic [8]byte "SPMSEG1\n"
+//	magic [8]byte "SPMSEG2\n"
+//	header [12]byte, fixed width so the core can be located from the front:
+//	  uint32 LE body length | uint32 LE footer length | uint32 LE stats length
 //	body: one sequence block per trace (seqdb.AppendSequenceBlock — varint
 //	      delta event ids with run-length compression), back to back
 //	footer:
-//	  uvarint format version (1)
+//	  uvarint format version (2)
 //	  uvarint shard
 //	  uvarint fromOrdinal     — shard-local seal ordinal of the first trace
 //	  uvarint numTraces
 //	  numTraces x uvarint block length — prefix sums give per-trace offsets
-//	trailer [20]byte, fixed width so it can be found from the end:
+//	trailer [20]byte:
 //	  uint32 LE body length | uint32 LE footer length |
 //	  uint32 LE CRC-32(body) | uint32 LE CRC-32(footer) | uint32 LE tail magic
+//	stats block [stats length bytes]: per-event statistics, CRC'd
+//	  independently (see stats.go)
 //
-// The footer's offset table is what lets a reader open a segment without a
-// full decode: it can validate the trailer + footer alone, then decode a
-// single trace (or fan traces out to parallel decoders) by block range. The
-// body and footer carry independent checksums so that lazy readers get the
-// same corruption guarantees as full ones.
+// Everything up to and including the trailer is the segment core; its layout
+// and integrity guarantees are unchanged from v1 apart from the magic, the
+// fixed header, and the footer version number. The stats block rides BEHIND
+// the trailer precisely so it is advisory: the core is parsed from front
+// (header) and cross-checked against the trailer, so damage anywhere at or
+// after the trailer's end — a torn stats tail, a flipped stats byte, a bogus
+// header stats length — leaves the segment fully openable with stats absent,
+// to be recomputed lazily from the body. Damage inside the core is detected
+// exactly as before and fails the open.
 //
-// Segments are written once via temp-file + rename and never modified;
-// compaction merges adjacent segments by concatenating their bodies and
-// rebuilding the footer — blocks are self-contained, so merging never
-// re-encodes a trace.
+// v1 files ("SPMSEG1\n": no header, no stats, trailer at end of file) remain
+// readable forever; parseSegment dispatches on the magic. The golden files in
+// testdata freeze both generations.
+//
+// Segments are written once and never modified; compaction merges adjacent
+// segments by concatenating their bodies, rebuilding the footer, and merging
+// the stats blocks (summed counts, OR'd bloom filters) — blocks are
+// self-contained, so merging never re-encodes a trace.
 
-var segMagic = [8]byte{'S', 'P', 'M', 'S', 'E', 'G', '1', '\n'}
+var (
+	segMagicV1 = [8]byte{'S', 'P', 'M', 'S', 'E', 'G', '1', '\n'}
+	segMagic   = [8]byte{'S', 'P', 'M', 'S', 'E', 'G', '2', '\n'}
+)
 
 const (
-	segFormatVersion = 1
+	segFormatV1      = 1
+	segFormatVersion = 2
+	segHeaderLen     = 12
 	segTrailerLen    = 20
 	segTailMagic     = 0x53504753 // "SPGS"
 )
@@ -65,15 +82,15 @@ func parseSegmentName(name string) (from, to int, ok bool) {
 	return f, t, f >= 0 && t > f
 }
 
-// encodeSegment renders the full segment file image for the given traces.
-func encodeSegment(seqs []seqdb.Sequence, shard, from int) []byte {
+// appendSegmentCore renders magic + header + body + footer + trailer for the
+// given pre-encoded blocks, shared by encodeSegment and mergeSegments.
+func appendSegmentCore(bodies [][]byte, blockLens []int, shard, from int) []byte {
 	buf := append([]byte(nil), segMagic[:]...)
+	headerStart := len(buf)
+	buf = append(buf, make([]byte, segHeaderLen)...)
 	bodyStart := len(buf)
-	blockLens := make([]int, len(seqs))
-	for i, s := range seqs {
-		before := len(buf)
-		buf = seqdb.AppendSequenceBlock(buf, s)
-		blockLens[i] = len(buf) - before
+	for _, b := range bodies {
+		buf = append(buf, b...)
 	}
 	bodyLen := len(buf) - bodyStart
 
@@ -81,11 +98,15 @@ func encodeSegment(seqs []seqdb.Sequence, shard, from int) []byte {
 	buf = binary.AppendUvarint(buf, segFormatVersion)
 	buf = binary.AppendUvarint(buf, uint64(shard))
 	buf = binary.AppendUvarint(buf, uint64(from))
-	buf = binary.AppendUvarint(buf, uint64(len(seqs)))
+	buf = binary.AppendUvarint(buf, uint64(len(blockLens)))
 	for _, n := range blockLens {
 		buf = binary.AppendUvarint(buf, uint64(n))
 	}
 	footerLen := len(buf) - footerStart
+
+	binary.LittleEndian.PutUint32(buf[headerStart:], uint32(bodyLen))
+	binary.LittleEndian.PutUint32(buf[headerStart+4:], uint32(footerLen))
+	// Stats length is patched in by the caller once the stats block is known.
 
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(bodyLen))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(footerLen))
@@ -94,84 +115,167 @@ func encodeSegment(seqs []seqdb.Sequence, shard, from int) []byte {
 	return binary.LittleEndian.AppendUint32(buf, segTailMagic)
 }
 
+// appendStatsBlock appends the encoded stats block after the core and patches
+// the header's stats length field.
+func appendStatsBlock(buf []byte, stats *SegmentStats) []byte {
+	statsStart := len(buf)
+	buf = appendSegmentStats(buf, stats)
+	binary.LittleEndian.PutUint32(buf[len(segMagic)+8:], uint32(len(buf)-statsStart))
+	return buf
+}
+
+// encodeSegment renders the full segment file image for the given traces.
+func encodeSegment(seqs []seqdb.Sequence, shard, from int) []byte {
+	var body []byte
+	blockLens := make([]int, len(seqs))
+	for i, s := range seqs {
+		before := len(body)
+		body = seqdb.AppendSequenceBlock(body, s)
+		blockLens[i] = len(body) - before
+	}
+	buf := appendSegmentCore([][]byte{body}, blockLens, shard, from)
+	return appendStatsBlock(buf, computeSegmentStats(seqs))
+}
+
 // segmentView is a parsed (but not yet decoded) segment: validated checksums,
-// header fields and the per-trace block spans over body.
+// header fields and the per-trace block spans over body. stats is nil when
+// the file predates the stats block or the block arrived damaged — the
+// segment itself is still fully usable.
 type segmentView struct {
 	shard     int
 	from      int
 	body      []byte
 	blockLens []int
+	stats     *SegmentStats
 }
 
-// parseSegment validates data as a segment file and returns its view.
+// parseFooter validates and decodes the uvarint footer shared by both format
+// generations.
+func parseFooter(footer []byte, bodyLen int, wantVersion uint64) (shard, from int, blockLens []int, err error) {
+	off := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(footer[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("store: segment footer truncated at byte %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	ver, err := next()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if ver != wantVersion {
+		return 0, 0, nil, fmt.Errorf("store: unsupported segment format version %d", ver)
+	}
+	sh, err := next()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	fr, err := next()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	numTraces, err := next()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if numTraces > uint64(len(footer)) { // each block length costs >= 1 footer byte
+		return 0, 0, nil, fmt.Errorf("store: segment claims %d traces in a %d-byte footer", numTraces, len(footer))
+	}
+	blockLens = make([]int, numTraces)
+	total := 0
+	for i := range blockLens {
+		bl, err := next()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		blockLens[i] = int(bl)
+		total += int(bl)
+	}
+	if total != bodyLen {
+		return 0, 0, nil, fmt.Errorf("store: segment block lengths sum to %d, body is %d", total, bodyLen)
+	}
+	return int(sh), int(fr), blockLens, nil
+}
+
+// checkTrailer validates the 20-byte trailer against the body and footer it
+// covers.
+func checkTrailer(tr, body, footer []byte) error {
+	if binary.LittleEndian.Uint32(tr[16:]) != segTailMagic {
+		return fmt.Errorf("store: segment trailer magic mismatch")
+	}
+	if int(binary.LittleEndian.Uint32(tr[0:])) != len(body) || int(binary.LittleEndian.Uint32(tr[4:])) != len(footer) {
+		return fmt.Errorf("store: segment trailer lengths disagree with header")
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tr[8:]) {
+		return fmt.Errorf("store: segment body checksum mismatch")
+	}
+	if crc32.ChecksumIEEE(footer) != binary.LittleEndian.Uint32(tr[12:]) {
+		return fmt.Errorf("store: segment footer checksum mismatch")
+	}
+	return nil
+}
+
+// parseSegment validates data as a segment file (either generation) and
+// returns its view.
 func parseSegment(data []byte) (*segmentView, error) {
-	if len(data) < len(segMagic)+segTrailerLen || string(data[:len(segMagic)]) != string(segMagic[:]) {
+	if len(data) >= len(segMagicV1) && string(data[:len(segMagicV1)]) == string(segMagicV1[:]) {
+		return parseSegmentV1(data)
+	}
+	if len(data) < len(segMagic)+segHeaderLen+segTrailerLen || string(data[:len(segMagic)]) != string(segMagic[:]) {
+		return nil, fmt.Errorf("store: not a segment file")
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(data[len(segMagic):]))
+	footerLen := int(binary.LittleEndian.Uint32(data[len(segMagic)+4:]))
+	statsLen := int(binary.LittleEndian.Uint32(data[len(segMagic)+8:]))
+	bodyStart := len(segMagic) + segHeaderLen
+	coreLen := bodyStart + bodyLen + footerLen + segTrailerLen
+	if bodyLen < 0 || footerLen < 0 || coreLen > len(data) {
+		return nil, fmt.Errorf("store: segment length %d does not match body %d + footer %d", len(data), bodyLen, footerLen)
+	}
+	body := data[bodyStart : bodyStart+bodyLen]
+	footer := data[bodyStart+bodyLen : bodyStart+bodyLen+footerLen]
+	if err := checkTrailer(data[coreLen-segTrailerLen:coreLen], body, footer); err != nil {
+		return nil, err
+	}
+	shard, from, blockLens, err := parseFooter(footer, bodyLen, segFormatVersion)
+	if err != nil {
+		return nil, err
+	}
+	v := &segmentView{shard: shard, from: from, body: body, blockLens: blockLens}
+	// Everything past the core is the advisory stats block: parse it when
+	// intact, silently drop it otherwise (lazy backfill recomputes it).
+	if statsLen > 0 && len(data) == coreLen+statsLen {
+		if s, err := parseSegmentStats(data[coreLen:]); err == nil {
+			v.stats = s
+		}
+	}
+	return v, nil
+}
+
+// parseSegmentV1 handles the original generation: no fixed header, no stats,
+// trailer at the very end of the file.
+func parseSegmentV1(data []byte) (*segmentView, error) {
+	if len(data) < len(segMagicV1)+segTrailerLen {
 		return nil, fmt.Errorf("store: not a segment file")
 	}
 	tr := data[len(data)-segTrailerLen:]
 	bodyLen := int(binary.LittleEndian.Uint32(tr[0:]))
 	footerLen := int(binary.LittleEndian.Uint32(tr[4:]))
-	crcBody := binary.LittleEndian.Uint32(tr[8:])
-	crcFooter := binary.LittleEndian.Uint32(tr[12:])
-	if binary.LittleEndian.Uint32(tr[16:]) != segTailMagic {
-		return nil, fmt.Errorf("store: segment trailer magic mismatch")
-	}
-	if len(segMagic)+bodyLen+footerLen+segTrailerLen != len(data) {
+	if len(segMagicV1)+bodyLen+footerLen+segTrailerLen != len(data) {
 		return nil, fmt.Errorf("store: segment length %d does not match body %d + footer %d", len(data), bodyLen, footerLen)
 	}
-	body := data[len(segMagic) : len(segMagic)+bodyLen]
-	footer := data[len(segMagic)+bodyLen : len(segMagic)+bodyLen+footerLen]
-	if crc32.ChecksumIEEE(body) != crcBody {
-		return nil, fmt.Errorf("store: segment body checksum mismatch")
+	body := data[len(segMagicV1) : len(segMagicV1)+bodyLen]
+	footer := data[len(segMagicV1)+bodyLen : len(segMagicV1)+bodyLen+footerLen]
+	if err := checkTrailer(tr, body, footer); err != nil {
+		return nil, err
 	}
-	if crc32.ChecksumIEEE(footer) != crcFooter {
-		return nil, fmt.Errorf("store: segment footer checksum mismatch")
-	}
-
-	readUvarint := func(off int) (uint64, int, error) {
-		v, n := binary.Uvarint(footer[off:])
-		if n <= 0 {
-			return 0, 0, fmt.Errorf("store: segment footer truncated at byte %d", off)
-		}
-		return v, off + n, nil
-	}
-	ver, off, err := readUvarint(0)
+	shard, from, blockLens, err := parseFooter(footer, bodyLen, segFormatV1)
 	if err != nil {
 		return nil, err
 	}
-	if ver != segFormatVersion {
-		return nil, fmt.Errorf("store: unsupported segment format version %d", ver)
-	}
-	shard, off, err := readUvarint(off)
-	if err != nil {
-		return nil, err
-	}
-	from, off, err := readUvarint(off)
-	if err != nil {
-		return nil, err
-	}
-	numTraces, off, err := readUvarint(off)
-	if err != nil {
-		return nil, err
-	}
-	if numTraces > uint64(footerLen) { // each block length costs >= 1 footer byte
-		return nil, fmt.Errorf("store: segment claims %d traces in a %d-byte footer", numTraces, footerLen)
-	}
-	v := &segmentView{shard: int(shard), from: int(from), body: body, blockLens: make([]int, numTraces)}
-	total := 0
-	for i := range v.blockLens {
-		var bl uint64
-		bl, off, err = readUvarint(off)
-		if err != nil {
-			return nil, err
-		}
-		v.blockLens[i] = int(bl)
-		total += int(bl)
-	}
-	if total != bodyLen {
-		return nil, fmt.Errorf("store: segment block lengths sum to %d, body is %d", total, bodyLen)
-	}
-	return v, nil
+	return &segmentView{shard: shard, from: from, body: body, blockLens: blockLens}, nil
 }
 
 // numTraces returns the number of traces the segment holds.
@@ -212,10 +316,27 @@ func (v *segmentView) decodeAll() ([]seqdb.Sequence, error) {
 	return out, nil
 }
 
+// ensureStats returns the segment's stats block, recomputing it from the
+// decoded body when the file predates stats or the block arrived damaged.
+func (v *segmentView) ensureStats() (*SegmentStats, error) {
+	if v.stats != nil {
+		return v.stats, nil
+	}
+	seqs, err := v.decodeAll()
+	if err != nil {
+		return nil, err
+	}
+	v.stats = computeSegmentStats(seqs)
+	return v.stats, nil
+}
+
 // mergeSegments concatenates adjacent segment images into one: bodies are
-// spliced verbatim (blocks are self-contained) and the footer is rebuilt.
+// spliced verbatim (blocks are self-contained), the footer is rebuilt, and
+// the stats blocks are merged — summed counts, OR'd bloom filters — with
+// stats-less parts (v1 files, damaged blocks) backfilled from their bodies.
 // The parts must belong to one shard and cover contiguous ordinal ranges in
-// order.
+// order. The output is always current-generation, so compaction doubles as
+// format migration.
 func mergeSegments(parts [][]byte) ([]byte, error) {
 	if len(parts) < 2 {
 		return nil, fmt.Errorf("store: merge needs at least two segments")
@@ -239,28 +360,20 @@ func mergeSegments(parts [][]byte) ([]byte, error) {
 		next += views[i].numTraces()
 	}
 
-	buf := append([]byte(nil), segMagic[:]...)
-	bodyStart := len(buf)
-	for _, v := range views {
-		buf = append(buf, v.body...)
-	}
-	bodyLen := len(buf) - bodyStart
-	footerStart := len(buf)
-	buf = binary.AppendUvarint(buf, segFormatVersion)
-	buf = binary.AppendUvarint(buf, uint64(views[0].shard))
-	buf = binary.AppendUvarint(buf, uint64(views[0].from))
-	buf = binary.AppendUvarint(buf, uint64(next-views[0].from))
-	for _, v := range views {
-		for _, bl := range v.blockLens {
-			buf = binary.AppendUvarint(buf, uint64(bl))
+	bodies := make([][]byte, len(views))
+	var blockLens []int
+	stats := make([]*SegmentStats, len(views))
+	for i, v := range views {
+		bodies[i] = v.body
+		blockLens = append(blockLens, v.blockLens...)
+		s, err := v.ensureStats()
+		if err != nil {
+			return nil, fmt.Errorf("store: merge part %d stats: %w", i, err)
 		}
+		stats[i] = s
 	}
-	footerLen := len(buf) - footerStart
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(bodyLen))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(footerLen))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[bodyStart:bodyStart+bodyLen]))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[footerStart:footerStart+footerLen]))
-	return binary.LittleEndian.AppendUint32(buf, segTailMagic), nil
+	buf := appendSegmentCore(bodies, blockLens, views[0].shard, views[0].from)
+	return appendStatsBlock(buf, mergeSegmentStats(stats)), nil
 }
 
 // writeSegmentFile publishes a segment image at dir/segmentName(from,to).
@@ -269,8 +382,10 @@ func mergeSegments(parts [][]byte) ([]byte, error) {
 // segment's WAL records are flushed before the segment is written and WAL
 // generations are only retired after a completed rotation, a torn segment at
 // the chain tail is always still covered by the surviving WAL — recovery
-// discards the file and replays the log instead. Saving the rename matters:
-// segment publishes sit on the ingestion barrier path.
+// discards the file and replays the log instead. (A tear confined to the
+// trailing stats block is not even that: the core validates and the segment
+// is used as-is with stats recomputed.) Saving the rename matters: segment
+// publishes sit on the ingestion barrier path.
 func writeSegmentFile(fs fsim.FS, dir string, from, to int, data []byte, sync bool) (segmentInfo, error) {
 	path := filepath.Join(dir, segmentName(from, to))
 	if err := fs.WriteFile(path, data, 0o644); err != nil {

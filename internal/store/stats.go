@@ -1,0 +1,294 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"specmine/internal/seqdb"
+)
+
+// Per-segment event statistics. Every v2 segment carries a stats block
+// recording, for each distinct event in the segment, its total occurrence
+// count and the number of traces it appears in, plus a bloom filter over the
+// distinct event set. The block is advisory: readers that find it damaged or
+// absent (v1 files, torn tails) recompute it from the decoded body instead of
+// failing the open — see parseSegment.
+//
+// Stats block wire format (appended after the segment trailer, see
+// segment.go for the enclosing layout):
+//
+//	uvarint stats version (1)
+//	uvarint number of distinct events
+//	uvarint bloom filter length in bytes (segBloomBytes)
+//	uvarint bloom hash count (segBloomHashes)
+//	bloom filter bytes
+//	per distinct event, ascending by id:
+//	  uvarint event id delta (first event absolute, then id - previous id)
+//	  uvarint occurrence count
+//	  uvarint trace count
+//	uint32 LE CRC-32 of everything above
+//
+// The bloom geometry is a global constant rather than sized per segment so
+// that compaction can merge stats blocks by OR-ing filters; a parsed block
+// with any other geometry is treated as absent and recomputed.
+
+const (
+	segStatsVersion = 1
+	segBloomBits    = 8192
+	segBloomBytes   = segBloomBits / 8
+	segBloomHashes  = 4
+)
+
+// SegmentStats summarises the event content of one sealed segment: exact
+// per-event occurrence and trace counts plus a bloom filter over the distinct
+// event set. MayContain has no false negatives, so a negative answer proves
+// the event cannot occur anywhere in the segment — the property segment
+// skipping relies on.
+type SegmentStats struct {
+	bloom  []byte // segBloomBytes, segBloomHashes double-hashed bits
+	events []seqdb.EventID
+	occ    []int64
+	traces []int64
+}
+
+// bloomProbe derives the two double-hashing streams for event e. splitmix64
+// finalizer: cheap, deterministic, and well-mixed for small integer keys.
+func bloomProbe(e seqdb.EventID) (h1, h2 uint32) {
+	z := uint64(uint32(e)) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return uint32(z), uint32(z>>32) | 1
+}
+
+func bloomSet(bits []byte, e seqdb.EventID) {
+	h1, h2 := bloomProbe(e)
+	for i := uint32(0); i < segBloomHashes; i++ {
+		bit := (h1 + i*h2) % segBloomBits
+		bits[bit>>3] |= 1 << (bit & 7)
+	}
+}
+
+func bloomTest(bits []byte, e seqdb.EventID) bool {
+	h1, h2 := bloomProbe(e)
+	for i := uint32(0); i < segBloomHashes; i++ {
+		bit := (h1 + i*h2) % segBloomBits
+		if bits[bit>>3]&(1<<(bit&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MayContain reports whether event e may occur in the segment. False means
+// provably absent; true may be a bloom false positive (which only costs the
+// caller a body decode, never correctness).
+func (s *SegmentStats) MayContain(e seqdb.EventID) bool {
+	return bloomTest(s.bloom, e)
+}
+
+// Count returns the exact occurrence and trace counts for event e, both zero
+// when the event does not occur in the segment.
+func (s *SegmentStats) Count(e seqdb.EventID) (occurrences, traces int64) {
+	i := sort.Search(len(s.events), func(i int) bool { return s.events[i] >= e })
+	if i == len(s.events) || s.events[i] != e {
+		return 0, 0
+	}
+	return s.occ[i], s.traces[i]
+}
+
+// NumDistinctEvents returns the number of distinct events in the segment.
+func (s *SegmentStats) NumDistinctEvents() int { return len(s.events) }
+
+// ForEachEvent calls fn for every distinct event in ascending id order.
+func (s *SegmentStats) ForEachEvent(fn func(e seqdb.EventID, occurrences, traces int64)) {
+	for i, e := range s.events {
+		fn(e, s.occ[i], s.traces[i])
+	}
+}
+
+// computeSegmentStats builds the stats summary for a run of traces. This is
+// both the seal-time path (encodeSegment) and the lazy backfill path for v1
+// segments or damaged stats blocks.
+func computeSegmentStats(seqs []seqdb.Sequence) *SegmentStats {
+	type acc struct {
+		occ, traces int64
+		lastTrace   int
+	}
+	counts := make(map[seqdb.EventID]*acc)
+	for ti, s := range seqs {
+		for _, e := range s {
+			a := counts[e]
+			if a == nil {
+				a = &acc{lastTrace: -1}
+				counts[e] = a
+			}
+			a.occ++
+			if a.lastTrace != ti {
+				a.lastTrace = ti
+				a.traces++
+			}
+		}
+	}
+	st := &SegmentStats{
+		bloom:  make([]byte, segBloomBytes),
+		events: make([]seqdb.EventID, 0, len(counts)),
+		occ:    make([]int64, 0, len(counts)),
+		traces: make([]int64, 0, len(counts)),
+	}
+	for e := range counts {
+		st.events = append(st.events, e)
+	}
+	sort.Slice(st.events, func(i, j int) bool { return st.events[i] < st.events[j] })
+	for _, e := range st.events {
+		a := counts[e]
+		st.occ = append(st.occ, a.occ)
+		st.traces = append(st.traces, a.traces)
+		bloomSet(st.bloom, e)
+	}
+	return st
+}
+
+// mergeSegmentStats combines per-part stats into the stats of the
+// concatenated segment: counts add, bloom filters OR (valid because the
+// geometry is a global constant). Every part must be non-nil — callers
+// backfill v1 parts first.
+func mergeSegmentStats(parts []*SegmentStats) *SegmentStats {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	type acc struct{ occ, traces int64 }
+	counts := make(map[seqdb.EventID]*acc)
+	out := &SegmentStats{bloom: make([]byte, segBloomBytes)}
+	for _, p := range parts {
+		for i := range p.bloom {
+			out.bloom[i] |= p.bloom[i]
+		}
+		for i, e := range p.events {
+			a := counts[e]
+			if a == nil {
+				a = &acc{}
+				counts[e] = a
+			}
+			a.occ += p.occ[i]
+			a.traces += p.traces[i]
+		}
+	}
+	out.events = make([]seqdb.EventID, 0, len(counts))
+	for e := range counts {
+		out.events = append(out.events, e)
+	}
+	sort.Slice(out.events, func(i, j int) bool { return out.events[i] < out.events[j] })
+	out.occ = make([]int64, 0, len(counts))
+	out.traces = make([]int64, 0, len(counts))
+	for _, e := range out.events {
+		a := counts[e]
+		out.occ = append(out.occ, a.occ)
+		out.traces = append(out.traces, a.traces)
+	}
+	return out
+}
+
+// appendSegmentStats encodes the stats block (content + trailing CRC) onto buf.
+func appendSegmentStats(buf []byte, s *SegmentStats) []byte {
+	start := len(buf)
+	buf = binary.AppendUvarint(buf, segStatsVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(s.events)))
+	buf = binary.AppendUvarint(buf, segBloomBytes)
+	buf = binary.AppendUvarint(buf, segBloomHashes)
+	buf = append(buf, s.bloom...)
+	prev := seqdb.EventID(0)
+	for i, e := range s.events {
+		buf = binary.AppendUvarint(buf, uint64(e-prev))
+		prev = e
+		buf = binary.AppendUvarint(buf, uint64(s.occ[i]))
+		buf = binary.AppendUvarint(buf, uint64(s.traces[i]))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+}
+
+// parseSegmentStats decodes a stats block. Any damage — bad CRC, truncation,
+// unknown version or foreign bloom geometry — returns an error; callers treat
+// that as "stats absent" and fall back to recomputation, never a failed open.
+func parseSegmentStats(data []byte) (*SegmentStats, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("store: stats block too short")
+	}
+	content := data[:len(data)-4]
+	if crc32.ChecksumIEEE(content) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, fmt.Errorf("store: stats block checksum mismatch")
+	}
+	off := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(content[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("store: stats block truncated at byte %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	ver, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if ver != segStatsVersion {
+		return nil, fmt.Errorf("store: unsupported stats version %d", ver)
+	}
+	numEvents, err := next()
+	if err != nil {
+		return nil, err
+	}
+	bloomLen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	hashes, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if bloomLen != segBloomBytes || hashes != segBloomHashes {
+		return nil, fmt.Errorf("store: stats bloom geometry %d/%d, want %d/%d", bloomLen, hashes, segBloomBytes, segBloomHashes)
+	}
+	if off+segBloomBytes > len(content) {
+		return nil, fmt.Errorf("store: stats bloom filter truncated")
+	}
+	if numEvents > uint64(len(content)) { // each entry costs >= 3 bytes
+		return nil, fmt.Errorf("store: stats block claims %d events in %d bytes", numEvents, len(content))
+	}
+	s := &SegmentStats{
+		bloom:  append([]byte(nil), content[off:off+segBloomBytes]...),
+		events: make([]seqdb.EventID, 0, numEvents),
+		occ:    make([]int64, 0, numEvents),
+		traces: make([]int64, 0, numEvents),
+	}
+	off += segBloomBytes
+	prev := seqdb.EventID(0)
+	for i := uint64(0); i < numEvents; i++ {
+		d, err := next()
+		if err != nil {
+			return nil, err
+		}
+		occ, err := next()
+		if err != nil {
+			return nil, err
+		}
+		tr, err := next()
+		if err != nil {
+			return nil, err
+		}
+		e := prev + seqdb.EventID(d)
+		if i > 0 && e <= prev {
+			return nil, fmt.Errorf("store: stats event ids not ascending")
+		}
+		prev = e
+		s.events = append(s.events, e)
+		s.occ = append(s.occ, int64(occ))
+		s.traces = append(s.traces, int64(tr))
+	}
+	if off != len(content) {
+		return nil, fmt.Errorf("store: stats block has %d trailing bytes", len(content)-off)
+	}
+	return s, nil
+}

@@ -71,6 +71,15 @@ type Options struct {
 	// RetryBackoff is the delay before the first retry, doubling per attempt;
 	// 0 means the default (500µs).
 	RetryBackoff time.Duration
+	// OutOfCore opens the store for reading without materialising sealed
+	// trace bodies: recovery validates every chain segment by checksum (torn
+	// or corrupt files are detected and dropped exactly as in a normal open)
+	// but does not decode them, so Open's memory footprint is metadata-sized
+	// regardless of database size. Sealed traces are reached through the
+	// segment catalog (Segments/LoadSegment) — typically via a cache.Pool —
+	// and Recovered() reports open traces only. AttachIngester is refused:
+	// an out-of-core handle is read-only for sealed data.
+	OutOfCore bool
 }
 
 type manifest struct {
@@ -301,6 +310,12 @@ func (st *Store) Shard(i int) *ShardLog { return st.shards[i] }
 // rotation. To resume after closing an ingester, close the store and open a
 // fresh handle (which re-recovers).
 func (st *Store) AttachIngester() error {
+	if st.opts.OutOfCore {
+		// An out-of-core handle never decoded its sealed traces, so an
+		// ingester seeding from Recovered() would silently drop the whole
+		// segment-resident history on its next snapshot.
+		return errors.New("store: handle opened out-of-core is read-only for sealed data; reopen without OutOfCore to ingest")
+	}
 	if !st.ingAttached.CompareAndSwap(false, true) {
 		return errors.New("store: an ingester already attached to this handle; reopen the store to attach another")
 	}

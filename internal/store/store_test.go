@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -95,17 +96,50 @@ func TestSegmentEncodeDecode(t *testing.T) {
 		}
 		sequencesEqual(t, "trace()", []seqdb.Sequence{s}, []seqdb.Sequence{seqs[i]})
 	}
-	// Any single flipped byte must be detected.
-	for _, off := range []int{0, 9, len(data) / 2, len(data) - 25, len(data) - 3} {
+	// Any single flipped byte inside the core (magic, header, body, footer,
+	// trailer) must fail the open.
+	coreLen := segmentCoreLen(data)
+	for _, off := range []int{0, 9, 14, coreLen / 2, coreLen - 25, coreLen - 3} {
 		corrupt := append([]byte(nil), data...)
 		corrupt[off] ^= 0x40
 		if _, err := parseSegment(corrupt); err == nil {
-			t.Fatalf("corruption at byte %d went undetected", off)
+			t.Fatalf("core corruption at byte %d went undetected", off)
 		}
 	}
-	if _, err := parseSegment(data[:len(data)-1]); err == nil {
-		t.Fatal("truncated segment went undetected")
+	// A flipped byte in the advisory stats block must NOT fail the open — the
+	// segment comes back with stats absent and identical traces.
+	for _, off := range []int{coreLen, coreLen + 100, len(data) - 1} {
+		corrupt := append([]byte(nil), data...)
+		corrupt[off] ^= 0x40
+		v2, err := parseSegment(corrupt)
+		if err != nil {
+			t.Fatalf("stats corruption at byte %d failed the open: %v", off, err)
+		}
+		if v2.stats != nil {
+			t.Fatalf("stats corruption at byte %d went undetected", off)
+		}
+		got, err := v2.decodeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequencesEqual(t, "stats-corrupt decodeAll", got, seqs)
 	}
+	// Truncation inside the stats block: still openable, stats absent.
+	if v2, err := parseSegment(data[:len(data)-1]); err != nil || v2.stats != nil {
+		t.Fatalf("stats-truncated segment: err=%v stats=%v", err, v2.stats != nil)
+	}
+	// Truncation into the core: detected as torn.
+	if _, err := parseSegment(data[:coreLen-1]); err == nil {
+		t.Fatal("core-truncated segment went undetected")
+	}
+}
+
+// segmentCoreLen returns the length of a v2 segment's core (everything up to
+// and including the trailer), read from the fixed header.
+func segmentCoreLen(data []byte) int {
+	bodyLen := int(binary.LittleEndian.Uint32(data[len(segMagic):]))
+	footerLen := int(binary.LittleEndian.Uint32(data[len(segMagic)+4:]))
+	return len(segMagic) + segHeaderLen + bodyLen + footerLen + segTrailerLen
 }
 
 func TestSegmentMerge(t *testing.T) {
@@ -430,13 +464,14 @@ func TestTornSegmentFallsBackToWAL(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Tear the segment: chop its trailer off.
+	// Tear the segment: chop into its trailer. (Cutting only the trailing
+	// stats block would NOT be a tear — stats are advisory.)
 	segPath := filepath.Join(dir, "shard-000", segmentName(0, 5))
-	info, err := os.Stat(segPath)
+	img, err := os.ReadFile(segPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(segPath, info.Size()-7); err != nil {
+	if err := os.Truncate(segPath, int64(segmentCoreLen(img)-7)); err != nil {
 		t.Fatal(err)
 	}
 	st2 := openStore(t, dir, nil)

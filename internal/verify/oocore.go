@@ -1,0 +1,53 @@
+package verify
+
+import "specmine/internal/seqdb"
+
+// Out-of-core checking support: segment-level skip decisions driven by
+// per-segment event statistics.
+//
+// A rule accumulates temporal points on a trace only if its full premise
+// embeds, which requires every premise event to occur. When some premise
+// event provably never occurs anywhere in a segment, no trace in the segment
+// produces a temporal point for that rule, and Close's zero-temporal-point
+// path does exactly one thing per trace: SatisfiedTraces++. If that holds for
+// EVERY rule in the engine, the whole segment can be answered without
+// decoding its body — AccountSkippedTraces applies the per-trace effect in
+// bulk.
+
+// SegmentSkippable reports whether a segment whose event population is
+// described by mayContain can be skipped: for every rule, at least one
+// premise event is absent. mayContain may overapproximate (bloom filters,
+// merged stats); a false positive only loses the skip, never correctness.
+func (e *Engine) SegmentSkippable(mayContain func(seqdb.EventID) bool) bool {
+	for r := range e.ruleSet {
+		if !e.premiseMayEmbed(r, mayContain) {
+			continue // some premise event absent: rule r is trivially satisfied
+		}
+		return false
+	}
+	return true
+}
+
+// premiseMayEmbed reports whether every premise event of rule r may occur
+// according to mayContain. The premise is ruleLast[r] plus the trie-prefix
+// chain from rulePreNode[r] up to (excluding) the root.
+func (e *Engine) premiseMayEmbed(r int, mayContain func(seqdb.EventID) bool) bool {
+	if !mayContain(e.ruleLast[r]) {
+		return false
+	}
+	for n := e.rulePreNode[r]; n != 0; n = e.trieParent[n] {
+		if !mayContain(e.trieEvent[n]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AccountSkippedTraces folds n skipped traces into reports: each trace
+// satisfies every rule with zero temporal points, which is precisely what
+// Checker.Close records for a trace none of whose rules' premises complete.
+func AccountSkippedTraces(reports []RuleReport, n int) {
+	for i := range reports {
+		reports[i].SatisfiedTraces += n
+	}
+}
