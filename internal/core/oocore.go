@@ -5,6 +5,7 @@ import (
 
 	"specmine/internal/iterpattern"
 	"specmine/internal/mine"
+	"specmine/internal/plan"
 	"specmine/internal/rules"
 	"specmine/internal/seqdb"
 	"specmine/internal/store"
@@ -47,6 +48,11 @@ type OutOfCoreStats struct {
 	CacheMisses    int64
 	CacheEvictions int64
 	PeakCacheBytes int64
+
+	// Verify counts the verification work performed and avoided — per-trace
+	// skips, per-rule gates, consequent short-circuits, probes. Populated by
+	// the checking entry points only; mining leaves it zero.
+	Verify verify.Metrics
 }
 
 func poolStats(p *cache.Pool) *OutOfCoreStats {
@@ -225,41 +231,149 @@ func MineStoreRules(st *TraceStore, opts RuleOptions, oo OutOfCoreOptions) (*Rul
 // segment in which every rule has at least one premise event that provably
 // never occurs is answered from its statistics alone (each of its traces
 // satisfies every rule with zero temporal points), without decoding the body.
+// Decoded segments go through the statistics-driven planner: rules are gated
+// per trace by presence probes in rarest-first order, consequent-dead rules
+// are short-circuited, and traces every rule is gated on never touch position
+// data. The per-query work counters land in OutOfCoreStats.Verify.
 func CheckStore(st *TraceStore, ruleSet []Rule, oo OutOfCoreOptions) (verify.Summary, *OutOfCoreStats, error) {
+	sum, stats, _, err := checkStorePlanned(st, ruleSet, nil, oo)
+	return sum, stats, err
+}
+
+// CheckStoreWhere is CheckStore restricted to the traces selected by where,
+// with the predicate pushed into the segment catalog: segments whose ordinal
+// range misses the window/id list, or whose statistics prove a required event
+// absent, are pruned without decoding. Violations carry global trace
+// ordinals, so the summary is byte-identical to CheckWhere over Recover of
+// the same store. The returned Explain includes segment-pruning counts.
+func CheckStoreWhere(st *TraceStore, ruleSet []Rule, where Where, oo OutOfCoreOptions) (verify.Summary, *OutOfCoreStats, *Explain, error) {
+	return checkStorePlanned(st, ruleSet, &where, oo)
+}
+
+func checkStorePlanned(st *TraceStore, ruleSet []Rule, where *Where, oo OutOfCoreOptions) (verify.Summary, *OutOfCoreStats, *Explain, error) {
 	engine, err := verify.NewEngine(ruleSet)
 	if err != nil {
-		return verify.Summary{}, nil, err
+		return verify.Summary{}, nil, nil, err
 	}
 	pool := cache.New(st, cache.Options{BudgetBytes: oo.CacheBytes})
-	reports := engine.NewReports()
-	checker := engine.NewChecker()
-	si := 0
-	for i := 0; i < pool.NumSegments(); i++ {
-		stats, err := pool.Stats(i)
+	numSegs := pool.NumSegments()
+
+	// Statistics pass: per-segment stats stay resident, and their per-event
+	// trace supports sum into the global estimates the planner orders probes
+	// by. No segment body is opened here.
+	nEvents := st.Dict().Size()
+	sup := make([]int64, nEvents)
+	segStats := make([]*store.SegmentStats, numSegs)
+	total := 0
+	for i := 0; i < numSegs; i++ {
+		ss, err := pool.Stats(i)
 		if err != nil {
-			return verify.Summary{}, nil, err
+			return verify.Summary{}, nil, nil, err
 		}
+		segStats[i] = ss
+		total += pool.Meta(i).NumTraces()
+		ss.ForEachEvent(func(e seqdb.EventID, _, traces int64) {
+			if int(e) < nEvents {
+				sup[e] += traces
+			}
+		})
+	}
+
+	pl := plan.New(engine, plan.SupportStats{Sup: sup, Traces: total})
+	reports := engine.NewReports()
+	var run *plan.Run // bound to the first decoded segment's fragment
+	var metrics verify.Metrics
+	segsPruned := 0
+	si := 0
+	for i := 0; i < numSegs; i++ {
+		ss := segStats[i]
 		n := pool.Meta(i).NumTraces()
-		if engine.SegmentSkippable(func(e seqdb.EventID) bool {
-			occ, _ := stats.Count(e)
+		base := si
+		si += n
+		if where != nil && !segmentMaySelect(ss, *where, base, n) {
+			segsPruned++
+			continue // predicate selects nothing here: contributes no reports
+		}
+		mayContain := func(e seqdb.EventID) bool {
+			occ, _ := ss.Count(e)
 			return occ > 0
-		}) {
-			verify.AccountSkippedTraces(reports, n)
-			si += n
-			continue
+		}
+		if engine.SegmentSkippable(mayContain) {
+			// Every rule is statically dead: each selected trace satisfies
+			// every rule with zero temporal points. With no event predicates
+			// the selected count falls out of the catalog alone; an event
+			// predicate needs the decoded traces to know which are selected.
+			if where == nil || !where.HasEventPredicates() {
+				count := n
+				if where != nil {
+					count = where.CountOrdinalMatches(base, n)
+				}
+				verify.AccountSkippedTraces(reports, count)
+				metrics.SegmentsSkipped++
+				metrics.TracesSkipped += int64(count)
+				segsPruned++
+				continue
+			}
 		}
 		sg, err := pool.Pin(i)
 		if err != nil {
-			return verify.Summary{}, nil, err
+			return verify.Summary{}, nil, nil, err
 		}
-		for _, s := range sg.Seqs {
-			for _, ev := range s {
-				checker.Advance(ev)
+		frag := sg.Fragment()
+		if run == nil {
+			run = pl.NewRun(frag)
+		} else {
+			run.Rebind(frag)
+		}
+		run.SetSegmentHints(mayContain)
+		metrics.SegmentsChecked++
+		for l := range sg.Seqs {
+			g := base + l
+			if where != nil && !where.MatchesSeq(frag, l, g) {
+				continue
 			}
-			checker.Close(si, reports)
-			si++
+			run.CheckTrace(l, g, reports)
 		}
 		sg.Unpin()
 	}
-	return verify.NewSummary(reports), poolStats(pool), nil
+	if run != nil {
+		metrics.Merge(run.Metrics)
+	} else {
+		run = pl.NewRun(nil) // counters all zero; only Explain is read
+	}
+	ex := run.Explain()
+	ex.Metrics = metrics
+	ex.SegmentsTotal = numSegs
+	ex.SegmentsPruned = segsPruned
+	ooStats := poolStats(pool)
+	ooStats.Verify = metrics
+	return verify.NewSummary(reports), ooStats, ex, nil
+}
+
+// segmentMaySelect reports whether where can select any trace of a segment
+// occupying ordinals [base, base+n) with statistics ss — the catalog-level
+// predicate pushdown: a window/id miss or a required event with zero count
+// prunes the segment without decoding.
+func segmentMaySelect(ss *store.SegmentStats, where Where, base, n int) bool {
+	if !where.OrdinalOverlap(base, n) {
+		return false
+	}
+	for _, e := range where.HasAll {
+		if occ, _ := ss.Count(e); occ == 0 {
+			return false
+		}
+	}
+	if len(where.HasAny) > 0 {
+		any := false
+		for _, e := range where.HasAny {
+			if occ, _ := ss.Count(e); occ > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"specmine/internal/plan"
+	"specmine/internal/seqdb"
+	"specmine/internal/verify"
+)
+
+// Predicated (planned) queries: CheckWhere and MineWhere/MineRulesWhere run
+// verification and mining over the subset of traces a Where predicate
+// selects, compiled to lazy pull-based operators over the flat index — the
+// rarest required event's postings drive enumeration, the rest become
+// residual filters — instead of materialising candidate sets eagerly.
+// Checking additionally goes through the statistics-driven planner, so every
+// query returns a QueryReport with the verifier's work counters and a
+// renderable Explain.
+
+// Where selects traces for predicated queries; see plan.Where for the
+// predicate fields (required/optional events, trace-ordinal windows, explicit
+// ordinal lists). The zero value selects everything.
+type Where = plan.Where
+
+// Explain is the per-query plan report; see plan.Explain.
+type Explain = plan.Explain
+
+// QueryReport carries the planner's introspection for one predicated query.
+type QueryReport struct {
+	// Selected counts the traces the predicate admitted.
+	Selected int
+	// Metrics counts the verification work performed and avoided (zero for
+	// pure mining queries, which do not run the verifier).
+	Metrics verify.Metrics
+	// Explain is the full plan: probe orders, estimated versus actual
+	// selectivities, gating counters, selection operator. Render it with
+	// Explain.Render(db.Dict).
+	Explain *plan.Explain
+}
+
+// CheckWhere verifies ruleSet against the traces of db selected by where,
+// through the statistics-driven planner: premise descent is ordered by
+// postings selectivity, rules whose consequent cannot occur in a trace are
+// short-circuited, and traces on which every rule is gated are answered from
+// presence probes alone. Violations carry the traces' ordinals in db. With a
+// zero Where this is a planned, byte-identical CheckRules — same summary,
+// plus the QueryReport.
+func CheckWhere(db *Database, ruleSet []Rule, where Where) (verify.Summary, *QueryReport, error) {
+	engine, err := verify.NewEngine(ruleSet)
+	if err != nil {
+		return verify.Summary{}, nil, err
+	}
+	idx := db.FlatIndex()
+	pl := plan.New(engine, plan.IndexStats{Idx: idx})
+	it, sel := plan.CompileWhere(idx, where)
+	reports := engine.NewReports()
+	run := pl.NewRun(idx)
+	selected := 0
+	for s := it.Next(); s >= 0; s = it.Next() {
+		run.CheckTrace(s, s, reports)
+		selected++
+	}
+	ex := run.Explain()
+	ex.Selection = &sel
+	return verify.NewSummary(reports), &QueryReport{
+		Selected: selected,
+		Metrics:  run.Metrics,
+		Explain:  ex,
+	}, nil
+}
+
+// MineWhere mines iterative patterns over the traces of db selected by where.
+// Results are byte-identical to MinePatterns over a database holding exactly
+// the selected traces (in ordinal order); pattern statistics and any retained
+// instances are therefore relative to the selection, with trace indices local
+// to it.
+func MineWhere(db *Database, opts PatternOptions, where Where) (*PatternResult, *QueryReport, error) {
+	sub, rep := selectDatabase(db, where)
+	res, err := MinePatterns(sub, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rep, nil
+}
+
+// MineRulesWhere mines recurrent rules over the traces of db selected by
+// where; the MineWhere caveats about selection-relative statistics apply.
+func MineRulesWhere(db *Database, opts RuleOptions, where Where) (*RuleResult, *QueryReport, error) {
+	sub, rep := selectDatabase(db, where)
+	res, err := MineRules(sub, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rep, nil
+}
+
+// selectDatabase drains the compiled selection into a sub-database sharing
+// db's dictionary and sequence storage (headers only; event payloads are not
+// copied).
+func selectDatabase(db *Database, where Where) (*Database, *QueryReport) {
+	idx := db.FlatIndex()
+	it, sel := plan.CompileWhere(idx, where)
+	sub := seqdb.NewDatabaseWithDict(db.Dict)
+	selected := 0
+	for s := it.Next(); s >= 0; s = it.Next() {
+		sub.Append(db.Sequences[s])
+		selected++
+	}
+	ex := &plan.Explain{PlannedTraces: idx.NumSequences(), Selection: &sel}
+	return sub, &QueryReport{Selected: selected, Explain: ex}
+}

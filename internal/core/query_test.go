@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"specmine/internal/seqdb"
+	"specmine/internal/verify"
+)
+
+// queryRules mines a small rule set from the clustered store fixture's
+// recovered database for the predicated-query tests.
+func queryRules(t *testing.T, db *Database) []Rule {
+	t.Helper()
+	res, err := MineRules(db, RuleOptions{MinSeqSupportRel: 0.2, MinConfidence: 0.6,
+		MaxPremiseLength: 2, MaxConsequentLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("fixture mined no rules")
+	}
+	return res.Rules
+}
+
+// checkWhereOracle runs the online automaton over exactly the selected
+// traces, reporting global ordinals — the ground truth CheckWhere and
+// CheckStoreWhere must match byte for byte.
+func checkWhereOracle(t *testing.T, db *Database, ruleSet []Rule, where Where) verify.Summary {
+	t.Helper()
+	engine, err := verify.NewEngine(ruleSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := db.FlatIndex()
+	reports := engine.NewReports()
+	checker := engine.NewChecker()
+	for s := range db.Sequences {
+		if !where.MatchesSeq(idx, s, s) {
+			continue
+		}
+		for _, ev := range db.Sequences[s] {
+			checker.Advance(ev)
+		}
+		checker.Close(s, reports)
+	}
+	return verify.NewSummary(reports)
+}
+
+func queryPredicates(db *Database) map[string]Where {
+	open := db.Dict.Lookup("open")
+	c0a := db.Dict.Lookup("c0_a")
+	c2b := db.Dict.Lookup("c2_b")
+	n := db.NumSequences()
+	return map[string]Where{
+		"all":      {},
+		"window":   {From: n / 4, To: 3 * n / 4},
+		"cluster0": {HasAll: []seqdb.EventID{c0a}},
+		"c0-or-c2": {HasAny: []seqdb.EventID{c0a, c2b}},
+		"open+c2b": {HasAll: []seqdb.EventID{open, c2b}, From: 5},
+		"ids":      {IDs: []int{0, 1, n / 2, n - 1, n + 7}},
+		"nothing":  {From: n, To: n},
+		"no-event": {HasAll: []seqdb.EventID{seqdb.EventID(db.Dict.Size() + 3)}},
+	}
+}
+
+func TestCheckWhereMatchesOracle(t *testing.T) {
+	ts := buildSegmentedStore(t, 3, 4, 20)
+	db := ts.Recovered().Database(ts.Dict())
+	ruleSet := queryRules(t, db)
+
+	for name, w := range queryPredicates(db) {
+		want := checkWhereOracle(t, db, ruleSet, w)
+		got, rep, err := CheckWhere(db, ruleSet, w)
+		if err != nil {
+			t.Fatalf("%s: CheckWhere: %v", name, err)
+		}
+		if got.Render(db.Dict, 5) != want.Render(db.Dict, 5) {
+			t.Fatalf("%s: CheckWhere diverges from oracle:\n%s\nvs\n%s",
+				name, got.Render(db.Dict, 5), want.Render(db.Dict, 5))
+		}
+		if rep == nil || rep.Explain == nil {
+			t.Fatalf("%s: missing query report", name)
+		}
+		if int64(rep.Selected) != rep.Metrics.TracesChecked+rep.Metrics.TracesSkipped {
+			t.Fatalf("%s: selected %d but checked %d + skipped %d", name,
+				rep.Selected, rep.Metrics.TracesChecked, rep.Metrics.TracesSkipped)
+		}
+		if out := rep.Explain.Render(db.Dict); out == "" {
+			t.Fatalf("%s: empty explain render", name)
+		}
+	}
+}
+
+// TestCheckWhereZeroEqualsCheckRules: with a zero Where the planned check is
+// byte-identical to the batched facade path over the whole database.
+func TestCheckWhereZeroEqualsCheckRules(t *testing.T) {
+	ts := buildSegmentedStore(t, 2, 3, 16)
+	db := ts.Recovered().Database(ts.Dict())
+	ruleSet := queryRules(t, db)
+	want, err := CheckRules(db, ruleSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := CheckWhere(db, ruleSet, Where{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render(db.Dict, 10) != want.Render(db.Dict, 10) {
+		t.Fatalf("zero-Where CheckWhere diverges from CheckRules:\n%s\nvs\n%s",
+			got.Render(db.Dict, 10), want.Render(db.Dict, 10))
+	}
+	if rep.Selected != db.NumSequences() {
+		t.Fatalf("zero Where selected %d of %d traces", rep.Selected, db.NumSequences())
+	}
+}
+
+func TestCheckStoreWhereMatchesInMemory(t *testing.T) {
+	ts := buildSegmentedStore(t, 3, 4, 20)
+	db := ts.Recovered().Database(ts.Dict())
+	ruleSet := queryRules(t, db)
+
+	for _, budget := range []int64{0, 2 << 10} {
+		for name, w := range queryPredicates(db) {
+			label := fmt.Sprintf("%s/budget=%d", name, budget)
+			want := checkWhereOracle(t, db, ruleSet, w)
+			got, ooStats, ex, err := CheckStoreWhere(ts, ruleSet, w, OutOfCoreOptions{CacheBytes: budget})
+			if err != nil {
+				t.Fatalf("%s: CheckStoreWhere: %v", label, err)
+			}
+			if got.Render(db.Dict, 5) != want.Render(db.Dict, 5) {
+				t.Fatalf("%s: CheckStoreWhere diverges from in-memory oracle:\n%s\nvs\n%s",
+					label, got.Render(db.Dict, 5), want.Render(db.Dict, 5))
+			}
+			if ex == nil || ex.SegmentsTotal != ooStats.SegmentsTotal {
+				t.Fatalf("%s: explain/segment mismatch: %+v vs %+v", label, ex, ooStats)
+			}
+		}
+	}
+
+	// A cluster-local predicate must prune foreign segments at the catalog
+	// level: session 0's events appear only in session 0's segments.
+	w := Where{HasAll: []seqdb.EventID{db.Dict.Lookup("c0_a")}}
+	_, _, ex, err := CheckStoreWhere(ts, ruleSet, w, OutOfCoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.SegmentsPruned == 0 {
+		t.Fatalf("selective predicate pruned no segments: %+v", ex)
+	}
+}
+
+// TestCheckStoreVerifyMetrics: the planned CheckStore populates the verifier
+// work counters, and its trace accounting covers the whole store.
+func TestCheckStoreVerifyMetrics(t *testing.T) {
+	ts := buildSegmentedStore(t, 3, 4, 20)
+	db := ts.Recovered().Database(ts.Dict())
+	ruleSet := queryRules(t, db)
+	_, ooStats, err := CheckStore(ts, ruleSet, OutOfCoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ooStats.Verify
+	if m.TracesChecked+m.TracesSkipped != int64(db.NumSequences()) {
+		t.Fatalf("trace accounting %d+%d != %d", m.TracesChecked, m.TracesSkipped, db.NumSequences())
+	}
+	if m.SegmentsChecked+m.SegmentsSkipped != int64(ooStats.SegmentsTotal) {
+		t.Fatalf("segment accounting %d+%d != %d", m.SegmentsChecked, m.SegmentsSkipped, ooStats.SegmentsTotal)
+	}
+	if m.RuleTraceGates == 0 {
+		t.Fatal("clustered fixture should gate some (rule, trace) pairs")
+	}
+}
+
+func TestMineWhereMatchesFilteredMine(t *testing.T) {
+	ts := buildSegmentedStore(t, 2, 3, 16)
+	db := ts.Recovered().Database(ts.Dict())
+	idx := db.FlatIndex()
+
+	predicates := queryPredicates(db)
+	for name, w := range predicates {
+		// Oracle: a database holding exactly the selected traces.
+		sub := seqdb.NewDatabaseWithDict(db.Dict)
+		for s := range db.Sequences {
+			if w.MatchesSeq(idx, s, s) {
+				sub.Append(db.Sequences[s])
+			}
+		}
+
+		popts := PatternOptions{MinSupportRel: 0.4, MaxLength: 3}
+		want, err := MinePatterns(sub, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rep, err := MineWhere(db, popts, w)
+		if err != nil {
+			t.Fatalf("%s: MineWhere: %v", name, err)
+		}
+		want.Stats.Duration, got.Stats.Duration = 0, 0
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: MineWhere diverges from mining the filtered database:\n got %+v\nwant %+v", name, got, want)
+		}
+		if rep.Selected != sub.NumSequences() {
+			t.Fatalf("%s: selected %d want %d", name, rep.Selected, sub.NumSequences())
+		}
+
+		ropts := RuleOptions{MinSeqSupportRel: 0.5, MinConfidence: 0.7,
+			MaxPremiseLength: 2, MaxConsequentLength: 2}
+		wantR, err := MineRules(sub, ropts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotR, _, err := MineRulesWhere(db, ropts, w)
+		if err != nil {
+			t.Fatalf("%s: MineRulesWhere: %v", name, err)
+		}
+		wantR.Stats.Duration, gotR.Stats.Duration = 0, 0
+		if !reflect.DeepEqual(wantR, gotR) {
+			t.Fatalf("%s: MineRulesWhere diverges:\n got %+v\nwant %+v", name, gotR, wantR)
+		}
+	}
+}

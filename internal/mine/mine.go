@@ -21,6 +21,7 @@ package mine
 
 import (
 	"runtime"
+	"sort"
 
 	"specmine/internal/par"
 	"specmine/internal/seqdb"
@@ -51,6 +52,42 @@ func ForSeeds[W, O any](n, workers int, newWorker func() W, run func(w W, seed i
 		outs[i] = run(w, i)
 	})
 	return outs
+}
+
+// ForSeedsScheduled is ForSeeds with an execution schedule: pool slot i runs
+// seed schedule[i], but outputs still land in per-seed slots, so the merged
+// result stays byte-identical to ForSeeds for any schedule and worker count —
+// scheduling is purely a wall-clock decision. Miners feed it statistics-driven
+// orders (heaviest seed first) so the pool never strands one giant subtree on
+// a single worker at the tail of a run. schedule must be a permutation of
+// [0, n); ScheduleByWeight builds one.
+func ForSeedsScheduled[W, O any](n, workers int, schedule []int, newWorker func() W, run func(w W, seed int) O) []O {
+	outs := make([]O, n)
+	par.ForWorker(n, workers, newWorker, func(w W, i int) {
+		seed := schedule[i]
+		outs[seed] = run(w, seed)
+	})
+	return outs
+}
+
+// ScheduleByWeight returns the seeds [0, n) ordered by descending
+// weight(seed), ties broken by ascending seed, for ForSeedsScheduled.
+// Longest-processing-time-first is the classic greedy for makespan: with
+// per-seed costs as skewed as frequent-event subtrees are, dispatching the
+// heavy seeds first keeps the pool's tail short.
+func ScheduleByWeight(n int, weight func(seed int) int64) []int {
+	schedule := make([]int, n)
+	for i := range schedule {
+		schedule[i] = i
+	}
+	sort.SliceStable(schedule, func(a, b int) bool {
+		wa, wb := weight(schedule[a]), weight(schedule[b])
+		if wa != wb {
+			return wa > wb
+		}
+		return schedule[a] < schedule[b]
+	})
+	return schedule
 }
 
 // Arena is a free list of []T backing arrays. Search nodes obtain their

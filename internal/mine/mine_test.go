@@ -23,6 +23,39 @@ func TestForSeedsDeterministicMerge(t *testing.T) {
 	}
 }
 
+func TestScheduleByWeight(t *testing.T) {
+	weights := []int64{5, 9, 9, 1, 7}
+	got := ScheduleByWeight(len(weights), func(seed int) int64 { return weights[seed] })
+	want := []int{1, 2, 4, 0, 3} // descending weight, ties (9,9) by ascending seed
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule %v want %v", got, want)
+		}
+	}
+}
+
+// TestForSeedsScheduledDeterministicMerge: outputs land in seed slots
+// regardless of the execution schedule, for any worker count.
+func TestForSeedsScheduledDeterministicMerge(t *testing.T) {
+	schedules := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19},
+		{19, 18, 17, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0},
+		ScheduleByWeight(20, func(seed int) int64 { return int64(seed % 7) }),
+	}
+	for _, schedule := range schedules {
+		for _, workers := range []int{1, 2, 4, 8} {
+			out := ForSeedsScheduled(20, workers, schedule, func() int { return 0 }, func(_ int, seed int) int {
+				return seed * seed
+			})
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d schedule=%v: out[%d]=%d", workers, schedule, i, v)
+				}
+			}
+		}
+	}
+}
+
 func TestArenaRecycles(t *testing.T) {
 	var a Arena[int]
 	s := a.GetN(8)

@@ -1,0 +1,343 @@
+// Package plan is the cost-aware query planner for rule verification and
+// selective mining. The batched verifier answers every rule on every trace;
+// the planner uses index statistics — exact per-event trace supports from a
+// PositionIndex in memory, summed per-segment statistics out of core — to
+// decide, per rule and per trace, how much of that work is provably dead
+// before any of it runs:
+//
+//   - every rule's premise and consequent events become presence probes,
+//     ordered rarest-first (ascending estimated trace support, ties by event
+//     id), so the probe most likely to kill a rule runs first;
+//   - a rule whose premise probe fails is trivially satisfied on the trace
+//     (verify.ActionSatisfied); one whose consequent probe fails skips the
+//     consequent machinery and violates every temporal point
+//     (verify.ActionShortCircuit); a trace on which every rule is gated is
+//     answered from the probes alone, without touching position data;
+//   - segment-level statistics install the same decisions for a whole
+//     segment at once (SetSegmentHints), extending the all-or-nothing
+//     SegmentSkippable skip to per-rule granularity.
+//
+// Probe order affects only which probe fires first — never the reported
+// output: reports are keyed by rule, traces are processed in order, and the
+// gated outcomes reproduce exactly what full evaluation would have reported
+// (the equivalence suite pins byte-identity against the online automaton,
+// including under adversarially wrong statistics). Every run accumulates
+// verify.Metrics and can render an Explain comparing estimated and actual
+// selectivities.
+package plan
+
+import (
+	"sort"
+
+	"specmine/internal/seqdb"
+	"specmine/internal/verify"
+)
+
+// Stats supplies the per-event trace supports the planner orders probes by.
+// Estimates may be arbitrarily wrong — ordering is a performance decision,
+// not a correctness one — but exact counts give the best probe order.
+type Stats interface {
+	// NumTraces is the trace population the supports are measured over.
+	NumTraces() int
+	// EventTraces estimates the number of traces containing e. Ids outside
+	// the measured space must read as 0 (an absent event is the best gate).
+	EventTraces(e seqdb.EventID) int
+}
+
+// IndexStats adapts a PositionIndex's exact per-event sequence supports.
+type IndexStats struct{ Idx *seqdb.PositionIndex }
+
+// NumTraces implements Stats.
+func (s IndexStats) NumTraces() int { return s.Idx.NumSequences() }
+
+// EventTraces implements Stats.
+func (s IndexStats) EventTraces(e seqdb.EventID) int {
+	if e < 0 || int(e) >= s.Idx.NumEvents() {
+		return 0
+	}
+	return s.Idx.EventSeqSupport(e)
+}
+
+// SupportStats is a Stats over a precomputed per-event trace-support array —
+// the shape out-of-core callers sum from per-segment statistics.
+type SupportStats struct {
+	Sup    []int64
+	Traces int
+}
+
+// NumTraces implements Stats.
+func (s SupportStats) NumTraces() int { return s.Traces }
+
+// EventTraces implements Stats.
+func (s SupportStats) EventTraces(e seqdb.EventID) int {
+	if e < 0 || int(e) >= len(s.Sup) {
+		return 0
+	}
+	return int(s.Sup[e])
+}
+
+// probe is one presence test: an event plus its estimated trace support at
+// plan time (kept for Explain's estimated-versus-actual comparison).
+type probe struct {
+	ev  seqdb.EventID
+	est int
+}
+
+// Planner is a rule set's compiled probe plan: per premise group and per
+// distinct consequent, the distinct events to probe in rarest-first order.
+// Rules sharing a premise (group) or consequent share the probe list and its
+// per-trace memoised outcome. A Planner is immutable after New and safe for
+// concurrent use; each concurrent evaluation owns a Run.
+type Planner struct {
+	engine    *verify.Engine
+	numTraces int
+
+	groupOf     []int32 // per rule: premise group
+	postOf      []int32 // per rule: distinct-consequent index
+	groupProbes [][]probe
+	postProbes  [][]probe
+	probeSpace  int // event-id space the probe scratch must cover
+}
+
+// New compiles the probe plan for engine's rule set under stats.
+func New(engine *verify.Engine, stats Stats) *Planner {
+	nr := engine.NumRules()
+	p := &Planner{
+		engine:      engine,
+		numTraces:   stats.NumTraces(),
+		groupOf:     make([]int32, nr),
+		postOf:      make([]int32, nr),
+		groupProbes: make([][]probe, engine.NumPremiseGroups()),
+		postProbes:  make([][]probe, engine.NumDistinctPosts()),
+	}
+	for r := 0; r < nr; r++ {
+		grp, pi := engine.RuleGroup(r), engine.RulePost(r)
+		p.groupOf[r], p.postOf[r] = int32(grp), int32(pi)
+		rule := engine.Rule(r)
+		if p.groupProbes[grp] == nil {
+			p.groupProbes[grp] = p.probeOrder(rule.Pre, stats)
+		}
+		if p.postProbes[pi] == nil {
+			p.postProbes[pi] = p.probeOrder(rule.Post, stats)
+		}
+	}
+	return p
+}
+
+// probeOrder deduplicates pat's events and sorts them rarest-first: ascending
+// estimated trace support, ties broken by event id so the order — and hence
+// every downstream counter — is deterministic for any Stats.
+func (p *Planner) probeOrder(pat seqdb.Pattern, stats Stats) []probe {
+	probes := make([]probe, 0, len(pat))
+	for _, ev := range pat {
+		dup := false
+		for _, pr := range probes {
+			if pr.ev == ev {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		probes = append(probes, probe{ev: ev, est: stats.EventTraces(ev)})
+		if int(ev) >= p.probeSpace {
+			p.probeSpace = int(ev) + 1
+		}
+	}
+	sort.SliceStable(probes, func(i, j int) bool {
+		if probes[i].est != probes[j].est {
+			return probes[i].est < probes[j].est
+		}
+		return probes[i].ev < probes[j].ev
+	})
+	return probes
+}
+
+// Engine returns the compiled verification engine the plan drives.
+func (p *Planner) Engine() *verify.Engine { return p.engine }
+
+// Run is one evaluation pass over an index: per-trace probe memos, the
+// per-rule action vector, the indexed checker, and the accumulated counters.
+// Not safe for concurrent use; create one per goroutine.
+type Run struct {
+	p   *Planner
+	idx *seqdb.PositionIndex
+	ck  *verify.IndexedChecker
+
+	epoch      uint32
+	presStamp  []uint32 // per event id: presence memo for the current trace
+	present    []bool
+	groupStamp []uint32 // per premise group: gate memo
+	groupDead  []bool
+	postStamp  []uint32 // per distinct consequent: gate memo
+	postDead   []bool
+
+	hintGroupDead []bool // segment-level hints; nil until SetSegmentHints
+	hintPostDead  []bool
+
+	actions []verify.RuleAction
+
+	// Metrics accumulates across every CheckTrace of this run.
+	Metrics verify.Metrics
+
+	// Per-rule actuals for Explain.
+	ruleGated []int64
+	ruleShort []int64
+	ruleEval  []int64
+}
+
+// NewRun returns an evaluation pass over idx.
+func (p *Planner) NewRun(idx *seqdb.PositionIndex) *Run {
+	nr := p.engine.NumRules()
+	return &Run{
+		p:          p,
+		idx:        idx,
+		ck:         p.engine.NewIndexedChecker(idx),
+		presStamp:  make([]uint32, p.probeSpace),
+		present:    make([]bool, p.probeSpace),
+		groupStamp: make([]uint32, len(p.groupProbes)),
+		groupDead:  make([]bool, len(p.groupProbes)),
+		postStamp:  make([]uint32, len(p.postProbes)),
+		postDead:   make([]bool, len(p.postProbes)),
+		actions:    make([]verify.RuleAction, nr),
+		ruleGated:  make([]int64, nr),
+		ruleShort:  make([]int64, nr),
+		ruleEval:   make([]int64, nr),
+	}
+}
+
+// Rebind points the run at another index (the next segment's fragment in
+// out-of-core sweeps), keeping its accumulated counters. Any segment hints
+// are cleared; install the new segment's with SetSegmentHints.
+func (r *Run) Rebind(idx *seqdb.PositionIndex) {
+	r.idx = idx
+	r.ck.SetIndex(idx)
+	r.hintGroupDead = nil
+	r.hintPostDead = nil
+}
+
+// SetSegmentHints installs segment-level knowledge: any premise group or
+// consequent with a probe event mayContain rules out is dead for every trace
+// until the next Rebind, without per-trace probing. mayContain may
+// overapproximate (bloom filters); false positives only lose gates.
+func (r *Run) SetSegmentHints(mayContain func(seqdb.EventID) bool) {
+	if r.hintGroupDead == nil {
+		r.hintGroupDead = make([]bool, len(r.p.groupProbes))
+		r.hintPostDead = make([]bool, len(r.p.postProbes))
+	}
+	dead := func(probes []probe) bool {
+		for _, pr := range probes {
+			if !mayContain(pr.ev) {
+				return true
+			}
+		}
+		return false
+	}
+	for g, probes := range r.p.groupProbes {
+		r.hintGroupDead[g] = dead(probes)
+	}
+	for pi, probes := range r.p.postProbes {
+		r.hintPostDead[pi] = dead(probes)
+	}
+}
+
+// CheckTrace evaluates every rule against trace s of the run's index,
+// reporting it as sequence seq in reports (from the engine's NewReports).
+// Rules are gated through the probe plan first; a trace every rule is gated
+// on is answered without touching position data. The folded reports are
+// byte-identical to full evaluation of the same trace.
+func (r *Run) CheckTrace(s, seq int, reports []verify.RuleReport) {
+	seqdb.BumpEpoch(&r.epoch, r.presStamp, r.groupStamp, r.postStamp)
+	p := r.p
+	allGated := len(r.actions) > 0
+	for i := range r.actions {
+		a := verify.ActionEvaluate
+		switch {
+		case r.groupIsDead(s, p.groupOf[i]):
+			a = verify.ActionSatisfied
+			r.Metrics.RuleTraceGates++
+			r.ruleGated[i]++
+		case r.postIsDead(s, p.postOf[i]):
+			a = verify.ActionShortCircuit
+			r.Metrics.ConsequentShortCircuits++
+			r.ruleShort[i]++
+			allGated = false
+		default:
+			r.ruleEval[i]++
+			allGated = false
+		}
+		r.actions[i] = a
+	}
+	if allGated {
+		verify.AccountSkippedTraces(reports, 1)
+		r.Metrics.TracesSkipped++
+		return
+	}
+	r.Metrics.TracesChecked++
+	r.ck.CheckSeq(s, seq, r.actions, reports)
+}
+
+// groupIsDead reports (memoised per trace) whether premise group g cannot
+// complete in trace s: a segment hint says so, or a rarest-first presence
+// probe fails.
+func (r *Run) groupIsDead(s int, g int32) bool {
+	if r.groupStamp[g] == r.epoch {
+		return r.groupDead[g]
+	}
+	dead := r.hintGroupDead != nil && r.hintGroupDead[g]
+	if !dead {
+		for _, pr := range r.p.groupProbes[g] {
+			if !r.eventPresent(s, pr.ev) {
+				dead = true
+				break
+			}
+		}
+	}
+	r.groupDead[g] = dead
+	r.groupStamp[g] = r.epoch
+	return dead
+}
+
+// postIsDead is groupIsDead for distinct consequent pi.
+func (r *Run) postIsDead(s int, pi int32) bool {
+	if r.postStamp[pi] == r.epoch {
+		return r.postDead[pi]
+	}
+	dead := r.hintPostDead != nil && r.hintPostDead[pi]
+	if !dead {
+		for _, pr := range r.p.postProbes[pi] {
+			if !r.eventPresent(s, pr.ev) {
+				dead = true
+				break
+			}
+		}
+	}
+	r.postDead[pi] = dead
+	r.postStamp[pi] = r.epoch
+	return dead
+}
+
+// eventPresent is the memoised presence probe.
+func (r *Run) eventPresent(s int, ev seqdb.EventID) bool {
+	if r.presStamp[ev] == r.epoch {
+		return r.present[ev]
+	}
+	r.Metrics.ProbesIssued++
+	ok := r.idx.SeqContains(s, ev)
+	r.present[ev] = ok
+	r.presStamp[ev] = r.epoch
+	return ok
+}
+
+// CheckDatabase evaluates the plan over every trace of db and returns the
+// per-rule reports — byte-identical to the engine's unplanned Check — along
+// with the Run carrying the counters and Explain.
+func (p *Planner) CheckDatabase(db *seqdb.Database) ([]verify.RuleReport, *Run) {
+	reports := p.engine.NewReports()
+	run := p.NewRun(db.FlatIndex())
+	for si := range db.Sequences {
+		run.CheckTrace(si, si, reports)
+	}
+	return reports, run
+}

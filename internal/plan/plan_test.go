@@ -1,0 +1,239 @@
+package plan
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"specmine/internal/rules"
+	"specmine/internal/seqdb"
+	"specmine/internal/tracesim"
+	"specmine/internal/verify"
+)
+
+// invertedStats is an adversarially wrong Stats: it reports every support as
+// the complement of the truth, so the planner probes the *commonest* event
+// first and its estimates are maximally misleading. Output must not change.
+type invertedStats struct{ idx *seqdb.PositionIndex }
+
+func (s invertedStats) NumTraces() int { return s.idx.NumSequences() }
+func (s invertedStats) EventTraces(e seqdb.EventID) int {
+	if e < 0 || int(e) >= s.idx.NumEvents() {
+		return 0
+	}
+	return s.idx.NumSequences() - s.idx.EventSeqSupport(e)
+}
+
+// constStats claims every event occurs everywhere, collapsing the probe order
+// to plain event-id order.
+type constStats struct{ n int }
+
+func (s constStats) NumTraces() int                { return s.n }
+func (s constStats) EventTraces(seqdb.EventID) int { return s.n }
+
+// checkPlannerMatchesOnline asserts that the planned evaluation — under every
+// supplied statistics source — produces reports byte-identical to the online
+// automaton, and that the run's trace accounting adds up.
+func checkPlannerMatchesOnline(t *testing.T, label string, db *seqdb.Database, ruleSet []rules.Rule) {
+	t.Helper()
+	engine, err := verify.NewEngine(ruleSet)
+	if err != nil {
+		t.Fatalf("%s: NewEngine: %v", label, err)
+	}
+	want := engine.Check(db)
+	idx := db.FlatIndex()
+	for statsName, stats := range map[string]Stats{
+		"exact":    IndexStats{Idx: idx},
+		"inverted": invertedStats{idx: idx},
+		"const":    constStats{n: idx.NumSequences()},
+	} {
+		p := New(engine, stats)
+		got, run := p.CheckDatabase(db)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s/%s: planned reports diverge from online automaton:\n got %+v\nwant %+v",
+				label, statsName, got, want)
+		}
+		m := run.Metrics
+		if m.TracesChecked+m.TracesSkipped != int64(db.NumSequences()) {
+			t.Fatalf("%s/%s: trace accounting %d+%d != %d",
+				label, statsName, m.TracesChecked, m.TracesSkipped, db.NumSequences())
+		}
+		perRule := int64(db.NumSequences()) * int64(len(ruleSet))
+		if m.RuleTraceGates+m.ConsequentShortCircuits > perRule {
+			t.Fatalf("%s/%s: gates %d + short-circuits %d exceed rule-trace pairs %d",
+				label, statsName, m.RuleTraceGates, m.ConsequentShortCircuits, perRule)
+		}
+	}
+}
+
+func minedRules(t *testing.T, db *seqdb.Database) []rules.Rule {
+	t.Helper()
+	for _, opts := range []rules.Options{
+		{MinSeqSupportRel: 0.9, MinInstanceSupport: 1, MinConfidence: 0.9,
+			MaxPremiseLength: 2, MaxConsequentLength: 2},
+		{MinSeqSupportRel: 0.5, MinInstanceSupport: 1, MinConfidence: 0.8,
+			MaxPremiseLength: 2, MaxConsequentLength: 2},
+	} {
+		res, err := rules.MineNonRedundant(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rules) > 0 {
+			return res.Rules
+		}
+	}
+	return nil
+}
+
+func TestPlannerMatchesOnlineOnWorkloads(t *testing.T) {
+	for name, w := range tracesim.Workloads() {
+		train := w.MustGenerate(30, 7)
+		ruleSet := minedRules(t, train)
+		if len(ruleSet) == 0 {
+			t.Fatalf("%s: no rules mined", name)
+		}
+		checkPlannerMatchesOnline(t, name, train, ruleSet)
+	}
+}
+
+// TestPlannerMatchesOnlineRandomized drives randomized rule sets — events the
+// traces never contain included — through exact, inverted and constant
+// statistics. Wrong estimates may cost probes, never answers.
+func TestPlannerMatchesOnlineRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 60; iter++ {
+		db := seqdb.NewDatabase()
+		alphabet := 3 + rng.Intn(4)
+		for i := 0; i < alphabet+1; i++ {
+			db.Dict.Intern(string(rune('a' + i)))
+		}
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			n := 1 + rng.Intn(14)
+			s := make(seqdb.Sequence, n)
+			for j := range s {
+				s[j] = seqdb.EventID(rng.Intn(alphabet))
+			}
+			db.Append(s)
+		}
+		var ruleSet []rules.Rule
+		for r := 0; r < 1+rng.Intn(8); r++ {
+			pre := make(seqdb.Pattern, 1+rng.Intn(3))
+			for j := range pre {
+				pre[j] = seqdb.EventID(rng.Intn(alphabet + 1))
+			}
+			post := make(seqdb.Pattern, 1+rng.Intn(3))
+			for j := range post {
+				post[j] = seqdb.EventID(rng.Intn(alphabet + 1))
+			}
+			ruleSet = append(ruleSet, rules.Rule{Pre: pre, Post: post})
+		}
+		checkPlannerMatchesOnline(t, "random", db, ruleSet)
+	}
+}
+
+// TestPlannerProbeOrder pins the rarest-first ordering and its tie-break.
+func TestPlannerProbeOrder(t *testing.T) {
+	d := seqdb.NewDictionary()
+	db := seqdb.NewDatabaseWithDict(d)
+	// a in 3 traces, b in 2, c in 1, d in 3.
+	db.AppendNames("a", "b", "c", "d")
+	db.AppendNames("a", "b", "d")
+	db.AppendNames("a", "d")
+	ruleSet := []rules.Rule{{
+		Pre:  seqdb.ParsePattern(d, "a b c"),
+		Post: seqdb.ParsePattern(d, "d a"),
+	}}
+	engine, err := verify.NewEngine(ruleSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(engine, IndexStats{Idx: db.FlatIndex()})
+	wantPre := []seqdb.EventID{d.Lookup("c"), d.Lookup("b"), d.Lookup("a")}
+	gotPre := p.groupProbes[p.groupOf[0]]
+	for i, ev := range wantPre {
+		if gotPre[i].ev != ev {
+			t.Fatalf("premise probe %d = %v want %v (order %v)", i, gotPre[i].ev, ev, gotPre)
+		}
+	}
+	// d and a both have support 3: the tie breaks on ascending event id, and
+	// a was interned before d.
+	gotPost := p.postProbes[p.postOf[0]]
+	if gotPost[0].ev != d.Lookup("a") || gotPost[1].ev != d.Lookup("d") {
+		t.Fatalf("consequent probes %v: want [a d] (support tie broken by id)", gotPost)
+	}
+}
+
+// TestPlannerSegmentHints: hints must produce the same answers as per-trace
+// probing (here: hints claiming an event absent that per-trace probes would
+// also rule out), and a hint-dead group must not issue probes.
+func TestPlannerSegmentHints(t *testing.T) {
+	d := seqdb.NewDictionary()
+	db := seqdb.NewDatabaseWithDict(d)
+	db.AppendNames("x", "y")
+	db.AppendNames("x", "y", "x")
+	ruleSet := []rules.Rule{
+		{Pre: seqdb.ParsePattern(d, "a"), Post: seqdb.ParsePattern(d, "b")}, // a,b never occur
+		{Pre: seqdb.ParsePattern(d, "x"), Post: seqdb.ParsePattern(d, "y")},
+	}
+	engine, err := verify.NewEngine(ruleSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := db.FlatIndex()
+	want := engine.Check(db)
+
+	p := New(engine, IndexStats{Idx: idx})
+	run := p.NewRun(idx)
+	run.SetSegmentHints(func(e seqdb.EventID) bool { return idx.EventSeqSupport(e) > 0 })
+	got := engine.NewReports()
+	for s := range db.Sequences {
+		run.CheckTrace(s, s, got)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hinted reports diverge:\n got %+v\nwant %+v", got, want)
+	}
+	// Rule 0's premise group is hint-dead: only rule 1's probes (x, y) should
+	// have been issued, once per trace each.
+	if run.Metrics.ProbesIssued != 4 {
+		t.Fatalf("ProbesIssued = %d, want 4 (hints must suppress dead groups' probes)", run.Metrics.ProbesIssued)
+	}
+	if run.Metrics.RuleTraceGates != 2 {
+		t.Fatalf("RuleTraceGates = %d, want 2", run.Metrics.RuleTraceGates)
+	}
+}
+
+// TestPlannerExplain checks the counters and render of a run's Explain.
+func TestPlannerExplain(t *testing.T) {
+	d := seqdb.NewDictionary()
+	db := seqdb.NewDatabaseWithDict(d)
+	db.AppendNames("open", "use", "close")
+	db.AppendNames("open", "use") // violates open->close at its temporal point
+	db.AppendNames("ping")        // neither rule applies
+	ruleSet := []rules.Rule{
+		{Pre: seqdb.ParsePattern(d, "open"), Post: seqdb.ParsePattern(d, "close")},
+	}
+	engine, err := verify.NewEngine(ruleSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(engine, IndexStats{Idx: db.FlatIndex()})
+	_, run := p.CheckDatabase(db)
+	ex := run.Explain()
+	if ex.PlannedTraces != 3 || len(ex.Rules) != 1 {
+		t.Fatalf("Explain header: %+v", ex)
+	}
+	rp := ex.Rules[0]
+	if rp.Gated != 1 || rp.ShortCircuited != 1 || rp.Evaluated != 1 {
+		t.Fatalf("rule partition gated=%d short=%d eval=%d, want 1/1/1", rp.Gated, rp.ShortCircuited, rp.Evaluated)
+	}
+	if got := rp.ActualSelectivity(); got != 2.0/3.0 {
+		t.Fatalf("ActualSelectivity = %v, want 2/3", got)
+	}
+	out := ex.Render(d)
+	for _, want := range []string{"query plan: 1 rule(s) over 3 planned trace(s)", "open", "close", "gated=1", "rule-trace gates=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

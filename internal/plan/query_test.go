@@ -1,0 +1,161 @@
+package plan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"specmine/internal/seqdb"
+)
+
+// drain pulls an Iter to exhaustion.
+func drain(it Iter) []int {
+	var out []int
+	for v := it.Next(); v >= 0; v = it.Next() {
+		out = append(out, v)
+	}
+	return out
+}
+
+// bruteSelect is the oracle: per-trace MatchesSeq over an ordinal scan.
+func bruteSelect(idx *seqdb.PositionIndex, w Where) []int {
+	var out []int
+	for s := 0; s < idx.NumSequences(); s++ {
+		if w.MatchesSeq(idx, s, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func queryFixture() (*seqdb.Dictionary, *seqdb.Database) {
+	d := seqdb.NewDictionary()
+	db := seqdb.NewDatabaseWithDict(d)
+	db.AppendNames("open", "use", "close")  // 0
+	db.AppendNames("open", "use")           // 1
+	db.AppendNames("ping")                  // 2
+	db.AppendNames("open", "ping", "close") // 3
+	db.AppendNames("use", "use")            // 4
+	db.AppendNames("close")                 // 5
+	return d, db
+}
+
+func TestCompileWhereMatchesBruteForce(t *testing.T) {
+	d, db := queryFixture()
+	idx := db.FlatIndex()
+	open, use, close_, ping := d.Lookup("open"), d.Lookup("use"), d.Lookup("close"), d.Lookup("ping")
+
+	cases := []struct {
+		name   string
+		w      Where
+		driver string
+	}{
+		{"all", Where{}, "scan"},
+		{"window", Where{From: 1, To: 4}, "scan"},
+		{"window-open-end", Where{From: 3}, "scan"},
+		{"ids", Where{IDs: []int{5, 0, 3, 3, 99, -2}}, "ids"},
+		{"ids-windowed", Where{IDs: []int{0, 1, 2, 3}, From: 2}, "ids"},
+		{"has-all-one", Where{HasAll: []seqdb.EventID{open}}, "postings"},
+		{"has-all-two", Where{HasAll: []seqdb.EventID{open, close_}}, "postings"},
+		{"has-all-windowed", Where{HasAll: []seqdb.EventID{use}, To: 2}, "postings"},
+		{"has-any", Where{HasAny: []seqdb.EventID{ping, close_}}, "scan"},
+		{"all-and-any", Where{HasAll: []seqdb.EventID{open}, HasAny: []seqdb.EventID{use, ping}}, "postings"},
+		{"ids-with-events", Where{IDs: []int{0, 1, 2, 3, 4}, HasAll: []seqdb.EventID{use}}, "ids"},
+		{"unknown-event", Where{HasAll: []seqdb.EventID{seqdb.EventID(99)}}, "empty"},
+		{"negative-event", Where{HasAll: []seqdb.EventID{seqdb.EventID(-1)}}, "empty"},
+	}
+	for _, tc := range cases {
+		it, exp := CompileWhere(idx, tc.w)
+		got := drain(it)
+		want := bruteSelect(idx, tc.w)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: selected %v want %v", tc.name, got, want)
+		}
+		if exp.Driver != tc.driver {
+			t.Errorf("%s: driver %q want %q", tc.name, exp.Driver, tc.driver)
+		}
+	}
+}
+
+// TestCompileWhereRarestDriver: the postings driver must be the HasAll event
+// with the smallest support.
+func TestCompileWhereRarestDriver(t *testing.T) {
+	d, db := queryFixture()
+	idx := db.FlatIndex()
+	open, ping := d.Lookup("open"), d.Lookup("ping") // support 3 vs 2
+	_, exp := CompileWhere(idx, Where{HasAll: []seqdb.EventID{open, ping}})
+	if exp.Driver != "postings" || exp.DriverEvent != ping {
+		t.Fatalf("driver %q event %v, want postings on ping", exp.Driver, exp.DriverEvent)
+	}
+	if exp.EstTraces != 2 {
+		t.Fatalf("EstTraces = %d want 2", exp.EstTraces)
+	}
+	if exp.Filters == 0 {
+		t.Fatalf("residual HasAll event must register a filter")
+	}
+}
+
+func TestCompileWhereRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 40; iter++ {
+		db := seqdb.NewDatabase()
+		alphabet := 2 + rng.Intn(5)
+		for i := 0; i < alphabet; i++ {
+			db.Dict.Intern(string(rune('a' + i)))
+		}
+		for i := 0; i < rng.Intn(12); i++ {
+			n := 1 + rng.Intn(6)
+			s := make(seqdb.Sequence, n)
+			for j := range s {
+				s[j] = seqdb.EventID(rng.Intn(alphabet))
+			}
+			db.Append(s)
+		}
+		idx := db.FlatIndex()
+		w := Where{}
+		for i := 0; i < rng.Intn(3); i++ {
+			w.HasAll = append(w.HasAll, seqdb.EventID(rng.Intn(alphabet+1)))
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			w.HasAny = append(w.HasAny, seqdb.EventID(rng.Intn(alphabet+1)))
+		}
+		if rng.Intn(2) == 0 {
+			w.From = rng.Intn(idx.NumSequences() + 2)
+			w.To = rng.Intn(idx.NumSequences() + 2)
+		}
+		if rng.Intn(3) == 0 {
+			for i := 0; i < rng.Intn(5); i++ {
+				w.IDs = append(w.IDs, rng.Intn(idx.NumSequences()+3)-1)
+			}
+		}
+		it, _ := CompileWhere(idx, w)
+		got := drain(it)
+		want := bruteSelect(idx, w)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: where %+v selected %v want %v", iter, w, got, want)
+		}
+	}
+}
+
+func TestWhereOrdinalHelpers(t *testing.T) {
+	w := Where{From: 10, To: 20}
+	if w.OrdinalOverlap(0, 10) || !w.OrdinalOverlap(5, 6) || !w.OrdinalOverlap(19, 5) || w.OrdinalOverlap(20, 5) {
+		t.Fatal("window overlap wrong")
+	}
+	if got := w.CountOrdinalMatches(5, 10); got != 5 { // ordinals 10..14
+		t.Fatalf("CountOrdinalMatches(5,10) = %d want 5", got)
+	}
+	if got := w.CountOrdinalMatches(0, 100); got != 10 {
+		t.Fatalf("CountOrdinalMatches(0,100) = %d want 10", got)
+	}
+	wid := Where{IDs: []int{3, 7, 7, 42}, From: 4}
+	if !wid.OrdinalOverlap(0, 10) || wid.OrdinalOverlap(8, 10) {
+		t.Fatal("id-list overlap wrong")
+	}
+	if got := wid.CountOrdinalMatches(0, 10); got != 1 { // only 7 (3 < From, dup ignored)
+		t.Fatalf("id CountOrdinalMatches = %d want 1", got)
+	}
+	if !(Where{}).Trivial() || (Where{From: 1}).Trivial() {
+		t.Fatal("Trivial wrong")
+	}
+}

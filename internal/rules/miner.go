@@ -115,7 +115,14 @@ func (m *ruleMiner) run() {
 		explored int
 		pruned   int
 	}
-	outs := mine.ForSeeds(len(events), workers, m.newPremiseWalker, func(wk *premiseWalker, i int) seedOut {
+	// Heaviest seeds first: a seed's subtree cost tracks its event's total
+	// occurrence count, and dispatching the expensive subtrees early keeps the
+	// pool's tail short. The schedule changes execution order only — outputs
+	// merge in seed order either way.
+	seedOrder := mine.ScheduleByWeight(len(events), func(i int) int64 {
+		return int64(m.idx.EventInstanceCount(events[i]))
+	})
+	outs := mine.ForSeedsScheduled(len(events), workers, seedOrder, m.newPremiseWalker, func(wk *premiseWalker, i int) seedOut {
 		wk.jobs = nil
 		wk.explored = 0
 		wk.pruned = 0
@@ -152,7 +159,12 @@ func (m *ruleMiner) run() {
 		rules []Rule
 		stats Stats
 	}
-	jouts := mine.ForSeeds(len(jobs), workers, m.newWorker, func(sub *ruleWorker, i int) jobOut {
+	// Same longest-first trick for consequent subtrees: a job's cost tracks
+	// its premise's supporting-sequence count.
+	jobOrder := mine.ScheduleByWeight(len(jobs), func(i int) int64 {
+		return int64(len(jobs[i].proj))
+	})
+	jouts := mine.ForSeedsScheduled(len(jobs), workers, jobOrder, m.newWorker, func(sub *ruleWorker, i int) jobOut {
 		sub.rules = nil
 		sub.mineConsequents(jobs[i].pre, jobs[i].proj)
 		var out jobOut

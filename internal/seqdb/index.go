@@ -210,6 +210,23 @@ func (idx *PositionIndex) Positions(s int, e EventID) []int32 {
 // slice is shared and must not be modified.
 func (idx *PositionIndex) SeqEvents(s int) []EventID { return idx.seqEvents[s] }
 
+// SeqContains reports whether event e occurs in sequence s. It is the cheap
+// presence probe the query planner gates rules on: one branchless binary
+// search over the sequence's (typically small) distinct-event list, touching
+// no position data. Ids outside the index's event space read as absent, like
+// EventInstanceCount.
+func (idx *PositionIndex) SeqContains(s int, e EventID) bool {
+	if e < 0 || int(e) >= idx.numEvents {
+		return false
+	}
+	events := idx.seqEvents[s]
+	k := lowerBound(events, e)
+	return k < len(events) && events[k] == e
+}
+
+// SeqLen returns the number of events in sequence s.
+func (idx *PositionIndex) SeqLen(s int) int { return len(idx.prevOcc[s]) }
+
 // PrevOccurrence returns the position of the previous occurrence (before pos)
 // of the event located at position pos of sequence s, or -1 when pos holds its
 // first occurrence.

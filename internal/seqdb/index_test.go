@@ -165,6 +165,37 @@ func TestPositionIndexPostingsAndSupports(t *testing.T) {
 	}
 }
 
+// TestPositionIndexSeqProbes pins the planner's presence probes: SeqContains
+// against a brute-force scan (out-of-range ids read as absent) and SeqLen
+// against the raw sequences.
+func TestPositionIndexSeqProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 30; iter++ {
+		db := randomIndexDB(rng, 1+rng.Intn(8), 10, 1+rng.Intn(6))
+		idx := db.FlatIndex()
+		for s, seq := range db.Sequences {
+			if got := idx.SeqLen(s); got != len(seq) {
+				t.Fatalf("SeqLen(%d)=%d want %d", s, got, len(seq))
+			}
+			for e := EventID(0); e < EventID(db.Dict.Size()); e++ {
+				want := false
+				for _, ev := range seq {
+					if ev == e {
+						want = true
+						break
+					}
+				}
+				if got := idx.SeqContains(s, e); got != want {
+					t.Fatalf("SeqContains(%d, %d)=%v want %v", s, e, got, want)
+				}
+			}
+			if idx.SeqContains(s, EventID(db.Dict.Size())) || idx.SeqContains(s, -1) {
+				t.Fatalf("SeqContains out-of-range id reported present in seq %d", s)
+			}
+		}
+	}
+}
+
 func TestFlatIndexCacheInvalidation(t *testing.T) {
 	db := NewDatabase()
 	db.AppendNames("a", "b")

@@ -1,0 +1,47 @@
+package verify
+
+// Metrics counts the work a verification pass performed and — more
+// importantly — the work statistics let it avoid. Before the planner these
+// counters existed only as test-local bookkeeping (segment-skip rates
+// recomputed from OutOfCoreStats); they are now a first-class struct so the
+// core facade can surface them per query, Streamer.Health-style. All fields
+// are plain counters: merge runs with Merge, read them directly.
+type Metrics struct {
+	// TracesChecked counts traces at least one of whose rules was actually
+	// evaluated; TracesSkipped counts traces answered from presence probes
+	// alone (every rule gated — the per-trace analogue of a skipped segment).
+	TracesChecked int64
+	TracesSkipped int64
+
+	// SegmentsChecked / SegmentsSkipped count segment bodies decoded versus
+	// answered from per-segment statistics alone (SegmentSkippable hits).
+	// Zero outside out-of-core runs.
+	SegmentsChecked int64
+	SegmentsSkipped int64
+
+	// RuleTraceGates counts (rule, trace) pairs answered "trivially satisfied"
+	// because a premise event was proven absent — the per-rule, per-trace
+	// refinement of the all-or-nothing segment skip.
+	RuleTraceGates int64
+
+	// ConsequentShortCircuits counts (rule, trace) pairs whose consequent
+	// machinery never ran because a consequent event was proven absent (the
+	// rule's temporal points, if any, are all violated without a DP pass).
+	ConsequentShortCircuits int64
+
+	// ProbesIssued counts event-presence probes (index or statistics lookups)
+	// the gating layer paid for. The planner's rarest-first probe ordering
+	// exists to keep this low; a regression shows up here first.
+	ProbesIssued int64
+}
+
+// Merge folds o into m.
+func (m *Metrics) Merge(o Metrics) {
+	m.TracesChecked += o.TracesChecked
+	m.TracesSkipped += o.TracesSkipped
+	m.SegmentsChecked += o.SegmentsChecked
+	m.SegmentsSkipped += o.SegmentsSkipped
+	m.RuleTraceGates += o.RuleTraceGates
+	m.ConsequentShortCircuits += o.ConsequentShortCircuits
+	m.ProbesIssued += o.ProbesIssued
+}
