@@ -34,7 +34,11 @@
 // soft until the trajectory has history), validates that the trajectory
 // carries the v8 planner_cases section, and writes the headline query plan's
 // Explain() render to <out>/explain.txt so CI uploads the plan alongside the
-// benchstat samples. Scaling rows that were measured on a machine with fewer
+// benchstat samples. The observability generation added a hard obs-overhead
+// floor: durable ingest with a live metrics registry attached to the store
+// and the ingester must retain at least -obs-floor (default 0.97) of the
+// uninstrumented run's throughput, both sides measured live in this run.
+// Scaling rows that were measured on a machine with fewer
 // processors than workers (num_cpu < workers at gomaxprocs >= workers — a
 // sandboxed regeneration) are annotated as overhead-only rather than trusted
 // as scaling evidence.
@@ -59,6 +63,7 @@ import (
 	"specmine/internal/bench"
 	"specmine/internal/core"
 	"specmine/internal/iterpattern"
+	"specmine/internal/obs"
 	"specmine/internal/plan"
 	"specmine/internal/seqdb"
 	"specmine/internal/seqpattern"
@@ -163,6 +168,7 @@ func main() {
 	oocoreFloor := flag.Float64("oocore-floor", 0.5, "minimum out-of-core mining throughput as a fraction of the in-memory cold path (report-only)")
 	skipFloor := flag.Float64("skip-floor", 0.9, "minimum segment skip rate on the selective-rule check workload (hard)")
 	plannerFloor := flag.Float64("planner-floor", 1.5, "minimum planned-vs-unplanned speedup on the selective rule check (report-only)")
+	obsFloor := flag.Float64("obs-floor", 0.97, "minimum instrumented durable-ingest throughput as a fraction of uninstrumented (hard)")
 	flag.Parse()
 
 	stop, err := bench.StartProfiles()
@@ -239,7 +245,7 @@ func main() {
 			g.label, g.oldNs, g.best, float64(g.best)/float64(g.oldNs), status)
 	}
 
-	checks := []*ratioCheck{speedupCheck(*speedupFloor), durableRatioCheck(*durableFloor)}
+	checks := []*ratioCheck{speedupCheck(*speedupFloor), durableRatioCheck(*durableFloor), obsOverheadCheck(*obsFloor)}
 	if sg != nil {
 		checks = append(checks, fsimOverheadCheck(*fsimFloor, sg))
 	}
@@ -403,6 +409,38 @@ func durableRatioCheck(floor float64) *ratioCheck {
 		}
 	})
 	ck.value = float64(memory) / float64(durable)
+	return ck
+}
+
+// obsOverheadCheck measures the cost of the observability layer on the
+// durable-ingest headline: the same operation stream replayed with a live
+// metrics registry attached to both the store and the ingester must stay
+// within a few percent of the uninstrumented run. This floor is HARD — the
+// whole design of internal/obs (nil-checked handles, striped atomics,
+// enabled-gated clock reads) exists to make instrumentation free enough to
+// leave on, and a regression here means a hot path grew a lock, an
+// allocation, or an ungated time.Now(). Both sides are measured live in this
+// run (best of 3), so runner speed cancels out of the ratio.
+func obsOverheadCheck(floor float64) *ratioCheck {
+	c := bench.StoreCases()[0]
+	ck := &ratioCheck{
+		label: "obs-overhead/" + c.Name,
+		floor: floor,
+	}
+	dict, ops, _, _ := c.GenStream()
+	best := func(run func(b *testing.B)) int64 {
+		var best int64
+		for i := 0; i < 3; i++ {
+			ns := testing.Benchmark(run).NsPerOp()
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	disabled := best(durableRun(c, dict, ops))
+	enabled := best(durableRunObs(c, dict, ops, true))
+	ck.value = float64(disabled) / float64(enabled)
 	return ck
 }
 
@@ -748,6 +786,14 @@ func applyOp(ing *stream.Ingester, op bench.StreamOp) error {
 // directory, replay the stream through a store-backed ingester, snapshot,
 // and close cleanly. Directory setup/teardown stays off the clock.
 func durableRun(c bench.StreamCase, dict *seqdb.Dictionary, ops []bench.StreamOp) func(b *testing.B) {
+	return durableRunObs(c, dict, ops, false)
+}
+
+// durableRunObs is durableRun with an optional live metrics registry attached
+// to the store and the ingester — the instrumented side of the obs-overhead
+// floor. A fresh registry per iteration keeps registration cost on the clock,
+// exactly as a real instrumented session pays it.
+func durableRunObs(c bench.StreamCase, dict *seqdb.Dictionary, ops []bench.StreamOp, instrumented bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
@@ -756,14 +802,18 @@ func durableRun(c bench.StreamCase, dict *seqdb.Dictionary, ops []bench.StreamOp
 				b.Fatal(err)
 			}
 			b.StartTimer()
-			st, err := store.Open(store.Options{Dir: dir, Shards: c.Shards})
+			var reg *obs.Registry
+			if instrumented {
+				reg = obs.NewRegistry()
+			}
+			st, err := store.Open(store.Options{Dir: dir, Shards: c.Shards, Obs: reg})
 			if err != nil {
 				b.Fatal(err)
 			}
 			for _, name := range dict.Export() {
 				st.Dict().Intern(name)
 			}
-			ing, err := stream.Open(stream.Config{FlushBatch: c.FlushBatch, Store: st})
+			ing, err := stream.Open(stream.Config{FlushBatch: c.FlushBatch, Store: st, Obs: reg})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -17,6 +17,7 @@ import (
 	"specmine/internal/episode"
 	"specmine/internal/iterpattern"
 	"specmine/internal/ltl"
+	"specmine/internal/obs"
 	"specmine/internal/rank"
 	"specmine/internal/rules"
 	"specmine/internal/seqdb"
@@ -349,13 +350,18 @@ type StoreOptions struct {
 	// than RAM is metadata-cheap. Recovered() then reports open traces only,
 	// and attaching a streamer is refused.
 	OutOfCore bool
+	// Obs, when non-nil, attaches a metrics registry: the store publishes
+	// commit counters, WAL flush/fsync latency histograms, segment-publish
+	// and compaction timings, and failure-model transitions to it. Nil keeps
+	// instrumentation at its near-zero disabled cost.
+	Obs *obs.Registry
 }
 
 // OpenStore opens (creating if needed) the durable trace store at dir and
 // recovers its state: the event dictionary, every sealed trace, and the
 // traces that were still open mid-ingestion when the previous process died.
 func OpenStore(dir string, opts StoreOptions) (*TraceStore, error) {
-	return store.Open(store.Options{Dir: dir, Shards: opts.Shards, Sync: opts.Sync, OutOfCore: opts.OutOfCore})
+	return store.Open(store.Options{Dir: dir, Shards: opts.Shards, Sync: opts.Sync, OutOfCore: opts.OutOfCore, Obs: opts.Obs})
 }
 
 // Recover is the cold-start path: it opens the store at dir, merges every
@@ -404,6 +410,12 @@ type StreamOptions struct {
 	// segment files, and the streamer starts from the store's recovered
 	// state — sealed traces, open traces, and conformance outcomes included.
 	Store *TraceStore
+	// Obs, when non-nil, attaches a metrics registry: the session publishes
+	// per-shard ingest/flush latency histograms, queue depths, backpressure
+	// waits and acked-event counters to it (series stream.*). Share one
+	// registry between StreamOptions.Obs and StoreOptions.Obs to scrape the
+	// whole pipeline from a single ServeDebug endpoint.
+	Obs *obs.Registry
 }
 
 // Streamer ingests live traces: events arrive incrementally per trace id,
@@ -426,6 +438,7 @@ func NewStreamer(opts StreamOptions) (*Streamer, error) {
 		Buffer:     opts.Buffer,
 		FlushBatch: opts.FlushBatch,
 		Dict:       opts.Dict,
+		Obs:        opts.Obs,
 	}
 	if len(opts.Rules) > 0 {
 		if opts.Dict == nil && opts.Store == nil {

@@ -5,6 +5,7 @@ import (
 
 	"specmine/internal/iterpattern"
 	"specmine/internal/mine"
+	"specmine/internal/obs"
 	"specmine/internal/plan"
 	"specmine/internal/rules"
 	"specmine/internal/seqdb"
@@ -30,6 +31,10 @@ type OutOfCoreOptions struct {
 	// budget is a target: segments pinned by in-flight work are never evicted,
 	// so a single seed's working set may exceed it transiently.
 	CacheBytes int64
+	// Obs, when non-nil, backs the run's segment cache with live registry
+	// series and folds the run's mining/verification counters (mine.*,
+	// verify.*) into the registry when the run completes.
+	Obs *obs.Registry
 }
 
 // OutOfCoreStats reports how much work segment statistics saved and how the
@@ -85,8 +90,8 @@ type segSource struct {
 
 // newSegSource loads every segment's statistics (metadata-sized; bodies stay
 // closed) and aggregates the global event frequencies the miners seed from.
-func newSegSource(st *store.Store, budget int64) (*segSource, error) {
-	pool := cache.New(st, cache.Options{BudgetBytes: budget})
+func newSegSource(st *store.Store, oo OutOfCoreOptions) (*segSource, error) {
+	pool := cache.New(st, cache.Options{BudgetBytes: oo.CacheBytes, Obs: oo.Obs})
 	n := st.Dict().Size()
 	s := &segSource{
 		pool:  pool,
@@ -174,7 +179,7 @@ func (s *segSource) AcquireSeed(e seqdb.EventID) (*mine.SeedView, error) {
 // same knobs as MinePatterns; pattern count limits are not supported
 // out-of-core.
 func MineStore(st *TraceStore, opts PatternOptions, oo OutOfCoreOptions) (*PatternResult, *OutOfCoreStats, error) {
-	src, err := newSegSource(st, oo.CacheBytes)
+	src, err := newSegSource(st, oo)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -189,12 +194,33 @@ func MineStore(st *TraceStore, opts PatternOptions, oo OutOfCoreOptions) (*Patte
 	if err != nil {
 		return nil, nil, fmt.Errorf("mining iterative patterns out-of-core: %w", err)
 	}
+	if r := oo.Obs; r != nil {
+		r.Counter("mine.seeds").Add(int64(len(src.FrequentByInstanceCount(res.MinSupport))))
+		publishPatternStats(r, res.Stats)
+	}
 	return &PatternResult{
 		Patterns:   res.Patterns,
 		Closed:     !opts.Full,
 		MinSupport: res.MinSupport,
 		Stats:      res.Stats,
 	}, poolStats(src.pool), nil
+}
+
+// publishPatternStats folds a pattern-mining run's search counters into the
+// registry's cumulative mine.* series.
+func publishPatternStats(r *obs.Registry, s iterpattern.Stats) {
+	r.Counter("mine.nodes_explored").Add(int64(s.NodesExplored))
+	r.Counter("mine.nodes_pruned_infrequent").Add(int64(s.NodesPrunedInfrequent))
+	r.Counter("mine.patterns_emitted").Add(int64(s.PatternsEmitted))
+	r.Histogram("mine.duration_ns").Observe(s.Duration.Nanoseconds())
+}
+
+// publishRuleStats is publishPatternStats for rule mining.
+func publishRuleStats(r *obs.Registry, s rules.Stats) {
+	r.Counter("mine.premises_explored").Add(int64(s.PremisesExplored))
+	r.Counter("mine.consequents_explored").Add(int64(s.ConsequentNodesExplored))
+	r.Counter("mine.rules_emitted").Add(int64(s.RulesEmitted))
+	r.Histogram("mine.duration_ns").Observe(s.Duration.Nanoseconds())
 }
 
 // MineStoreRules mines recurrent rules straight from the store's sealed
@@ -206,7 +232,7 @@ func MineStoreRules(st *TraceStore, opts RuleOptions, oo OutOfCoreOptions) (*Rul
 	if opts.MinConfidence == 0 {
 		opts.MinConfidence = 0.9
 	}
-	src, err := newSegSource(st, oo.CacheBytes)
+	src, err := newSegSource(st, oo)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -222,6 +248,9 @@ func MineStoreRules(st *TraceStore, opts RuleOptions, oo OutOfCoreOptions) (*Rul
 	res, err := rules.MineSource(src, ropts, !opts.Full)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mining recurrent rules out-of-core: %w", err)
+	}
+	if oo.Obs != nil {
+		publishRuleStats(oo.Obs, res.Stats)
 	}
 	return &RuleResult{Rules: res.Rules, NonRedundant: !opts.Full, Stats: res.Stats}, poolStats(src.pool), nil
 }
@@ -255,7 +284,7 @@ func checkStorePlanned(st *TraceStore, ruleSet []Rule, where *Where, oo OutOfCor
 	if err != nil {
 		return verify.Summary{}, nil, nil, err
 	}
-	pool := cache.New(st, cache.Options{BudgetBytes: oo.CacheBytes})
+	pool := cache.New(st, cache.Options{BudgetBytes: oo.CacheBytes, Obs: oo.Obs})
 	numSegs := pool.NumSegments()
 
 	// Statistics pass: per-segment stats stay resident, and their per-event
@@ -347,6 +376,7 @@ func checkStorePlanned(st *TraceStore, ruleSet []Rule, where *Where, oo OutOfCor
 	ex.SegmentsPruned = segsPruned
 	ooStats := poolStats(pool)
 	ooStats.Verify = metrics
+	metrics.Publish(oo.Obs)
 	return verify.NewSummary(reports), ooStats, ex, nil
 }
 

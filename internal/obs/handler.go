@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// HTTP debug surface. Handler serves three views over one registry:
+//
+//	/debug/metrics   Prometheus text exposition (version 0.0.4) — counters,
+//	                 gauges, and histograms with cumulative le buckets
+//	/debug/vars      expvar-style JSON: every series plus uptime
+//	/debug/ops       the tracer's recent and slow operation rings as JSON
+//	/debug/pprof/*   the stdlib pprof handlers (index, profile, heap, ...)
+//
+// The handler only reads snapshots; scraping never blocks an instrumentation
+// hot path beyond the snapshot's atomic loads.
+
+// Handler returns an http.Handler serving the registry's debug endpoints.
+// The registry may be nil, in which case the metric endpoints serve empty
+// documents (pprof still works).
+func Handler(r *Registry) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(varsDoc(r, start))
+	})
+	mux.HandleFunc("/debug/ops", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"recent": r.Ops().Recent(),
+			"slow":   r.Ops().Slow(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// promName sanitises a dotted series name into the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var sb strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			sb.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promLabels renders {k="v",...}; extra appends one more pair (the histogram
+// le label) when its key is non-empty.
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", promName(l.Key), l.Value)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", extraKey, extraVal)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WritePrometheus renders the registry snapshot in Prometheus text
+// exposition format. Histograms emit the standard cumulative _bucket / _sum /
+// _count triple; bucket boundaries are the fixed power-of-two geometry
+// (BucketBound).
+func WritePrometheus(w interface{ Write([]byte) (int, error) }, r *Registry) {
+	typed := make(map[string]bool)
+	for _, s := range r.Snapshot() {
+		name := promName(s.Name)
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, s.Kind)
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(w, "%s%s %d\n", name, promLabels(s.Labels, "", ""), s.Value)
+		case KindHistogram:
+			cum := int64(0)
+			for i, b := range s.Buckets {
+				cum += b
+				if b == 0 && i < len(s.Buckets)-1 {
+					continue // sparse rendering: only emit buckets that moved
+				}
+				le := "+Inf"
+				if bound := BucketBound(i); bound >= 0 {
+					le = fmt.Sprintf("%d", bound)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(s.Labels, "le", le), cum)
+			}
+			fmt.Fprintf(w, "%s_sum%s %d\n", name, promLabels(s.Labels, "", ""), s.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(s.Labels, "", ""), s.Count)
+		}
+	}
+}
+
+// varsSeries is the JSON shape of one series in /debug/vars.
+type varsSeries struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Kind    string            `json:"kind"`
+	Value   int64             `json:"value,omitempty"`
+	Count   int64             `json:"count,omitempty"`
+	Sum     int64             `json:"sum,omitempty"`
+	Buckets map[string]int64  `json:"buckets,omitempty"`
+}
+
+func varsDoc(r *Registry, start time.Time) map[string]any {
+	snap := r.Snapshot()
+	series := make([]varsSeries, 0, len(snap))
+	for _, s := range snap {
+		v := varsSeries{Name: s.Name, Kind: s.Kind.String()}
+		if len(s.Labels) > 0 {
+			v.Labels = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				v.Labels[l.Key] = l.Value
+			}
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			v.Value = s.Value
+		case KindHistogram:
+			v.Count, v.Sum = s.Count, s.Sum
+			v.Buckets = make(map[string]int64)
+			for i, b := range s.Buckets {
+				if b == 0 {
+					continue
+				}
+				le := "+Inf"
+				if bound := BucketBound(i); bound >= 0 {
+					le = fmt.Sprintf("%d", bound)
+				}
+				v.Buckets[le] = b
+			}
+		}
+		series = append(series, v)
+	}
+	return map[string]any{
+		"uptime_s": int64(time.Since(start).Seconds()),
+		"series":   series,
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"specmine/internal/obs"
 	"specmine/internal/seqdb"
 	"specmine/internal/store"
 )
@@ -23,9 +24,16 @@ type Options struct {
 	// across unpinned entries; <= 0 means unlimited (everything touched stays
 	// cached — the fits-in-RAM fast path).
 	BudgetBytes int64
+	// Obs, when non-nil, backs the pool's counters with registry series
+	// (cache.pins/hits/misses/evictions/bodies_opened/segments_opened,
+	// cache.resident_bytes, cache.peak_bytes) live-scrapeable while a mine
+	// runs. Nil keeps the same atomic counters as standalone instruments.
+	Obs *obs.Registry
 }
 
-// Metrics is a snapshot of the pool's counters.
+// Metrics is a snapshot of the pool's counters — a compatibility view over
+// the registry-backed series (per-pool: on a shared registry, each pool
+// subtracts the series values captured at its construction).
 type Metrics struct {
 	// Hits and Misses count Pin calls served from cache versus decoded.
 	Hits, Misses int64
@@ -40,6 +48,44 @@ type Metrics struct {
 	// CurBytes and PeakBytes track the pool's estimated resident decoded
 	// bytes (pinned + cached), now and at its high-water mark.
 	CurBytes, PeakBytes int64
+}
+
+// poolMetrics are the pool's registry-backed instruments. With Options.Obs
+// nil they are standalone (unregistered) instances of the same atomic types,
+// so the accounting code has exactly one shape.
+type poolMetrics struct {
+	pins, hits, misses     *obs.Counter
+	evictions              *obs.Counter
+	bodiesOpened, segsOpen *obs.Counter
+	curBytes, peakBytes    *obs.Gauge
+	// base are the shared series' values at pool construction; Metrics()
+	// subtracts them so per-pool views stay per-pool on a shared registry.
+	baseHits, baseMisses, baseEvictions, baseBodies int64
+}
+
+func newPoolMetrics(r *obs.Registry) poolMetrics {
+	m := poolMetrics{
+		pins:         r.Counter("cache.pins"),
+		hits:         r.Counter("cache.hits"),
+		misses:       r.Counter("cache.misses"),
+		evictions:    r.Counter("cache.evictions"),
+		bodiesOpened: r.Counter("cache.bodies_opened"),
+		segsOpen:     r.Counter("cache.segments_opened"),
+		curBytes:     r.Gauge("cache.resident_bytes"),
+		peakBytes:    r.Gauge("cache.peak_bytes"),
+	}
+	if r == nil {
+		m = poolMetrics{
+			pins: new(obs.Counter), hits: new(obs.Counter), misses: new(obs.Counter),
+			evictions: new(obs.Counter), bodiesOpened: new(obs.Counter), segsOpen: new(obs.Counter),
+			curBytes: new(obs.Gauge), peakBytes: new(obs.Gauge),
+		}
+	}
+	m.baseHits = m.hits.Value()
+	m.baseMisses = m.misses.Value()
+	m.baseEvictions = m.evictions.Value()
+	m.baseBodies = m.bodiesOpened.Value()
+	return m
 }
 
 // entry is one cached segment: decoded traces plus the lazily built
@@ -72,8 +118,9 @@ type Pool struct {
 	lru     *list.List // front = most recently unpinned
 	budget  int64
 	used    int64
+	peak    int64 // this pool's high-water mark of used
 	opened  map[int]bool
-	m       Metrics
+	met     poolMetrics
 }
 
 // New builds a pool over the store's current segment catalog. numEvents is
@@ -88,6 +135,7 @@ func New(st *store.Store, opts Options) *Pool {
 		lru:       list.New(),
 		budget:    opts.BudgetBytes,
 		opened:    make(map[int]bool),
+		met:       newPoolMetrics(opts.Obs),
 	}
 }
 
@@ -152,6 +200,7 @@ type Segment struct {
 // least-recently-used unpinned entries if the byte budget overflows. Every
 // Pin must be matched by exactly one Unpin.
 func (p *Pool) Pin(i int) (*Segment, error) {
+	p.met.pins.Inc()
 	p.mu.Lock()
 	e := p.entries[i]
 	if e == nil {
@@ -159,7 +208,7 @@ func (p *Pool) Pin(i int) (*Segment, error) {
 		p.entries[i] = e
 	}
 	if e.seqs != nil {
-		p.m.Hits++
+		p.met.hits.Inc()
 	}
 	e.pins++
 	if e.elem != nil {
@@ -170,12 +219,12 @@ func (p *Pool) Pin(i int) (*Segment, error) {
 
 	e.once.Do(func() {
 		seqs, stats, err := p.st.LoadSegment(p.metas[i])
+		p.met.misses.Inc()
+		p.met.bodiesOpened.Inc()
 		p.mu.Lock()
-		p.m.Misses++
-		p.m.BodiesOpened++
 		if !p.opened[i] {
 			p.opened[i] = true
-			p.m.SegmentsOpened++
+			p.met.segsOpen.Inc()
 		}
 		p.mu.Unlock()
 		if err != nil {
@@ -203,8 +252,12 @@ func (p *Pool) Pin(i int) (*Segment, error) {
 // Caller holds p.mu.
 func (p *Pool) account(delta int64) {
 	p.used += delta
-	if p.used > p.m.PeakBytes {
-		p.m.PeakBytes = p.used
+	p.met.curBytes.Add(delta)
+	if p.used > p.peak {
+		p.peak = p.used
+		// On a shared registry the gauge aggregates concurrent pools, so the
+		// shared high-water mark is taken from the gauge, not this pool.
+		p.met.peakBytes.SetMax(p.met.curBytes.Value())
 	}
 	if p.budget <= 0 {
 		return
@@ -219,7 +272,8 @@ func (p *Pool) account(delta int64) {
 		victim.elem = nil
 		delete(p.entries, victim.idx)
 		p.used -= victim.bytes
-		p.m.Evictions++
+		p.met.curBytes.Add(-victim.bytes)
+		p.met.evictions.Inc()
 		// The stats stay resident: re-register a stats-only entry so skip
 		// decisions never re-read the file.
 		if victim.stats != nil {
@@ -276,13 +330,21 @@ func (s *Segment) Fragment() *seqdb.PositionIndex {
 	return s.e.frag
 }
 
-// Metrics returns a snapshot of the pool counters.
+// Metrics returns a snapshot of the pool counters: the registry series'
+// values rebased to this pool's construction-time baseline, plus the pool's
+// own resident/peak bytes (exact per-pool even on a shared registry).
 func (p *Pool) Metrics() Metrics {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	m := p.m
-	m.CurBytes = p.used
-	return m
+	return Metrics{
+		Hits:           p.met.hits.Value() - p.met.baseHits,
+		Misses:         p.met.misses.Value() - p.met.baseMisses,
+		Evictions:      p.met.evictions.Value() - p.met.baseEvictions,
+		BodiesOpened:   p.met.bodiesOpened.Value() - p.met.baseBodies,
+		SegmentsOpened: len(p.opened),
+		CurBytes:       p.used,
+		PeakBytes:      p.peak,
+	}
 }
 
 // estimateBytes approximates the resident size of decoded traces: 4 bytes

@@ -108,7 +108,14 @@ type health struct {
 	mu       sync.Mutex
 	firstErr error
 	cause    string
-	warnings []string
+	// Warnings are de-duplicated by message: warnOrder keeps first-occurrence
+	// order, warnCount the repeat count per message (concurrent shards hitting
+	// the same failing path produce one entry, not maxWarnings copies of it),
+	// and warnOverflow records that distinct messages past the cap were
+	// dropped.
+	warnOrder    []string
+	warnCount    map[string]int
+	warnOverflow bool
 }
 
 // Health returns a snapshot of the store's failure-model state: degradation
@@ -116,13 +123,24 @@ type health struct {
 func (st *Store) Health() Health {
 	st.health.mu.Lock()
 	defer st.health.mu.Unlock()
+	warnings := make([]string, 0, len(st.health.warnOrder)+1)
+	for _, msg := range st.health.warnOrder {
+		if n := st.health.warnCount[msg]; n > 1 {
+			warnings = append(warnings, fmt.Sprintf("%s (x%d)", msg, n))
+		} else {
+			warnings = append(warnings, msg)
+		}
+	}
+	if st.health.warnOverflow {
+		warnings = append(warnings, "(further warnings suppressed)")
+	}
 	return Health{
 		State:    HealthState(st.health.state.Load()),
 		Err:      st.health.firstErr,
 		Cause:    st.health.cause,
 		Retries:  st.health.retries.Load(),
 		Faults:   st.health.faults.Load(),
-		Warnings: append([]string(nil), st.health.warnings...),
+		Warnings: warnings,
 	}
 }
 
@@ -165,6 +183,9 @@ func (st *Store) degrade(err error, cause string) error {
 	st.health.cause = cause
 	st.health.sticky.Store(&wrapped)
 	st.health.state.Store(int32(DegradedReadOnly))
+	st.met.degradations.Inc()
+	st.met.healthState.Set(int64(DegradedReadOnly))
+	st.met.ops.RecordDur("store.degrade: "+cause, time.Now(), 0, err)
 	return wrapped
 }
 
@@ -185,6 +206,9 @@ func (st *Store) fail(err error) error {
 	st.health.cause = "invariant violation"
 	st.health.sticky.Store(&wrapped)
 	st.health.state.Store(int32(Failed))
+	st.met.degradations.Inc()
+	st.met.healthState.Set(int64(Failed))
+	st.met.ops.RecordDur("store.fail", time.Now(), 0, err)
 	return wrapped
 }
 
@@ -195,21 +219,33 @@ func (st *Store) fail(err error) error {
 func (st *Store) ioError(err error, cause string) error {
 	if fsim.Transient(err) {
 		st.health.faults.Add(1)
+		st.met.faults.Inc()
 		return err
 	}
 	return st.degrade(err, cause)
 }
 
-// warn records a non-fatal anomaly in Health. Bounded: past maxWarnings a
-// single sentinel marks the suppression.
+// warn records a non-fatal anomaly in Health. Repeats of a message accumulate
+// a count on its first entry rather than new entries, and the distinct-message
+// list is bounded at maxWarnings with a sentinel marking the suppression.
 func (st *Store) warn(format string, args ...any) {
+	st.met.warnings.Inc()
+	msg := fmt.Sprintf(format, args...)
 	st.health.mu.Lock()
 	defer st.health.mu.Unlock()
-	if len(st.health.warnings) < maxWarnings {
-		st.health.warnings = append(st.health.warnings, fmt.Sprintf(format, args...))
-	} else if len(st.health.warnings) == maxWarnings {
-		st.health.warnings = append(st.health.warnings, "(further warnings suppressed)")
+	if st.health.warnCount == nil {
+		st.health.warnCount = make(map[string]int)
 	}
+	if _, seen := st.health.warnCount[msg]; seen {
+		st.health.warnCount[msg]++
+		return
+	}
+	if len(st.health.warnOrder) < maxWarnings {
+		st.health.warnOrder = append(st.health.warnOrder, msg)
+		st.health.warnCount[msg] = 1
+		return
+	}
+	st.health.warnOverflow = true
 }
 
 // retryTransient runs fn, retrying transient failures up to the configured
@@ -226,6 +262,7 @@ func (st *Store) retryTransient(fn func() error) error {
 		time.Sleep(backoff)
 		backoff *= 2
 		st.health.retries.Add(1)
+		st.met.retries.Inc()
 		if err = fn(); err == nil || !fsim.Transient(err) {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"specmine/internal/seqdb"
 )
@@ -130,13 +131,14 @@ func (st *Store) recoverDict() error {
 		if err != nil {
 			return fmt.Errorf("store: reopening %s: %w", path, err)
 		}
-		st.dictLog.wal = &walFile{path: path, f: f, size: int64(valid), sync: st.opts.Sync}
+		st.dictLog.wal = &walFile{path: path, f: f, size: int64(valid), sync: st.opts.Sync, met: &st.met}
 		return nil
 	case os.IsNotExist(err):
 		wal, err := createWALDirect(st.fs, path, st.opts.Sync)
 		if err != nil {
 			return err
 		}
+		wal.met = &st.met
 		st.dictLog.wal = wal
 		return nil
 	default:
@@ -238,6 +240,10 @@ func (st *Store) recoverShard(i int) (*ShardLog, RecoveredShard, error) {
 	// coverage instead of len(sealed).
 	total := covered + len(walSealed)
 	if len(walSealed) > 0 {
+		var pubStart time.Time
+		if st.met.enabled {
+			pubStart = time.Now()
+		}
 		data := encodeSegment(walSealed, i, covered)
 		info, err := writeSegmentFile(st.fs, dir, covered, total, data, st.opts.Sync)
 		if err != nil {
@@ -245,6 +251,10 @@ func (st *Store) recoverShard(i int) (*ShardLog, RecoveredShard, error) {
 		}
 		sl.covered = total
 		sl.segs = append(sl.segs, info)
+		if st.met.enabled {
+			st.met.segPublishNs.Observe(time.Since(pubStart).Nanoseconds())
+			st.met.segsPublished.Inc()
+		}
 	}
 	records, handles, next := openTraceRecords(i, sl.covered, open)
 	gen := maxGen + 1
@@ -260,6 +270,7 @@ func (st *Store) recoverShard(i int) (*ShardLog, RecoveredShard, error) {
 	if err != nil {
 		return nil, RecoveredShard{}, err
 	}
+	wal.met = &st.met
 	// Every older generation is now redundant.
 	for _, c := range cands {
 		if err := st.fs.Remove(c.path); err != nil && !os.IsNotExist(err) {

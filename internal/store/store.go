@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"specmine/internal/fsim"
+	"specmine/internal/obs"
 	"specmine/internal/seqdb"
 )
 
@@ -71,6 +72,12 @@ type Options struct {
 	// RetryBackoff is the delay before the first retry, doubling per attempt;
 	// 0 means the default (500µs).
 	RetryBackoff time.Duration
+	// Obs, when non-nil, registers the store's metrics — commit counters, WAL
+	// flush/fsync latency and group-commit batch size, segment publish and
+	// rotation/compaction activity, and the health ladder's counters — and
+	// records rotations and compactions in the registry's ops ring. Nil
+	// disables instrumentation at one branch per instrumentation point.
+	Obs *obs.Registry
 	// OutOfCore opens the store for reading without materialising sealed
 	// trace bodies: recovery validates every chain segment by checksum (torn
 	// or corrupt files are detected and dropped exactly as in a normal open)
@@ -110,6 +117,9 @@ type Store struct {
 
 	// health is the degradation state machine — see health.go for the model.
 	health health
+
+	// met is the registry-backed instrumentation; the zero value is disabled.
+	met storeMetrics
 
 	compactNudge chan struct{}
 	compactStop  chan struct{}
@@ -183,6 +193,7 @@ func Open(opts Options) (*Store, error) {
 		compactNudge: make(chan struct{}, 1),
 		compactStop:  make(chan struct{}),
 		compactDone:  make(chan struct{}),
+		met:          newStoreMetrics(opts.Obs),
 	}
 	if err := st.recoverDict(); err != nil {
 		releaseDirLock(lock)
@@ -392,6 +403,12 @@ type ShardLog struct {
 	// committed operation, so WAL append order, apply (channel) order and the
 	// sequence numbers all agree. Diagnostics and tests read it via CommitSeq.
 	commitSeq uint64
+	// metCommitSeq is the commitSeq value last published to the store.commits
+	// series. The counter is fed by the delta at every WAL flush rather than
+	// by a per-commit atomic increment, keeping the commit hot path free of
+	// shared-counter traffic; it is exact at every flush point (barriers,
+	// snapshots, close).
+	metCommitSeq uint64
 
 	// handleMu guards the handle table, so producers can resolve (and assign)
 	// their trace's handle — and frame records against it — without holding
@@ -752,6 +769,15 @@ func (sl *ShardLog) maybeFlushLocked() error {
 }
 
 func (sl *ShardLog) flushLocked() error {
+	// Publish the commits accumulated since the last flush before anything
+	// can fail: the counter stays exact at every flush point even when the
+	// flush itself errors out.
+	if sl.st.met.enabled {
+		if d := sl.commitSeq - sl.metCommitSeq; d != 0 {
+			sl.st.met.commits.Add(int64(d))
+			sl.metCommitSeq = sl.commitSeq
+		}
+	}
 	// Fail fast once the store is degraded: barriers keep firing from the
 	// streaming layer, and each would otherwise burn a full retry-backoff
 	// cycle against a path already known permanent.
@@ -859,6 +885,10 @@ func (sl *ShardLog) writeSegmentTail(seqs []seqdb.Sequence) error {
 	if len(seqs) <= sl.covered {
 		return nil
 	}
+	var pubStart time.Time
+	if sl.st.met.enabled {
+		pubStart = time.Now()
+	}
 	from, to := sl.covered, len(seqs)
 	data := encodeSegment(seqs[from:to], sl.shard, from)
 	var info segmentInfo
@@ -879,6 +909,10 @@ func (sl *ShardLog) writeSegmentTail(seqs []seqdb.Sequence) error {
 	sl.st.segMu.Lock()
 	sl.segs = append(sl.segs, info)
 	sl.st.segMu.Unlock()
+	if sl.st.met.enabled {
+		sl.st.met.segPublishNs.Observe(time.Since(pubStart).Nanoseconds())
+		sl.st.met.segsPublished.Inc()
+	}
 	select {
 	case sl.st.compactNudge <- struct{}{}:
 	default:
@@ -892,6 +926,16 @@ func (sl *ShardLog) writeSegmentTail(seqs []seqdb.Sequence) error {
 // The caller must hold the lock via TryLock with the shard's channel drained,
 // so the open-trace set is exact and no producer can interleave.
 func (sl *ShardLog) RotateLocked(open []OpenTrace, sealedTotal int) error {
+	sp := sl.st.met.ops.Start(fmt.Sprintf("store.wal_rotate shard=%d", sl.shard))
+	err := sl.rotateLocked(open, sealedTotal)
+	sp.End(err)
+	if err == nil {
+		sl.st.met.rotations.Inc()
+	}
+	return err
+}
+
+func (sl *ShardLog) rotateLocked(open []OpenTrace, sealedTotal int) error {
 	if sealedTotal != sl.covered {
 		return sl.st.fail(fmt.Errorf("store: shard %d: rotating with %d sealed but %d covered by segments", sl.shard, sealedTotal, sl.covered))
 	}
@@ -908,6 +952,7 @@ func (sl *ShardLog) RotateLocked(open []OpenTrace, sealedTotal int) error {
 		// new file is discarded at recovery by its missing commit marker.
 		return sl.st.ioError(err, fmt.Sprintf("shard %d WAL rotation", sl.shard))
 	}
+	wal.met = &sl.st.met
 	oldPath := sl.wal.path
 	if err := sl.wal.f.Close(); err != nil {
 		// The old generation is already superseded — the new WAL covers all
@@ -1016,6 +1061,10 @@ func (st *Store) compactShard(sl *ShardLog) error {
 		if run == nil {
 			return nil
 		}
+		var runStart time.Time
+		if st.met.enabled {
+			runStart = time.Now()
+		}
 
 		parts := make([][]byte, len(run))
 		for k, info := range run {
@@ -1065,6 +1114,10 @@ func (st *Store) compactShard(sl *ShardLog) error {
 				// leftovers. A leak is observable, not fatal.
 				st.warn("shard %d: removing compacted %s: %v", sl.shard, old.path, err)
 			}
+		}
+		if st.met.enabled {
+			st.met.compactions.Inc()
+			st.met.ops.RecordDur(fmt.Sprintf("store.compact shard=%d segs=%d", sl.shard, len(run)), runStart, time.Since(runStart), nil)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
 
 	"specmine/internal/fsim"
 	"specmine/internal/seqdb"
@@ -166,6 +167,9 @@ type walFile struct {
 	buf  []byte
 	size int64 // bytes handed to the OS, excluding buf
 	sync bool
+	// met, when non-nil and enabled, observes every flush (latency, batch
+	// size, fsync portion) into the store's registry.
+	met *storeMetrics
 }
 
 func (w *walFile) append(payload []byte) {
@@ -194,6 +198,12 @@ func (w *walFile) flush() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
+	instrumented := w.met != nil && w.met.enabled
+	var start time.Time
+	if instrumented {
+		w.met.walFlushBytes.Observe(int64(len(w.buf)))
+		start = time.Now()
+	}
 	n, err := w.f.Write(w.buf)
 	if err != nil {
 		// Consume the prefix the OS accepted: a later retry must resume at
@@ -204,7 +214,15 @@ func (w *walFile) flush() error {
 		return fmt.Errorf("store: flushing %s: %w", w.path, err)
 	}
 	if w.sync {
-		if err := w.f.Sync(); err != nil {
+		var syncStart time.Time
+		if instrumented {
+			syncStart = time.Now()
+		}
+		err := w.f.Sync()
+		if instrumented {
+			w.met.walFsyncNs.Observe(time.Since(syncStart).Nanoseconds())
+		}
+		if err != nil {
 			// The batch reached the OS but is not durable, and its tail
 			// record may be one a caller is about to be told failed. Pull
 			// the whole batch back out of the file so nothing unfsynced —
@@ -216,6 +234,9 @@ func (w *walFile) flush() error {
 	}
 	w.size += int64(n)
 	w.buf = w.buf[:0]
+	if instrumented {
+		w.met.walFlushNs.Observe(time.Since(start).Nanoseconds())
+	}
 	return nil
 }
 

@@ -18,9 +18,12 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
+	"time"
 
+	"specmine/internal/obs"
 	"specmine/internal/seqdb"
 	"specmine/internal/store"
 	"specmine/internal/verify"
@@ -46,6 +49,11 @@ type Config struct {
 	// Engine, when non-nil, checks every trace online as its events arrive;
 	// Snapshot then carries the accumulated conformance reports.
 	Engine *verify.Engine
+	// Obs, when non-nil, registers the ingester's metrics — acked-event and
+	// sealed-trace counters, per-shard ingest/flush latency histograms,
+	// backpressure wait time, and queue depth gauges. Nil disables
+	// instrumentation at the cost of one branch per instrumentation point.
+	Obs *obs.Registry
 	// Store, when non-nil, makes the ingester durable: every operation is
 	// appended to the store's per-shard write-ahead log before it is
 	// acknowledged, sealed traces are rolled into segment files at the
@@ -97,12 +105,59 @@ type shardView struct {
 	err error
 }
 
+// streamMetrics are the ingester-wide series, shared by every shard. The
+// enabled flag gates the hot-path time.Now() reads; the handles themselves
+// are nil-safe, so a zero streamMetrics (disabled) is fully usable.
+type streamMetrics struct {
+	enabled bool
+	// eventsAcked / tracesSealed are exact, but updated in batches: each
+	// shard accumulates plain local counts and folds them in at barriers,
+	// snapshot answers, and shutdown, so the hot path never touches a
+	// shared atomic. Reads between batch points may trail the ack stream;
+	// any quiescent point (after Snapshot or Close) is exact.
+	eventsAcked  *obs.Counter // events applied by shards (== acked at quiescence)
+	tracesSealed *obs.Counter // CloseTrace ops applied by shards
+	snapshots    *obs.Counter // snapshot barriers served
+}
+
+func newStreamMetrics(r *obs.Registry) streamMetrics {
+	return streamMetrics{
+		enabled:      r != nil,
+		eventsAcked:  r.Counter("stream.events_acked"),
+		tracesSealed: r.Counter("stream.traces_sealed"),
+		snapshots:    r.Counter("stream.snapshots"),
+	}
+}
+
+// shardMetrics are one shard's series, labeled shard=<i>.
+type shardMetrics struct {
+	enabled           bool
+	ingestNs          *obs.Histogram // producer-side latency of one acked op (sampled 1-in-16)
+	flushNs           *obs.Histogram // incremental index-extension latency
+	queueDepth        *obs.Gauge     // ops buffered (sampled enqueues, refreshed at barriers)
+	backpressureWaits *obs.Counter   // enqueues that found the buffer full
+	backpressureNs    *obs.Histogram // time blocked on a full buffer
+}
+
+func newShardMetrics(r *obs.Registry, shard int) shardMetrics {
+	label := fmt.Sprintf("%d", shard)
+	return shardMetrics{
+		enabled:           r != nil,
+		ingestNs:          r.Histogram("stream.ingest_ns", "shard", label),
+		flushNs:           r.Histogram("stream.flush_ns", "shard", label),
+		queueDepth:        r.Gauge("stream.queue_depth", "shard", label),
+		backpressureWaits: r.Counter("stream.backpressure_waits", "shard", label),
+		backpressureNs:    r.Histogram("stream.backpressure_wait_ns", "shard", label),
+	}
+}
+
 // Ingester is the sharded streaming front end. All methods are safe for
 // concurrent use by any number of producer goroutines.
 type Ingester struct {
 	cfg    Config
 	dict   *seqdb.Dictionary
 	shards []*shard
+	met    streamMetrics
 
 	// lifeMu guards closed: sends hold the read side so Close (write side)
 	// cannot close the shard channels while a send is in flight.
@@ -152,7 +207,7 @@ func Open(cfg Config) (*Ingester, error) {
 	if cfg.Dict == nil {
 		cfg.Dict = seqdb.NewDictionary()
 	}
-	ing := &Ingester{cfg: cfg, dict: cfg.Dict, shards: make([]*shard, cfg.Shards)}
+	ing := &Ingester{cfg: cfg, dict: cfg.Dict, shards: make([]*shard, cfg.Shards), met: newStreamMetrics(cfg.Obs)}
 	for i := range ing.shards {
 		sh := &shard{
 			ops:        make(chan op, cfg.Buffer),
@@ -161,6 +216,9 @@ func Open(cfg Config) (*Ingester, error) {
 			engine:     cfg.Engine,
 			flushBatch: cfg.FlushBatch,
 			open:       make(map[string]*openTrace),
+			met:        newShardMetrics(cfg.Obs, i),
+			statAcked:  ing.met.eventsAcked,
+			statSealed: ing.met.tracesSealed,
 		}
 		if cfg.Store != nil {
 			sh.log = cfg.Store.Shard(i)
@@ -252,19 +310,62 @@ func (ing *Ingester) send(traceID string, o op) error {
 		return ErrClosed
 	}
 	sh := ing.shards[ing.shardFor(traceID)]
+	// Latency is sampled 1-in-16: a clock-pair read costs more than every
+	// counter on this path combined (and far more where the monotonic clock
+	// is virtualised), so timing every op would dominate the instrumentation
+	// budget the obs-overhead CI floor enforces. The exact ack counters are
+	// not touched here at all — the shard goroutine batches them locally and
+	// publishes at barriers (see publishMet).
+	timed := ing.met.enabled && rand.Uint64()&15 == 0
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	var err error
 	if sh.log == nil {
+		sh.enqueue(o, timed)
+	} else if o.kind == opSeal {
+		// Durable mode: the commit path frames and checksums the WAL record on
+		// this goroutine before taking the shard log's lock, then appends it
+		// and hands the op to the shard under the lock — WAL order equals
+		// apply order and no operation is acknowledged before it is logged,
+		// but concurrent producers only serialise on the final memcpy and
+		// channel handoff.
+		err = sh.log.CommitSeal(o.id, func() { sh.enqueue(o, timed) })
+	} else {
+		err = sh.log.CommitEvents(o.id, o.events, func() { sh.enqueue(o, timed) })
+	}
+	if err != nil {
+		return err
+	}
+	if timed {
+		sh.met.ingestNs.Observe(time.Since(start).Nanoseconds())
+	}
+	return nil
+}
+
+// enqueue hands an op to the shard goroutine. When instrumentation is on and
+// the buffer is full, the blocking wait is measured as backpressure; the
+// non-blocking fast path costs nothing extra beyond the enabled branch. The
+// queue-depth gauge is a single shared cell, so concurrent producers would
+// contend on it — only sampled (timed) enqueues refresh it here; the shard
+// refreshes it again at every barrier.
+func (sh *shard) enqueue(o op, timed bool) {
+	if !sh.met.enabled {
 		sh.ops <- o
-		return nil
+		return
 	}
-	// Durable mode: the commit path frames and checksums the WAL record on
-	// this goroutine before taking the shard log's lock, then appends it and
-	// hands the op to the shard under the lock — WAL order equals apply order
-	// and no operation is acknowledged before it is logged, but concurrent
-	// producers only serialise on the final memcpy and channel handoff.
-	if o.kind == opSeal {
-		return sh.log.CommitSeal(o.id, func() { sh.ops <- o })
+	select {
+	case sh.ops <- o:
+	default:
+		start := time.Now()
+		sh.ops <- o
+		sh.met.backpressureWaits.Inc()
+		sh.met.backpressureNs.Observe(time.Since(start).Nanoseconds())
 	}
-	return sh.log.CommitEvents(o.id, o.events, func() { sh.ops <- o })
+	if timed {
+		sh.met.queueDepth.Set(int64(len(sh.ops)))
+	}
 }
 
 // shardFor hashes a trace id onto a shard (FNV-1a, deterministic across
@@ -290,9 +391,10 @@ func (ing *Ingester) Snapshot() (*View, error) {
 	chans := make([]chan shardView, len(ing.shards))
 	for i, sh := range ing.shards {
 		chans[i] = make(chan shardView, 1)
-		sh.ops <- op{kind: opSnapshot, reply: chans[i]}
+		sh.enqueue(op{kind: opSnapshot, reply: chans[i]}, true)
 	}
 	ing.lifeMu.RUnlock()
+	ing.met.snapshots.Inc()
 
 	views := make([]shardView, len(chans))
 	for i, ch := range chans {
@@ -374,6 +476,16 @@ type shard struct {
 	db         *seqdb.Database
 	engine     *verify.Engine
 	flushBatch int
+	met        shardMetrics
+	// statAcked / statSealed are the ingester-wide exact counters;
+	// pendAcked / pendSealed batch this shard's contribution as plain
+	// goroutine-local ints, published by publishMet at barriers, snapshot
+	// answers, and shutdown — one shared-atomic touch per batch instead of
+	// one per ingested op.
+	statAcked  *obs.Counter
+	statSealed *obs.Counter
+	pendAcked  int64
+	pendSealed int64
 	// log is the shard's durable appender; nil in memory-only mode.
 	log *store.ShardLog
 
@@ -416,6 +528,7 @@ func (sh *shard) run() {
 	// A drain interrupted by Close may have parked snapshot ops; answer them
 	// so their callers never hang.
 	sh.answerDeferredSnaps()
+	sh.publishMet()
 }
 
 func (sh *shard) handle(o op) {
@@ -434,6 +547,7 @@ func (sh *shard) handle(o op) {
 			}
 			sh.open[o.id] = tr
 		}
+		sh.pendAcked += int64(len(o.events))
 		tr.events = append(tr.events, o.events...)
 		if tr.checker != nil {
 			for _, ev := range o.events {
@@ -455,6 +569,7 @@ func (sh *shard) handle(o op) {
 			}
 		}
 		delete(sh.open, o.id)
+		sh.pendSealed++
 		sh.db.Append(tr.events)
 		if tr.checker != nil {
 			tr.checker.Close(sh.db.NumSequences()-1, sh.reports)
@@ -491,7 +606,28 @@ func (sh *shard) handle(o op) {
 	}
 }
 
+// publishMet folds the shard-local exact counts into the shared series and
+// refreshes the queue-depth gauge. It runs on the shard goroutine at every
+// point a reader can observe shard state — barriers, snapshot answers,
+// shutdown — so the shared counters are exact whenever the shard is
+// quiescent without a cross-core atomic per ingested op.
+func (sh *shard) publishMet() {
+	if !sh.met.enabled {
+		return
+	}
+	if sh.pendAcked != 0 {
+		sh.statAcked.Add(sh.pendAcked)
+		sh.pendAcked = 0
+	}
+	if sh.pendSealed != 0 {
+		sh.statSealed.Add(sh.pendSealed)
+		sh.pendSealed = 0
+	}
+	sh.met.queueDepth.Set(int64(len(sh.ops)))
+}
+
 func (sh *shard) answerSnap(o op) {
+	sh.publishMet()
 	sv := shardView{db: sh.db.SnapshotView()}
 	if sh.reports != nil {
 		sv.reports = cloneReports(sh.reports)
@@ -543,6 +679,7 @@ func (sh *shard) answerDeferredSnaps() {
 // covered counter is barrier-goroutine-only, and the WAL was flushed past
 // every seal the segment will contain before the lock was dropped.
 func (sh *shard) barrier() {
+	sh.publishMet()
 	sh.flush()
 	if sh.log == nil {
 		return
@@ -634,7 +771,13 @@ func (sh *shard) flush() {
 	if sh.unsynced == 0 {
 		return
 	}
-	sh.db.FlatIndex()
+	if sh.met.enabled {
+		start := time.Now()
+		sh.db.FlatIndex()
+		sh.met.flushNs.Observe(time.Since(start).Nanoseconds())
+	} else {
+		sh.db.FlatIndex()
+	}
 	sh.unsynced = 0
 }
 

@@ -1,5 +1,7 @@
 package verify
 
+import "specmine/internal/obs"
+
 // Metrics counts the work a verification pass performed and — more
 // importantly — the work statistics let it avoid. Before the planner these
 // counters existed only as test-local bookkeeping (segment-skip rates
@@ -33,6 +35,26 @@ type Metrics struct {
 	// the gating layer paid for. The planner's rarest-first probe ordering
 	// exists to keep this low; a regression shows up here first.
 	ProbesIssued int64
+}
+
+// Publish folds the pass's counters into the registry's cumulative verify.*
+// series (verify.traces_checked, verify.traces_skipped,
+// verify.segments_checked, verify.segments_skipped, verify.rule_trace_gates,
+// verify.consequent_short_circuits, verify.probes_issued). Per-query values
+// stay on the struct; the registry accumulates across queries. A nil registry
+// is a no-op, but a non-nil one registers every series even when the pass did
+// no work, so scrapes see a stable schema.
+func (m Metrics) Publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("verify.traces_checked").Add(m.TracesChecked)
+	r.Counter("verify.traces_skipped").Add(m.TracesSkipped)
+	r.Counter("verify.segments_checked").Add(m.SegmentsChecked)
+	r.Counter("verify.segments_skipped").Add(m.SegmentsSkipped)
+	r.Counter("verify.rule_trace_gates").Add(m.RuleTraceGates)
+	r.Counter("verify.consequent_short_circuits").Add(m.ConsequentShortCircuits)
+	r.Counter("verify.probes_issued").Add(m.ProbesIssued)
 }
 
 // Merge folds o into m.
